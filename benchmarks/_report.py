@@ -1,0 +1,11 @@
+"""Benchmark report helpers — thin re-export of :mod:`repro.report`.
+
+Each benchmark regenerates one of the paper's tables or figures; these
+helpers print the rows/series in a uniform format (visible with
+``pytest benchmarks/ --benchmark-only -s`` and in captured output on
+failure), so the harness output can be compared to the paper side by side.
+"""
+
+from repro.report import emit_series, emit_table
+
+__all__ = ["emit_table", "emit_series"]

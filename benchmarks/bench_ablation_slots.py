@@ -1,0 +1,57 @@
+"""Ablation (§3.3 / §7.2) — free AT-space slots per cluster.
+
+The paper leaves "time slot sharing" as future work; this ablation
+measures the design choice it depends on: how many AT-space partitions a
+cluster leaves free for remote service.  More free slots → more remote
+throughput, fewer local processors — the utilization tradeoff of §7.2.
+"""
+
+import pytest
+
+from benchmarks._report import emit_table
+from repro.core.cfm import AccessKind
+from repro.core.clusters import ClusterSystem
+from repro.core.config import CFMConfig
+
+
+def run_config(n_free: int, n_requests: int = 12):
+    cfg = CFMConfig(n_procs=8, bank_cycle=1)
+    local = 8 - n_free
+    sys_ = ClusterSystem([cfg, cfg], local_procs=[local, local], link_latency=4)
+    reqs = [
+        sys_.remote_access(0, p % local, 1, AccessKind.READ, p)
+        for p in range(n_requests)
+    ]
+    sys_.run_until_done(n_requests)
+    lats = sorted(r.latency for r in reqs)
+    return lats
+
+
+def test_ablation_free_slots(benchmark):
+    results = benchmark.pedantic(
+        lambda: {f: run_config(f) for f in (1, 2, 4)}, rounds=1, iterations=1
+    )
+    mean = {f: sum(l) / len(l) for f, l in results.items()}
+    p95 = {f: l[int(0.95 * (len(l) - 1))] for f, l in results.items()}
+    # More free partitions drain the remote queue faster.
+    assert mean[4] < mean[2] < mean[1]
+    emit_table(
+        "Ablation: free AT-space slots per cluster (12 remote reads)",
+        ["free slots", "local procs", "mean remote latency", "p95"],
+        [[f, 8 - f, f"{mean[f]:.1f}", p95[f]] for f in (1, 2, 4)],
+    )
+
+
+def test_ablation_free_slots_never_hurt_locals(benchmark):
+    """However many remote requests arrive, local accesses stay at β."""
+    def run():
+        cfg = CFMConfig(n_procs=8, bank_cycle=1)
+        sys_ = ClusterSystem([cfg, cfg], local_procs=[6, 6], link_latency=4)
+        for p in range(10):
+            sys_.remote_access(0, p % 6, 1, AccessKind.READ, p)
+        local = sys_.local_access(1, 0, AccessKind.READ, 0)
+        sys_.run_until_done(10)
+        return local.latency
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert latency == 8  # exactly β, regardless of remote load

@@ -1,0 +1,60 @@
+"""§6.5.1 — resource binding ON the CFM hardware, end to end.
+
+The integration the paper builds toward: Chapter 6's bind/unbind running
+as Chapter 5's atomic multiple test-and-set on the slot-accurate cache
+protocol.  Dining philosophers with chopstick locks packed into one lock
+block: all-or-nothing acquisition, busy-waiting on local cached copies,
+no deadlock, no hot spot.
+"""
+
+from benchmarks._report import emit_table
+from repro.binding.cfm_backend import BindStep, CFMBindingSystem
+
+
+def run_philosophers(meals: int = 2):
+    n = 8  # 8 processors / 8 chopstick bits; 4 philosophers on even procs
+    sys_ = CFMBindingSystem(n)
+    for i in range(4):
+        pat = [0] * n
+        pat[2 * i] = pat[(2 * i + 2) % n] = 1
+        sys_.add_program(2 * i, [BindStep(tuple(pat), work_cycles=6)] * meals)
+    recs = sys_.run()
+    return sys_, recs
+
+
+def test_ch6_binding_on_cfm(benchmark):
+    sys_, recs = benchmark.pedantic(run_philosophers, rounds=1, iterations=1)
+    assert len(recs) == 8  # 4 philosophers × 2 meals, no deadlock
+    assert sys_.exclusion_held()
+    sys_.cache.check_coherence_invariant()
+    # Every lock bit released at the end.
+    assert all(v == 0 for v in sys_.cache.mem.peek_block(0).values)
+    waits = sorted(r.wait for r in recs)
+    attempts = sum(r.attempts for r in recs)
+    emit_table(
+        "§6.5.1: dining philosophers via atomic multiple lock on the CFM",
+        ["metric", "value"],
+        [
+            ["meals completed", len(recs)],
+            ["bind waits (cycles)", " ".join(map(str, waits))],
+            ["total test-and-set attempts", attempts],
+            ["mutual exclusion", "held"],
+            ["deadlock-avoidance tricks needed", "none"],
+        ],
+    )
+
+
+def test_ch6_binding_on_cfm_contention_scaling(benchmark):
+    """Heavier contention (all programs overlap) still converges with
+    bounded attempts — the all-or-nothing lock never wedges."""
+    def run():
+        sys_ = CFMBindingSystem(8)
+        shared = tuple([1, 1, 1, 1, 0, 0, 0, 0])
+        for p in (0, 2, 4, 6):
+            sys_.add_program(p, [BindStep(shared, 4)] * 2)
+        recs = sys_.run()
+        return sys_, recs
+
+    sys_, recs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(recs) == 8
+    assert sys_.exclusion_held()

@@ -1,0 +1,94 @@
+"""Figs 6.4/6.5 — dining philosophers: data binding vs Linda.
+
+Runs the same workload (N philosophers × M meals) through both paradigms
+and reports completion time, operation counts, and Linda's associative
+match probes — the §6.1.3 overhead binding eliminates.
+"""
+
+import pytest
+
+from benchmarks._report import emit_table
+from repro.binding.linda import In, Out, TupleSpace
+from repro.binding.manager import Bind, BindingRuntime, Unbind
+from repro.binding.region import AccessType, Region
+from repro.sim.procs import Delay
+
+MEALS = 3
+
+
+def stick_region(i: int, n: int) -> Region:
+    if i < n - 1:
+        return Region("chopstick")[i : i + 2]
+    return Region("chopstick")[0 : n : n - 1]
+
+
+def run_binding(n: int):
+    rt = BindingRuntime()
+    meals = []
+
+    def philosopher(i):
+        def gen():
+            for _ in range(MEALS):
+                d = yield Bind(stick_region(i, n), AccessType.RW)
+                meals.append(i)
+                yield Delay(2)
+                yield Unbind(d)
+                yield Delay(1)
+
+        return gen()
+
+    for i in range(n):
+        rt.spawn(philosopher(i), f"phil{i}")
+    cycles = rt.run()
+    return cycles, len(meals), 2 * n * MEALS  # bind+unbind per meal
+
+
+def run_linda(n: int):
+    ts = TupleSpace()
+    meals = []
+
+    def philosopher(i):
+        def gen():
+            for _ in range(MEALS):
+                yield In(("room ticket",))
+                yield In(("chopstick", i))
+                yield In(("chopstick", (i + 1) % n))
+                meals.append(i)
+                yield Delay(2)
+                yield Out(("chopstick", i))
+                yield Out(("chopstick", (i + 1) % n))
+                yield Out(("room ticket",))
+                yield Delay(1)
+
+        return gen()
+
+    def init():
+        for i in range(n):
+            yield Out(("chopstick", i))
+        for _ in range(n - 1):
+            yield Out(("room ticket",))
+
+    ts.spawn(init())
+    for i in range(n):
+        ts.spawn(philosopher(i))
+    cycles = ts.run()
+    return cycles, len(meals), ts.ops, ts.match_probes
+
+
+@pytest.mark.parametrize("n", [5, 16, 32])
+def test_ch6_dining(benchmark, n):
+    b_cycles, b_meals, b_ops = benchmark.pedantic(
+        lambda: run_binding(n), rounds=1, iterations=1
+    )
+    l_cycles, l_meals, l_ops, l_probes = run_linda(n)
+    assert b_meals == l_meals == n * MEALS  # both correct, no deadlock
+    assert b_ops < l_ops  # one atomic bind replaces 3 in's + 3 out's
+    assert l_probes > l_ops  # Linda pays associative search on top
+    emit_table(
+        f"Figs 6.4/6.5: dining philosophers, n={n}, {MEALS} meals",
+        ["paradigm", "cycles", "sync ops", "search probes"],
+        [
+            ["data binding", b_cycles, b_ops, 0],
+            ["Linda + room tickets", l_cycles, l_ops, l_probes],
+        ],
+    )

@@ -1,0 +1,82 @@
+"""Figs 6.9/6.10 — barrier and pipelining via process binding.
+
+The paper's pipeline program (32 stages × 1000 elements) and an 8-process
+barrier team; both must synchronize correctly, and the pipeline must
+achieve near-ideal overlap: total time ≈ items + stages, not
+items × stages.
+"""
+
+from benchmarks._report import emit_table
+from repro.binding.manager import BindingRuntime
+from repro.binding.patterns import barrier_team, make_pipeline
+from repro.binding.process import make_proc_array
+from repro.sim.procs import Delay
+
+
+def run_pipeline(stages, items):
+    rt = BindingRuntime()
+    handles = make_proc_array("p", stages)
+    schedule = []
+    gens = make_pipeline(
+        handles, items, lambda s, i: schedule.append((s, i, rt.sched.cycle))
+    )
+    for h, g in zip(handles, gens):
+        h.pid = rt.spawn(g, f"stage{h.index}").pid
+    total = rt.run()
+    return total, schedule
+
+
+def test_ch6_pipeline_fig_6_10(benchmark):
+    stages, items = 32, 1000
+    total, schedule = benchmark.pedantic(
+        lambda: run_pipeline(stages, items), rounds=1, iterations=1
+    )
+    when = {(s, i): c for s, i, c in schedule}
+    # Wavefront order held everywhere.
+    assert all(
+        when[(s, i)] >= when[(s - 1, i)]
+        for s in range(1, stages)
+        for i in range(items)
+    )
+    # Near-ideal pipelining: O(items + stages) scheduler cycles, far from
+    # the items × stages of serial execution.
+    assert total < 4 * (items + stages)
+    emit_table(
+        "Fig 6.10: 32-stage pipeline over 1000 elements",
+        ["metric", "value"],
+        [
+            ["total cycles", total],
+            ["ideal lower bound (items + stages)", items + stages],
+            ["serial stage-steps", items * stages],
+        ],
+    )
+
+
+def test_ch6_barrier_fig_6_9(benchmark):
+    def run():
+        rt = BindingRuntime()
+        handles = make_proc_array("b", 8)
+        trace = []
+
+        def body(h, k):
+            trace.append((h.index, k, rt.sched.cycle))
+            yield Delay(1 + h.index % 4)
+
+        rt.bfork(handles, barrier_team(handles, body, rounds=5))
+        total = rt.run()
+        return total, trace
+
+    total, trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    starts = {}
+    ends = {}
+    for idx, k, c in trace:
+        starts.setdefault(k, []).append(c)
+    # A process enters round k+1 only after every process entered round k
+    # and finished its work (barrier semantics).
+    for k in range(4):
+        assert min(starts[k + 1]) > max(starts[k])
+    emit_table(
+        "Fig 6.9: 8-process barrier, 5 rounds",
+        ["round", "first entry (cycle)", "last entry (cycle)"],
+        [[k, min(starts[k]), max(starts[k])] for k in sorted(starts)],
+    )

@@ -1,0 +1,68 @@
+"""Fig 3.14 — partially conflict-free efficiency, n = 64, m = 8, β = 17.
+
+Analytic E(r, λ) for λ ∈ {0.9, 0.8, 0.7, 0.5} against a 64-module
+conventional system, plus measured points from the (module, AT-division)
+retry simulator.  Shape checks: curves are ordered by λ, and the partially
+conflict-free system dominates the conventional one at high rates — the
+paper's headline for this figure.
+"""
+
+import pytest
+
+from benchmarks._report import emit_series
+from repro.analysis.efficiency import fig_3_14_data, partial_cf_efficiency
+from repro.memory.interleaved import (
+    ConventionalMemorySimulator,
+    PartialCFMemorySimulator,
+)
+from repro.network.partial import PartialCFSystem
+
+
+def test_fig_3_14_analytic(benchmark):
+    data = benchmark(fig_3_14_data)
+    rates = data["rate"]
+    for lo, hi in ((0.5, 0.7), (0.7, 0.8), (0.8, 0.9)):
+        assert data[f"lambda={hi}"][-1] > data[f"lambda={lo}"][-1]
+    # Superior to conventional "especially in the cases of high access rates".
+    assert data["lambda=0.5"][-1] > data["conventional"][-1]
+    assert data["lambda=0.9"][-1] > 0.8
+    emit_series(
+        "Fig 3.14: efficiency (n=64, m=8, beta=17)",
+        "rate", rates,
+        {k: v for k, v in data.items() if k != "rate"},
+    )
+
+
+@pytest.mark.parametrize("lam", [0.9, 0.7, 0.5])
+def test_fig_3_14_measured(benchmark, lam):
+    sys_ = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=2)
+    sim = PartialCFMemorySimulator(sys_, rate=0.04, locality=lam, seed=1)
+    measured = benchmark.pedantic(
+        lambda: sim.measure_efficiency(20_000), rounds=1, iterations=1
+    )
+    model = partial_cf_efficiency(0.04, lam, 8, 17)
+    conv = ConventionalMemorySimulator(
+        64, 64, rate=0.04, beta=17, seed=1
+    ).measure_efficiency(20_000)
+    print(f"\nlambda={lam}: measured {measured:.3f}, model {model:.3f}, "
+          f"conventional {conv:.3f}")
+    # Shape, not absolute numbers: the simulator sees bursty queueing the
+    # paper's "rough" model ignores, so allow a generous band — the claims
+    # that matter are the orderings the figure shows.
+    assert measured == pytest.approx(model, abs=0.25)
+    if lam >= 0.7:
+        assert measured > conv  # the crossover the figure shows
+
+
+def test_fig_3_14_measured_ordering(benchmark):
+    """Measured efficiency rises with locality, as in the figure."""
+    def run(lam):
+        sys_ = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=2)
+        sim = PartialCFMemorySimulator(sys_, rate=0.04, locality=lam, seed=2)
+        return sim.measure_efficiency(20_000)
+
+    effs = benchmark.pedantic(
+        lambda: [run(lam) for lam in (0.3, 0.5, 0.7, 0.9)],
+        rounds=1, iterations=1,
+    )
+    assert effs == sorted(effs)

@@ -1,0 +1,28 @@
+"""Fig 3.15 — partially conflict-free efficiency, n = 128, m = 16, β = 17.
+
+The larger machine of Fig 3.14: same shape, same conclusion against the
+128-module conventional comparator.
+"""
+
+from benchmarks._report import emit_series
+from repro.analysis.efficiency import fig_3_15_data
+
+
+def test_fig_3_15_analytic(benchmark):
+    data = benchmark(fig_3_15_data)
+    rates = data["rate"]
+    # Ordered by locality, conventional at the bottom at high rate.
+    for lo, hi in ((0.5, 0.7), (0.7, 0.8), (0.8, 0.9)):
+        assert data[f"lambda={hi}"][-1] > data[f"lambda={lo}"][-1]
+    assert data["lambda=0.5"][-1] > data["conventional"][-1]
+    # Same shape as Fig 3.14: the larger machine's curves land within a
+    # few percent of the smaller one's (the model's m-dependence is weak).
+    from repro.analysis.efficiency import fig_3_14_data
+
+    small = fig_3_14_data()
+    assert abs(data["lambda=0.7"][-1] - small["lambda=0.7"][-1]) < 0.05
+    emit_series(
+        "Fig 3.15: efficiency (n=128, m=16, beta=17)",
+        "rate", rates,
+        {k: v for k, v in data.items() if k != "rate"},
+    )

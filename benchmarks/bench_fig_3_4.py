@@ -1,0 +1,46 @@
+"""Figs 3.3/3.4 — the AT-space partition and the 4×4 synchronous switch.
+
+Regenerates the four clock-driven switch states (Fig 3.4 b–e) and the
+mutually exclusive per-processor AT-space partitioning of Fig 3.3.
+"""
+
+from benchmarks._report import emit_table
+from repro.core.atspace import ATSpace
+from repro.core.switch import SynchronousSwitchBox
+
+FIG_3_4_STATES = [
+    {0: 0, 1: 1, 2: 2, 3: 3},  # state 0: straight
+    {0: 1, 1: 2, 2: 3, 3: 0},  # state 1
+    {0: 2, 1: 3, 2: 0, 3: 1},  # state 2
+    {0: 3, 1: 0, 2: 1, 3: 2},  # state 3
+]
+
+
+def test_fig_3_4_switch_states(benchmark):
+    sw = SynchronousSwitchBox(4)
+    states = benchmark(sw.period_states)
+    assert states == FIG_3_4_STATES
+    emit_table(
+        "Fig 3.4: 4x4 synchronous switch states",
+        ["state"] + [f"in{i}" for i in range(4)],
+        [[t] + [m[i] for i in range(4)] for t, m in enumerate(states)],
+    )
+
+
+def test_fig_3_3_partitioning(benchmark):
+    space = ATSpace(4)
+
+    def build():
+        return [sorted(space.partition(p)) for p in range(4)]
+
+    parts = benchmark(build)
+    assert space.partitions_are_exclusive()
+    # Fig 3.3: processor p at slot t uses bank (t + p) mod 4.
+    for p, part in enumerate(parts):
+        assert part == [(t, (t + p) % 4) for t in range(4)]
+    emit_table(
+        "Fig 3.3: mutually exclusive AT-space subsets",
+        ["processor", "(slot, bank) cells"],
+        [[p, " ".join(f"({t},{b})" for t, b in part)]
+         for p, part in enumerate(parts)],
+    )

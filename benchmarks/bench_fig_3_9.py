@@ -1,0 +1,51 @@
+"""Figs 3.9/3.10 — message headers: circuit-switching vs synchronous.
+
+The synchronous omega carries only the offset (the clock selects the
+bank); the partially synchronous variants carry module + offset.  The
+benchmark quantifies the per-request header savings (§3.4.3).
+"""
+
+from benchmarks._report import emit_table
+from repro.network.messages import (
+    circuit_switching_header,
+    header_savings,
+    partially_synchronous_header,
+    synchronous_header,
+)
+
+OFFSET_BITS = 20
+
+
+def build_rows():
+    rows = []
+    circ = circuit_switching_header(64, OFFSET_BITS, 1)
+    rows.append(("circuit-switching (Fig 3.9a)",
+                 " + ".join(f"{k}:{v}b" for k, v in circ.fields.items()),
+                 circ.total_bits))
+    sync = synchronous_header(OFFSET_BITS)
+    rows.append(("fully synchronous (Fig 3.9b)",
+                 " + ".join(f"{k}:{v}b" for k, v in sync.fields.items()),
+                 sync.total_bits))
+    for modules, label in ((4, "4 two-bank modules (Fig 3.10a)"),
+                           (2, "2 four-bank modules (Fig 3.10b)")):
+        h = partially_synchronous_header(modules, OFFSET_BITS)
+        rows.append((label,
+                     " + ".join(f"{k}:{v}b" for k, v in h.fields.items()),
+                     h.total_bits))
+    return rows
+
+
+def test_fig_3_9_headers(benchmark):
+    rows = benchmark(build_rows)
+    circ_bits = rows[0][2]
+    sync_bits = rows[1][2]
+    assert sync_bits < circ_bits  # the bank/module fields vanished
+    assert rows[1][1] == f"offset:{OFFSET_BITS}b"  # only the offset travels
+    for _label, _fields, bits in rows[2:]:
+        assert sync_bits <= bits < circ_bits
+    emit_table(
+        "Figs 3.9/3.10: memory-request message headers",
+        ["network", "header fields", "total bits"],
+        rows,
+    )
+    assert header_savings(8, OFFSET_BITS, 8) == 3  # bank field: log2(8) bits

@@ -1,0 +1,89 @@
+"""Figs 4.3–4.5 — the three address-tracking control scenarios.
+
+* Fig 4.3: a later same-block write aborts the earlier one;
+* Fig 4.4: simultaneous writes are arbitrated by who reaches bank 0 first;
+* Fig 4.5: a read detecting a write restarts from the current bank and
+  returns a single-version block.
+"""
+
+from benchmarks._report import emit_table
+from repro.core import CFMConfig, CFMemory
+from repro.core.block import Block
+from repro.tracking.access_control import AddressTrackingController, PriorityMode
+from repro.tracking.atomic import (
+    CFMDriver,
+    OpStatus,
+    ReadOperation,
+    WriteOperation,
+)
+
+
+def make_driver():
+    cfg = CFMConfig(n_procs=8)
+    ctl = AddressTrackingController(8, PriorityMode.LATEST_WINS)
+    return CFMDriver(CFMemory(cfg, controller=ctl)), ctl
+
+
+def scenario_4_3():
+    """Write a (P1, slot 0) vs write b (P3, slot 1): b wins."""
+    d, ctl = make_driver()
+    wa = WriteOperation(d, 1, 0, [1] * 8, version="a").start()
+    d.tick()
+    wb = WriteOperation(d, 3, 0, [2] * 8, version="b").start()
+    d.run_until(lambda: wa.done and wb.done)
+    return wa.status, wb.status, d.mem.peek_block(0).versions[0]
+
+
+def scenario_4_4():
+    """Simultaneous writes c (P1) and d (P5): d reaches bank 0 first."""
+    d, ctl = make_driver()
+    wc = WriteOperation(d, 1, 0, [1] * 8, version="c").start()
+    wd = WriteOperation(d, 5, 0, [2] * 8, version="d").start()
+    d.run_until(lambda: wc.done and wd.done)
+    return wc.status, wd.status, d.mem.peek_block(0).versions[0]
+
+
+def scenario_4_5():
+    """Read e overlapping write f: restart, then a clean block."""
+    d, ctl = make_driver()
+    d.mem.poke_block(0, Block.of_values([0] * 8, "old"))
+    wf = WriteOperation(d, 2, 0, [5] * 8, version="f").start()
+    d.tick()
+    re = ReadOperation(d, 6, 0).start()
+    d.run_until(lambda: wf.done and re.done)
+    return ctl.restarts, re.result.is_single_version(), set(re.result.versions)
+
+
+def test_fig_4_3_write_write(benchmark):
+    sa, sb, final = benchmark(scenario_4_3)
+    assert sa is OpStatus.ABORTED and sb is OpStatus.DONE and final == "b"
+    emit_table(
+        "Fig 4.3: later write wins",
+        ["operation", "outcome"],
+        [["write a (P1, slot 0)", sa.value],
+         ["write b (P3, slot 1)", sb.value],
+         ["surviving version", final]],
+    )
+
+
+def test_fig_4_4_simultaneous(benchmark):
+    sc, sd, final = benchmark(scenario_4_4)
+    assert sc is OpStatus.ABORTED and sd is OpStatus.DONE and final == "d"
+    emit_table(
+        "Fig 4.4: simultaneous writes, bank-0 arbitration",
+        ["operation", "outcome"],
+        [["write c (P1)", sc.value], ["write d (P5)", sd.value],
+         ["surviving version", final]],
+    )
+
+
+def test_fig_4_5_read_restart(benchmark):
+    restarts, single, versions = benchmark(scenario_4_5)
+    assert restarts >= 1
+    assert single and versions == {"f"}
+    emit_table(
+        "Fig 4.5: read restarted by a same-block write",
+        ["metric", "value"],
+        [["restarts", restarts], ["single version", single],
+         ["version read", ", ".join(sorted(versions))]],
+    )

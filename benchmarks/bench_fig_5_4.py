@@ -1,0 +1,62 @@
+"""Fig 5.4 — lock transfer on the cache protocol.
+
+"The entire lock transfer takes approximately the time required to
+complete three memory accesses: write-back by the original lock holder,
+read by the new lock holder, and read-invalidate by the new lock holder."
+
+Measured: the gap between a release and the next acquisition, for growing
+contention — it stays a small multiple of β, and the waiters' spinning is
+cache-local (hits), not memory traffic.
+"""
+
+import pytest
+
+from benchmarks._report import emit_table
+from repro.cache.locks import CacheLockSystem
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_fig_5_4_lock_transfer(benchmark, n):
+    def run():
+        sys_ = CacheLockSystem(n, cs_cycles=10)
+        accs = sys_.run()
+        return sys_, accs
+
+    sys_, accs = benchmark.pedantic(run, rounds=1, iterations=1)
+    beta = sys_.cache.cfg.block_access_time
+    assert sys_.mutual_exclusion_held
+    ordered = sorted(accs, key=lambda a: a.acquired_slot)
+    gaps = [b.acquired_slot - a.released_slot
+            for a, b in zip(ordered, ordered[1:])]
+    # ≈ 3 memory accesses; allow protocol retries to stretch it somewhat,
+    # but it must not grow with the number of waiting processors.
+    assert all(g <= 8 * beta for g in gaps)
+    spin_total = sum(a.spin_reads for a in accs)
+    emit_table(
+        f"Fig 5.4: lock transfer, {n} contenders (beta={beta}, "
+        f"3 accesses = {3 * beta})",
+        ["metric", "value"],
+        [
+            ["transfer gaps (cycles)", " ".join(map(str, gaps))],
+            ["mean gap / beta",
+             f"{sum(gaps) / len(gaps) / beta:.2f}" if gaps else "-"],
+            ["cache-local spin reads", spin_total],
+        ],
+    )
+
+
+def test_fig_5_4_transfer_independent_of_waiters(benchmark):
+    """The transfer cost must not scale with contention (the hot-spot-free
+    property)."""
+    def mean_gap(n):
+        sys_ = CacheLockSystem(n, cs_cycles=10)
+        accs = sorted(sys_.run(), key=lambda a: a.acquired_slot)
+        gaps = [b.acquired_slot - a.released_slot
+                for a, b in zip(accs, accs[1:])]
+        return sum(gaps) / len(gaps)
+
+    gaps = benchmark.pedantic(
+        lambda: {n: mean_gap(n) for n in (2, 4, 8)}, rounds=1, iterations=1
+    )
+    print(f"\nmean transfer gap by contenders: {gaps}")
+    assert gaps[8] < 3 * gaps[2] + 20  # flat-ish, not linear in waiters

@@ -1,0 +1,44 @@
+"""Table 3.1 — address path connections (4 processors, 8 banks, c = 2).
+
+Regenerates the full address-path (and shifted data-path) connection table
+and checks the paper's printed rows verbatim.
+"""
+
+from benchmarks._report import emit_table
+from repro.core.switch import address_path_table, data_path_table
+
+PAPER_ROWS = {
+    0: {0: "P0", 2: "P1", 4: "P2", 6: "P3"},
+    1: {1: "P0", 3: "P1", 5: "P2", 7: "P3"},
+    2: {2: "P0", 4: "P1", 6: "P2", 0: "P3"},
+    3: {3: "P0", 5: "P1", 7: "P2", 1: "P3"},
+    4: {4: "P0", 6: "P1", 0: "P2", 2: "P3"},
+    5: {5: "P0", 7: "P1", 1: "P2", 3: "P3"},
+    6: {6: "P0", 0: "P1", 2: "P2", 4: "P3"},
+    7: {7: "P0", 1: "P1", 3: "P2", 5: "P3"},
+}
+
+
+def _format(table):
+    rows = []
+    for t, row in enumerate(table):
+        cells = [f"P{row[b]}" if b in row else "" for b in range(8)]
+        rows.append([f"Slot {t}"] + cells)
+    return rows
+
+
+def test_table_3_1(benchmark):
+    table = benchmark(address_path_table, 4, 2)
+    got = {
+        t: {b: f"P{p}" for b, p in row.items()} for t, row in enumerate(table)
+    }
+    assert got == PAPER_ROWS
+    emit_table(
+        "Table 3.1: address path connections",
+        ["slot"] + [f"B{b}" for b in range(8)],
+        _format(table),
+    )
+    # Data paths are the address paths shifted by one slot (§3.1.3).
+    data = data_path_table(4, 2)
+    for t in range(1, 8):
+        assert data[t] == table[t - 1]

@@ -1,0 +1,40 @@
+"""Table 3.4 / Fig 3.8 — the 8×8 synchronous omega network's switch states.
+
+Regenerates the full state table (12 switches × 8 slots) and checks every
+entry against the paper's printed table.
+"""
+
+from benchmarks._report import emit_table
+from repro.network.synchronous import SynchronousOmegaNetwork
+
+PAPER_TABLE_3_4 = [
+    [[0, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0]],
+    [[0, 0, 0, 1], [0, 0, 1, 1], [1, 1, 1, 1]],
+    [[0, 0, 1, 1], [1, 1, 1, 1], [0, 0, 0, 0]],
+    [[0, 1, 1, 1], [1, 1, 0, 0], [1, 1, 1, 1]],
+    [[1, 1, 1, 1], [0, 0, 0, 0], [0, 0, 0, 0]],
+    [[1, 1, 1, 0], [0, 0, 1, 1], [1, 1, 1, 1]],
+    [[1, 1, 0, 0], [1, 1, 1, 1], [0, 0, 0, 0]],
+    [[1, 0, 0, 0], [1, 1, 0, 0], [1, 1, 1, 1]],
+]
+
+
+def test_table_3_4(benchmark):
+    net = SynchronousOmegaNetwork(8)
+    table = benchmark(lambda: SynchronousOmegaNetwork(8).state_table())
+    assert table == PAPER_TABLE_3_4
+    rows = []
+    for t, cols in enumerate(table):
+        rows.append(
+            [f"Slot {t}"] + [" ".join(str(s) for s in col) for col in cols]
+        )
+    emit_table(
+        "Table 3.4: switch states, 8x8 synchronous omega "
+        "(0 = straight, 1 = interchange)",
+        ["slot", "column 0", "column 1", "column 2"],
+        rows,
+    )
+    # Fig 3.8's property: every slot realizes i → (t+i) mod 8 contention-free.
+    for t in range(8):
+        out = net.route({i: i for i in range(8)}, t)
+        assert sorted(out) == list(range(8))

@@ -1,0 +1,45 @@
+"""Table 3.5 — configurations of a 64-bank multiprocessor (2×2 switches).
+
+Sweeping the circuit-switching/clock-driven column split trades block size
+against the degree of conflict-freedom, from fully CFM to conventional.
+"""
+
+from benchmarks._report import emit_table
+from repro.network.partial import PartiallySynchronousOmega, configuration_table
+
+PAPER_TABLE_3_5 = [
+    (1, 64, "64 words", 0, 6, "CFM"),
+    (2, 32, "32 words", 1, 5, ""),
+    (4, 16, "16 words", 2, 4, ""),
+    (8, 8, "8 words", 3, 3, ""),
+    (16, 4, "4 words", 4, 2, ""),
+    (32, 2, "2 words", 5, 1, ""),
+    (64, 1, "1 word", 6, 0, "Conventional"),
+]
+
+
+def test_table_3_5(benchmark):
+    rows = benchmark(configuration_table, 64)
+    got = [
+        (
+            r.n_modules,
+            r.banks_per_module,
+            f"{r.block_words} word" + ("s" if r.block_words > 1 else ""),
+            r.circuit_columns,
+            r.clock_columns,
+            r.remark,
+        )
+        for r in rows
+    ]
+    assert got == PAPER_TABLE_3_5
+    emit_table(
+        "Table 3.5: 64-bank multiprocessor configurations",
+        ["modules", "banks/module", "block size", "circuit cols",
+         "clock cols", "remark"],
+        got,
+    )
+    # Each row's network realization is structurally consistent.
+    for r in rows:
+        net = PartiallySynchronousOmega(64, r.circuit_columns)
+        assert net.n_modules == r.n_modules
+        assert net.banks_per_module == r.banks_per_module

@@ -1,0 +1,86 @@
+"""Table 5.2 — access control among the primitive operations.
+
+Races each (row, column) pair of primitives on the live protocol and
+verifies the prescribed behaviour: read and read-invalidate retry against
+in-flight read-invalidates and write-backs; write-back detects nothing.
+"""
+
+from benchmarks._report import emit_table
+from repro.cache.protocol import CacheSystem
+from repro.core.block import Block
+
+
+def race_read_vs_read_invalidate():
+    sys_ = CacheSystem(8)
+    ri = sys_.store(0, 3, {0: 1})  # issues a read-invalidate
+    rd = sys_.load(4, 3)
+    sys_.run_ops([ri, rd])
+    sys_.check_coherence_invariant()
+    return rd.retries, ri.retries
+
+
+def race_read_vs_writeback():
+    sys_ = CacheSystem(8)
+    sys_.run_ops([sys_.store(0, 3, {0: 1})])
+    wb = sys_.flush(0, 3)
+    rd = sys_.load(4, 3)
+    sys_.run_ops([wb, rd])
+    return rd.retries, wb.retries, rd.result.values[0]
+
+
+def race_ri_vs_ri():
+    sys_ = CacheSystem(8)
+    a = sys_.store(0, 3, {0: 1})
+    b = sys_.store(4, 3, {0: 2})
+    sys_.run_ops([a, b])
+    sys_.check_coherence_invariant()
+    return a.retries + b.retries, len(sys_.dirty_owners(3))
+
+
+def race_ri_vs_writeback():
+    sys_ = CacheSystem(8)
+    sys_.run_ops([sys_.store(0, 3, {0: 1})])
+    wb = sys_.flush(0, 3)
+    ri = sys_.store(4, 3, {0: 2})
+    sys_.run_ops([wb, ri])
+    sys_.check_coherence_invariant()
+    return ri.retries, wb.retries
+
+
+def test_table_5_2(benchmark):
+    def run_all():
+        return {
+            "read vs read-invalidate": race_read_vs_read_invalidate(),
+            "read vs write-back": race_read_vs_writeback(),
+            "read-invalidate vs read-invalidate": race_ri_vs_ri(),
+            "read-invalidate vs write-back": race_ri_vs_writeback(),
+        }
+
+    res = benchmark(run_all)
+
+    rd_retries, _ = res["read vs read-invalidate"]
+    assert rd_retries >= 1  # read retries later
+
+    rd_retries, wb_retries, value = res["read vs write-back"]
+    assert wb_retries == 0  # write-back detects nothing
+    assert value == 1  # the read eventually saw the flushed value
+
+    total_retries, owners = res["read-invalidate vs read-invalidate"]
+    assert total_retries >= 1 and owners == 1  # exactly one wins
+
+    ri_retries, wb_retries = res["read-invalidate vs write-back"]
+    assert ri_retries >= 1 and wb_retries == 0
+
+    emit_table(
+        "Table 5.2: access control among primitives (measured retries)",
+        ["race", "loser retries", "write-back retries"],
+        [
+            ["read vs read-invalidate",
+             res["read vs read-invalidate"][0], "-"],
+            ["read vs write-back", res["read vs write-back"][0],
+             res["read vs write-back"][1]],
+            ["RI vs RI", res["read-invalidate vs read-invalidate"][0], "-"],
+            ["RI vs write-back", res["read-invalidate vs write-back"][0],
+             res["read-invalidate vs write-back"][1]],
+        ],
+    )

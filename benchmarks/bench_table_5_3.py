@@ -1,0 +1,64 @@
+"""Table 5.3 — legal states of corresponding L1/L2 cache lines.
+
+Regenerates the legality table and then exercises the two-level protocol
+to reach every legal combination (and asserts the illegal ones are
+unreachable after thousands of random transactions).
+"""
+
+from benchmarks._report import emit_table
+from repro.cache.state import CacheLineState as S
+from repro.hierarchy.hierarchical import HierarchicalCFM, legal_state_combination
+from repro.sim.rng import make_rng
+
+PAPER_TABLE_5_3 = {
+    S.INVALID: {S.INVALID, S.VALID, S.DIRTY},
+    S.VALID: {S.VALID, S.DIRTY},
+    S.DIRTY: {S.DIRTY},
+}
+
+
+def test_table_5_3_legality(benchmark):
+    def build():
+        return {
+            l1: {l2 for l2 in S if legal_state_combination(l1, l2)} for l1 in S
+        }
+
+    got = benchmark(build)
+    assert got == PAPER_TABLE_5_3
+    emit_table(
+        "Table 5.3: legal (L1, L2) state combinations",
+        ["first-level line", "allowed second-level lines"],
+        [[l1.value, " ".join(sorted(v.value for v in l2s))]
+         for l1, l2s in got.items()],
+    )
+
+
+def test_table_5_3_reachability(benchmark):
+    """Random traffic reaches every legal combination and no illegal one."""
+    def run():
+        h = HierarchicalCFM(4, 4)
+        rng = make_rng(0)
+        seen = set()
+        for _ in range(2000)\
+                :
+            p = int(rng.integers(0, h.n_procs))
+            off = int(rng.integers(0, 4))
+            if rng.random() < 0.4:
+                h.write(p, off)
+            else:
+                h.read(p, off)
+            for q in range(h.n_procs):
+                combo = (
+                    h.l1[q].get(off, S.INVALID),
+                    h.l2[h.cluster_of(q)].get(off, S.INVALID),
+                )
+                seen.add(combo)
+        return h, seen
+
+    h, seen = benchmark.pedantic(run, rounds=1, iterations=1)
+    h.check_invariants()
+    legal = {
+        (l1, l2) for l1 in S for l2 in S if legal_state_combination(l1, l2)
+    }
+    assert seen <= legal  # nothing illegal ever observed
+    assert seen == legal  # and every legal combination actually occurs

@@ -1,0 +1,43 @@
+"""Table 5.5 — read latency, two-level CFM vs DASH (16 procs, 4 clusters,
+16-byte lines, bank cycle 2).
+
+The CFM column is produced twice: from the closed-form latency model and
+from live transactions on the hierarchical simulator; both must give the
+paper's 9 / 27 / 63 cycles.
+"""
+
+from benchmarks._report import emit_table
+from repro.hierarchy.hierarchical import HierarchicalCFM
+from repro.hierarchy.latency import HierarchicalLatencyModel, table_5_5
+
+
+def measure_live():
+    model = HierarchicalLatencyModel.from_config(
+        n_procs=16, n_clusters=4, line_bytes=16, word_bytes=2, bank_cycle=2
+    )
+    h = HierarchicalCFM(4, 4, model)
+    h.read(1, 100)  # warm cluster 0's L2 from another member
+    local = h.read(0, 100)
+    global_clean = h.read(4, 101)
+    h.write(0, 102)
+    dirty_remote = h.read(4, 102)
+    h.check_invariants()
+    return [local, global_clean, dirty_remote]
+
+
+def test_table_5_5(benchmark):
+    live = benchmark(measure_live)
+    paper = table_5_5()
+    assert live == [cfm for _n, cfm, _d in paper] == [9, 27, 63]
+    assert [d for _n, _c, d in paper] == [29, 100, 130]
+    emit_table(
+        "Table 5.5: read latency, CFM vs DASH (cycles)",
+        ["read access", "CFM (model)", "CFM (measured)", "DASH"],
+        [
+            [name, cfm, meas, dash]
+            for (name, cfm, dash), meas in zip(paper, live)
+        ],
+    )
+    # The paper's conclusion: CFM shorter in every class.
+    for (_n, cfm, dash), meas in zip(paper, live):
+        assert meas == cfm < dash

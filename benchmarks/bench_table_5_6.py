@@ -1,0 +1,39 @@
+"""Table 5.6 — read latency, two-level CFM vs KSR1 (1024 procs, 32
+clusters/rings, 128-byte lines).
+
+Model and live transactions must both give 65 / 195 cycles against the
+KSR1's 175 / 600.
+"""
+
+from benchmarks._report import emit_table
+from repro.hierarchy.hierarchical import HierarchicalCFM
+from repro.hierarchy.latency import HierarchicalLatencyModel, table_5_6
+
+
+def measure_live():
+    model = HierarchicalLatencyModel.from_config(
+        n_procs=1024, n_clusters=32, line_bytes=128, word_bytes=2, bank_cycle=2
+    )
+    h = HierarchicalCFM(32, 32, model)
+    h.read(1, 100)
+    local = h.read(0, 100)
+    global_clean = h.read(32, 101)
+    h.check_invariants()
+    return [local, global_clean]
+
+
+def test_table_5_6(benchmark):
+    live = benchmark(measure_live)
+    paper = table_5_6()
+    assert live == [cfm for _n, cfm, _k in paper] == [65, 195]
+    assert [k for _n, _c, k in paper] == [175, 600]
+    emit_table(
+        "Table 5.6: read latency, CFM vs KSR1 (cycles)",
+        ["read access", "CFM (model)", "CFM (measured)", "KSR1"],
+        [
+            [name, cfm, meas, ksr]
+            for (name, cfm, ksr), meas in zip(paper, live)
+        ],
+    )
+    for (_n, cfm, ksr), meas in zip(paper, live):
+        assert meas == cfm < ksr

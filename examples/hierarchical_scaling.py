@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Hierarchical CFM scaling (§5.4): the Tables 5.5/5.6 machines, live.
+
+Builds the two-level CFM configurations the paper compares against DASH
+(16 processors) and KSR1 (1024 processors), runs actual read/write
+transactions through the hierarchical protocol, and prints the measured
+latencies against the published comparison columns — plus the logarithmic
+worst-case-miss growth claim of §5.4.3.
+
+Run:  python examples/hierarchical_scaling.py
+"""
+
+from repro.hierarchy.hierarchical import HierarchicalCFM
+from repro.hierarchy.latency import (
+    HierarchicalLatencyModel,
+    table_5_5,
+    table_5_6,
+    worst_case_miss_latency,
+)
+
+
+def run_machine(n_clusters: int, per: int, label: str, comparison) -> None:
+    model = HierarchicalLatencyModel(
+        beta_local=2 * per + 1, beta_global=2 * n_clusters + 1
+    )
+    h = HierarchicalCFM(n_clusters, per, model)
+    # Drive the three Table 5.5 access classes with real transactions.
+    h.read(1, 100)  # warm cluster 0's L2
+    local = h.read(0, 100)  # L1 miss, L2 hit
+    global_clean = h.read(per, 101)  # cold block from global memory
+    h.write(0, 102)  # cluster 0 owns block 102 dirty
+    dirty_remote = h.read(per, 102)  # remote cluster reads the dirty block
+    h.check_invariants()
+
+    print(f"{label}: {n_clusters} clusters x {per} processors "
+          f"(beta_L={model.beta_local}, beta_G={model.beta_global})")
+    rows = [
+        ("local cluster", local),
+        ("global memory", global_clean),
+        ("dirty remote", dirty_remote),
+    ]
+    for (name, measured), (paper_name, cfm, other) in zip(rows, comparison):
+        print(f"  {name:>14}: measured {measured:>4} | paper CFM {cfm:>4} "
+              f"| comparator {other:>4}")
+    print()
+
+
+def run_slot_accurate() -> None:
+    from repro.hierarchy.slot_accurate import SlotAccurateHierarchy
+
+    h = SlotAccurateHierarchy(4, 4)
+    h.run_ops([h.load(1, 100)])
+    l2_hit = h.load(0, 100)
+    h.run_ops([l2_hit])
+    clean = h.load(4, 101)
+    h.run_ops([clean])
+    h.run_ops([h.store(0, 102, {0: 7})])
+    dirty = h.load(4, 102)
+    h.run_ops([dirty])
+    h.check_invariants()
+    bl, bg = h.beta_local, h.beta_global
+    print("== slot-accurate two-level machine (both levels executing) ==")
+    print(f"   beta_L={bl}, beta_G={bg}")
+    print(f"   L2 hit: {l2_hit.latency} (= beta_L)")
+    print(f"   global clean: {clean.latency} (= 2*beta_L + beta_G, emergent)")
+    print(f"   dirty remote: {dirty.latency} "
+          f"(serial model {4 * bl + 3 * bg}; the write-back chain overlaps "
+          "the fetch retry)\n")
+
+
+def main() -> None:
+    print("== Table 5.5: CFM vs DASH (16 processors, 4 clusters) ==")
+    run_machine(4, 4, "CFM", table_5_5())
+    run_slot_accurate()
+
+    print("== Table 5.6: CFM vs KSR1 (1024 processors, 32 clusters) ==")
+    # Same transactions; only the first two classes appear in Table 5.6.
+    rows = table_5_6() + [("dirty remote (not in the paper's table)", 455, 0)]
+    run_machine(32, 32, "CFM", rows)
+
+    print("== §5.4.3: worst-case miss latency grows logarithmically ==")
+    for n in (16, 64, 256, 1024, 4096):
+        levels, cycles = worst_case_miss_latency(n, cluster_size=4,
+                                                 beta_per_level=9)
+        print(f"  {n:>5} processors: {levels} levels, {cycles:>4} cycles")
+
+
+if __name__ == "__main__":
+    main()

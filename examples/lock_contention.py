@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Hot-spot-free busy-wait locks on the CFM (§4.2.2, §5.3.2, Fig 5.4).
+
+Runs N processors contending for one lock on two CFM substrates — the
+address-tracked swap of Chapter 4 and the cache protocol of Chapter 5 —
+and shows the anti-result for a conventional buffered MIN: spin traffic
+there creates a hot spot whose tree saturation delays *unrelated* memory
+accesses (Fig 2.1), while the CFM's spinners are free.
+
+Run:  python examples/lock_contention.py [n_procs]
+"""
+
+import sys
+
+from repro.cache.locks import CacheLockSystem
+from repro.memory.hotspot import BufferedMINSimulator
+from repro.tracking.locks import SpinLockSystem
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+
+    print(f"== {n} processors contending for one lock ==\n")
+
+    att = SpinLockSystem(n, cs_cycles=10)
+    accs = att.run()
+    print("Chapter 4: busy-wait on atomic swap (address tracking)")
+    print(f"  all {len(accs)} acquisitions, mutual exclusion: "
+          f"{att.mutual_exclusion_held}")
+    print(f"  waits (cycles): {sorted(a.wait for a in accs)}")
+    print(f"  unlock write latencies: {sorted(att.unlock_latencies)} "
+          "(spinning readers never delay the holder)\n")
+
+    cache = CacheLockSystem(n, cs_cycles=10)
+    accs = cache.run()
+    beta = cache.cache.cfg.block_access_time
+    ordered = sorted(accs, key=lambda a: a.acquired_slot)
+    gaps = [
+        b.acquired_slot - a.released_slot for a, b in zip(ordered, ordered[1:])
+    ]
+    print("Chapter 5: busy-wait on the cache protocol (spin on local copy)")
+    print(f"  all {len(accs)} acquisitions, mutual exclusion: "
+          f"{cache.mutual_exclusion_held}")
+    print(f"  lock-transfer gaps: {gaps} cycles "
+          f"(Fig 5.4 predicts ~3 accesses = {3 * beta})")
+    print(f"  local spin reads (free): {sum(a.spin_reads for a in accs)}, "
+          f"memory ops: {sum(a.memory_ops for a in accs)}\n")
+
+    print("conventional buffered MIN under the same spin traffic (Fig 2.1):")
+    base = BufferedMINSimulator(16, seed=0).run(3000, rate=0.4, hot_fraction=0.0)
+    spin = BufferedMINSimulator(16, seed=0).run(3000, rate=0.4, hot_fraction=0.3)
+    print(f"  cold-traffic latency without hot spot: "
+          f"{base.mean_latency_cold:.1f} cycles")
+    print(f"  cold-traffic latency with spin hot spot: "
+          f"{spin.mean_latency_cold:.1f} cycles "
+          f"({spin.saturated_buffers} saturated buffers)")
+    print("  on the CFM both numbers are beta: the hot spot cannot form.")
+
+
+if __name__ == "__main__":
+    main()

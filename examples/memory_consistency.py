@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Memory consistency models (§2.2) and weak consistency live (§5.3.1).
+
+Schedules one critical-section program under sequential, processor, weak
+and release consistency, then runs a store burst + synchronization on the
+slot-accurate cache protocol under weak vs strict write-back discipline —
+showing where the relaxed models' speedups actually come from.
+
+Run:  python examples/memory_consistency.py
+"""
+
+from repro.cache.consistency import AccessClass as A, compare_consistency_models
+from repro.cache.weak_driver import compare_disciplines
+
+PROGRAM = [
+    (A.ACQUIRE, 10),
+    (A.ORDINARY_LOAD, 10), (A.ORDINARY_LOAD, 10),
+    (A.ORDINARY_STORE, 10), (A.ORDINARY_STORE, 10),
+    (A.RELEASE, 10),
+    (A.ORDINARY_LOAD, 10), (A.ORDINARY_STORE, 10),
+]
+
+
+def main() -> None:
+    print("== one critical-section program under the four models ==")
+    times = compare_consistency_models(PROGRAM)
+    for model, t in times.items():
+        print(f"  {model:>10}: {t:>3} cycles "
+              f"({times['sequential'] / t:.2f}x vs sequential)")
+
+    print("\n== weak consistency on the live CFM cache protocol ==")
+    print("   (N stores to distinct blocks, then a synchronization access)")
+    print(f"  {'stores':>6}  {'weak':>6}  {'strict':>7}  {'speedup':>8}")
+    for n in (4, 8, 12):
+        weak, strict = compare_disciplines(n_stores=n)
+        print(f"  {n:>6}  {weak.cycles:>6}  {strict.cycles:>7}  "
+              f"{strict.cycles / weak.cycles:>7.2f}x")
+    print("\nweak consistency counts a store as performed once the block is")
+    print("exclusively owned and modified locally (§5.3.1) — the flushes the")
+    print("strict discipline forces are exactly the cycles saved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: build a conflict-free memory and watch it not conflict.
+
+Builds the paper's canonical small machine (4 processors, 8 banks, bank
+cycle 2 — Fig 3.5 / Table 3.1), runs concurrent block accesses from every
+processor, and contrasts the measured efficiency with a conventional
+interleaved memory under the same load (Fig 3.13's experiment in
+miniature).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.efficiency import conventional_efficiency
+from repro.core import AccessKind, CFMConfig, CFMemory
+from repro.core.block import Block
+from repro.memory.interleaved import ConventionalMemorySimulator
+
+
+def main() -> None:
+    cfg = CFMConfig(n_procs=4, bank_cycle=2, word_width=32)
+    print(cfg.describe())
+    print(f"block access time beta = {cfg.block_access_time} CPU cycles\n")
+
+    # --- every processor accesses memory at once: zero conflicts ---------
+    mem = CFMemory(cfg)
+    mem.poke_block(7, Block.of_values([10, 11, 12, 13, 14, 15, 16, 17]))
+    accesses = [mem.issue(p, AccessKind.READ, offset=7) for p in range(4)]
+    mem.drain()
+    print("four simultaneous reads of the same block:")
+    for acc in accesses:
+        print(
+            f"  P{acc.proc}: latency {acc.latency} cycles "
+            f"(= beta, no contention), data {acc.result.values}"
+        )
+
+    # --- a write and a read to different blocks, mid-period issue --------
+    mem.run(3)  # arbitrary clock phase: no alignment stall needed
+    w = mem.issue(0, AccessKind.WRITE, 2, data=Block.of_values([9] * 8), version="w")
+    r = mem.issue(1, AccessKind.READ, 7)
+    mem.drain()
+    print(
+        f"\nmid-period write latency {w.latency}, concurrent read latency "
+        f"{r.latency} — both exactly beta"
+    )
+
+    # --- versus a conventional interleaved memory -------------------------
+    print("\nefficiency at rising access rates (n=8, m=8, beta=17):")
+    print(f"  {'rate':>6}  {'CFM':>6}  {'conventional (measured)':>24}  "
+          f"{'conventional (model)':>21}")
+    for rate in (0.01, 0.02, 0.04, 0.06):
+        sim = ConventionalMemorySimulator(8, 8, rate=rate, beta=17, seed=0)
+        measured = sim.measure_efficiency(40_000)
+        model = conventional_efficiency(rate, 8, 8, 17)
+        print(f"  {rate:>6.2f}  {1.0:>6.2f}  {measured:>24.3f}  {model:>21.3f}")
+    print("\nthe CFM holds 100% efficiency at every rate: conflicts cannot occur.")
+
+
+if __name__ == "__main__":
+    main()

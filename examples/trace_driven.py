@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Trace-driven architecture comparison.
+
+Records one synthetic workload to a trace, then replays the *identical*
+access sequence against a conventional interleaved memory and a partially
+conflict-free system — the strongest form of common random numbers: any
+efficiency difference is purely architectural.
+
+Run:  python examples/trace_driven.py [trace_file]
+"""
+
+import sys
+import tempfile
+
+from repro.memory.interleaved import (
+    ConventionalMemorySimulator,
+    PartialCFMemorySimulator,
+)
+from repro.network.partial import PartialCFSystem
+from repro.sim.trace import Trace
+from repro.sim.workload import LocalityWorkload
+
+
+def main() -> None:
+    system = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=2)
+    workload = LocalityWorkload(64, 8, rate=0.005, locality=0.7, seed=11)
+    trace = Trace.record(workload, cycles=20_000,
+                         description="locality-0.7 r=0.005 workload")
+    path = sys.argv[1] if len(sys.argv) > 1 else \
+        tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False).name
+    trace.save(path)
+    print(f"recorded {len(trace)} accesses over {trace.header.cycles} "
+          f"cycles -> {path}\n")
+
+    replayed = Trace.load(path)
+    beta = system.beta
+    conv = ConventionalMemorySimulator(
+        64, 8, rate=0.0, beta=beta, seed=0
+    ).run_trace(replayed)
+    part = PartialCFMemorySimulator(
+        system, rate=0.0, locality=0.7, seed=0
+    ).run_trace(replayed)
+
+    print(f"{'architecture':>28}  {'completed':>9}  {'conflicts':>9}  "
+          f"{'efficiency':>10}")
+    for name, s in (("conventional (8 modules)", conv),
+                    ("partially conflict-free", part)):
+        print(f"{name:>28}  {s.completed:>9}  {s.conflicts:>9}  "
+              f"{s.efficiency(beta):>10.3f}")
+    print("\nidentical trace, identical retry policy — the efficiency gap is")
+    print("purely the (module, AT-division) contention structure (§3.2.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Analytical performance models (§3.4).
+
+* :mod:`repro.analysis.efficiency` — closed-form memory-access efficiency:
+  the conventional model E(r) of §3.4.1 and the partially conflict-free
+  model E(r, λ) of §3.4.2, with the data generators behind
+  Figs 3.13–3.15.
+* :mod:`repro.analysis.overhead` — interconnection-network overhead
+  accounting (§3.4.3): setup delay, message size, flow-control needs.
+"""
+
+from repro.analysis.efficiency import (
+    conflict_probability,
+    conventional_efficiency,
+    expected_access_time,
+    expected_retries,
+    fig_3_13_data,
+    fig_3_14_data,
+    fig_3_15_data,
+    partial_cf_conflict_probability,
+    partial_cf_efficiency,
+)
+from repro.analysis.bandwidth import (
+    BandwidthPoint,
+    bandwidth_comparison,
+    effective_bandwidth,
+)
+from repro.analysis.overhead import network_overhead_comparison, OverheadRow
+
+__all__ = [
+    "BandwidthPoint",
+    "effective_bandwidth",
+    "bandwidth_comparison",
+    "conflict_probability",
+    "expected_retries",
+    "expected_access_time",
+    "conventional_efficiency",
+    "partial_cf_conflict_probability",
+    "partial_cf_efficiency",
+    "fig_3_13_data",
+    "fig_3_14_data",
+    "fig_3_15_data",
+    "network_overhead_comparison",
+    "OverheadRow",
+]

@@ -1,0 +1,183 @@
+"""Closed-form memory-access efficiency models (§3.4.1–3.4.2).
+
+Conventional interleaved memory, n processors × m modules, block access
+time β, per-processor access rate r:
+
+.. math::
+
+    P(r) = \\frac{(n-1)\\, r\\, \\beta}{m}
+    \\qquad
+    M(r) = \\frac{2 - P}{2 - 2P}\\,\\beta
+    \\qquad
+    E(r) = \\frac{\\beta}{M(r)} = \\frac{2 - 2P}{2 - P}
+
+(The M(r) form assumes a failed access waits an average of g = β/2 cycles
+before retrying.)
+
+Partially conflict-free system with m conflict-free modules and locality λ
+(fraction of accesses to the local cluster):
+
+.. math::
+
+    P(r, λ) = \\frac{-mλ^2 + 2λ + m - 2}{m - 1}\\, r\\, \\beta
+    \\qquad
+    E(r, λ) = \\frac{2 - 2P}{2 - P}
+
+The fully conflict-free system has E ≡ 1 (no conflicts exist).  These
+functions generate the exact curves of Figs 3.13, 3.14 and 3.15; the
+measured counterparts come from :mod:`repro.memory.interleaved`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def _validate(n_procs: int, n_modules: int, beta: int) -> None:
+    if n_procs <= 0 or n_modules <= 0 or beta <= 0:
+        raise ValueError("n_procs, n_modules and beta must be positive")
+
+
+def conflict_probability(
+    rate: float, n_procs: int, n_modules: int, beta: int
+) -> float:
+    """P(r) = (n−1)·r·β / m — the chance the target module is busy."""
+    _validate(n_procs, n_modules, beta)
+    if rate < 0:
+        raise ValueError("rate must be >= 0")
+    return (n_procs - 1) * rate * beta / n_modules
+
+
+def expected_retries(p: float) -> float:
+    """1/(1−P) − 1 = P/(1−P) expected retries per access."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"P must be in [0, 1), got {p}")
+    return p / (1.0 - p)
+
+
+def expected_access_time(p: float, beta: int) -> float:
+    """M(r) = (2 − P)/(2 − 2P) · β, with mean retry wait g = β/2."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"P must be in [0, 1), got {p}")
+    return (2.0 - p) / (2.0 - 2.0 * p) * beta
+
+
+def _efficiency_from_p(p: float) -> float:
+    if p < 0:
+        raise ValueError("P must be >= 0")
+    if p >= 1.0:
+        return 0.0  # saturated: accesses never complete in expectation
+    return (2.0 - 2.0 * p) / (2.0 - p)
+
+
+def conventional_efficiency(
+    rate: float, n_procs: int, n_modules: int, beta: int
+) -> float:
+    """E(r) = (2 − 2P)/(2 − P) for conventional interleaved memory."""
+    return _efficiency_from_p(conflict_probability(rate, n_procs, n_modules, beta))
+
+
+def partial_cf_conflict_probability(
+    rate: float, locality: float, n_modules: int, beta: int
+) -> float:
+    """P(r, λ) = ((−mλ² + 2λ + m − 2)/(m − 1)) · r · β  (§3.4.2).
+
+    Combines P1 = (1−λ)·r·β (a local access blocked by a remote one) and
+    P2 = (1 − (1−λ)/(m−1))·r·β (a remote access finding its slot taken),
+    weighted λ and 1−λ."""
+    if n_modules < 2:
+        raise ValueError("the partial model needs at least 2 modules")
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError(f"locality must be in [0, 1], got {locality}")
+    if rate < 0:
+        raise ValueError("rate must be >= 0")
+    m, lam = n_modules, locality
+    return (-m * lam * lam + 2 * lam + m - 2) / (m - 1) * rate * beta
+
+
+def partial_cf_p1(rate: float, locality: float, beta: int) -> float:
+    """P1 = (1 − λ)·r·β: a local access blocked by a remote one."""
+    return (1.0 - locality) * rate * beta
+
+
+def partial_cf_p2(rate: float, locality: float, n_modules: int, beta: int) -> float:
+    """P2 = (1 − (1−λ)/(m−1))·r·β: a remote access finding a conflict."""
+    if n_modules < 2:
+        raise ValueError("the partial model needs at least 2 modules")
+    return (1.0 - (1.0 - locality) / (n_modules - 1)) * rate * beta
+
+
+def partial_cf_efficiency(
+    rate: float, locality: float, n_modules: int, beta: int
+) -> float:
+    """E(r, λ) = (2 − 2P)/(2 − P) for the partially conflict-free system."""
+    return _efficiency_from_p(
+        partial_cf_conflict_probability(rate, locality, n_modules, beta)
+    )
+
+
+def fully_conflict_free_efficiency(rate: float = 0.0) -> float:
+    """E ≡ 1: 'the efficiency ... can roughly be thought of as 100%'."""
+    return 1.0
+
+
+# ---------------------------------------------------------------------------
+# Figure data generators
+
+
+def _rates(r_max: float = 0.06, points: int = 61) -> np.ndarray:
+    return np.linspace(0.0, r_max, points)
+
+
+def fig_3_13_data(
+    n_procs: int = 8, n_modules: int = 8, beta: int = 17,
+    r_max: float = 0.06, points: int = 61,
+) -> Dict[str, List[float]]:
+    """Fig 3.13: conflict-free vs conventional, n = m = 8, β = 17."""
+    rates = _rates(r_max, points)
+    return {
+        "rate": rates.tolist(),
+        "conflict_free": [1.0] * len(rates),
+        "conventional": [
+            conventional_efficiency(float(r), n_procs, n_modules, beta) for r in rates
+        ],
+    }
+
+
+def fig_3_14_data(
+    n_procs: int = 64, n_modules: int = 8, beta: int = 17,
+    localities: Sequence[float] = (0.9, 0.8, 0.7, 0.5),
+    conventional_modules: int = 64,
+    r_max: float = 0.06, points: int = 61,
+) -> Dict[str, List[float]]:
+    """Fig 3.14: partially conflict-free E(r, λ) vs a 64-module conventional
+    system (equal interconnect connectivity, as the paper specifies)."""
+    rates = _rates(r_max, points)
+    out: Dict[str, List[float]] = {"rate": rates.tolist()}
+    for lam in localities:
+        out[f"lambda={lam}"] = [
+            partial_cf_efficiency(float(r), lam, n_modules, beta) for r in rates
+        ]
+    out["conventional"] = [
+        conventional_efficiency(float(r), n_procs, conventional_modules, beta)
+        for r in rates
+    ]
+    return out
+
+
+def fig_3_15_data(
+    n_procs: int = 128, n_modules: int = 16, beta: int = 17,
+    localities: Sequence[float] = (0.9, 0.8, 0.7, 0.5),
+    conventional_modules: int = 128,
+    r_max: float = 0.06, points: int = 61,
+) -> Dict[str, List[float]]:
+    """Fig 3.15: the 128-processor, 16-module variant of Fig 3.14."""
+    return fig_3_14_data(
+        n_procs=n_procs, n_modules=n_modules, beta=beta,
+        localities=localities, conventional_modules=conventional_modules,
+        r_max=r_max, points=points,
+    )

@@ -1,0 +1,90 @@
+"""Interconnection-network overhead accounting (§3.4.3).
+
+Quantifies the CFM's network advantages against conventional designs:
+
+* **setup/routing delay** — clock-driven switches need none; circuit
+  switching pays a per-stage decode;
+* **message size** — the bank number is never transmitted (Fig 3.9);
+* **flow control / conflict resolution** — combining logic (Ultracomputer,
+  RP3) or abort/retry with REJECT signals and timeouts (Butterfly) vs
+  nothing at all;
+* **large address spaces** — the TC2000 needs a 34-bit system address and a
+  translation strategy to exceed 4 GB; the CFM just widens the offset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.network.messages import (
+    circuit_switching_header,
+    partially_synchronous_header,
+    synchronous_header,
+)
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One design's per-access network overhead figures."""
+
+    design: str
+    setup_delay_per_stage: int
+    header_bits: int
+    needs_flow_control: bool
+    needs_conflict_resolution: bool
+
+
+def network_overhead_comparison(
+    n_modules: int = 8,
+    banks_per_module: int = 8,
+    offset_bits: int = 20,
+    stages: int = 6,
+) -> List[OverheadRow]:
+    """Per-access overhead of the three network disciplines of §3.2–3.4."""
+    if stages <= 0:
+        raise ValueError("stages must be positive")
+    circuit = circuit_switching_header(
+        n_modules * banks_per_module, offset_bits, 1
+    )
+    partial = partially_synchronous_header(n_modules, offset_bits)
+    sync = synchronous_header(offset_bits)
+    return [
+        OverheadRow(
+            design="circuit-switching omega (Butterfly-style)",
+            setup_delay_per_stage=1,
+            header_bits=circuit.total_bits,
+            needs_flow_control=True,
+            needs_conflict_resolution=True,
+        ),
+        OverheadRow(
+            design="partially synchronous omega",
+            setup_delay_per_stage=1,  # only on the circuit-switched columns
+            header_bits=partial.total_bits,
+            needs_flow_control=False,
+            needs_conflict_resolution=False,
+        ),
+        OverheadRow(
+            design="fully synchronous omega (CFM)",
+            setup_delay_per_stage=0,
+            header_bits=sync.total_bits,
+            needs_flow_control=False,
+            needs_conflict_resolution=False,
+        ),
+    ]
+
+
+def setup_delay_total(stages: int, per_stage: int) -> int:
+    """Total routing setup for one access through ``stages`` columns."""
+    if stages < 0 or per_stage < 0:
+        raise ValueError("stages and per_stage must be >= 0")
+    return stages * per_stage
+
+
+def large_address_space_offset_bits(space_bytes: int, block_bytes: int) -> int:
+    """Offset width for a shared space of ``space_bytes`` — the CFM's only
+    cost for exceeding the CPU's native 4 GB reach (§3.4.3)."""
+    if space_bytes <= 0 or block_bytes <= 0 or space_bytes % block_bytes:
+        raise ValueError("invalid sizes")
+    return max(1, math.ceil(math.log2(space_bytes // block_bytes)))

@@ -1,0 +1,72 @@
+"""Chapter 6: the resource-binding parallel programming paradigm.
+
+Two fundamental operations — **bind** and **unbind** — manage both shared
+data protection and process synchronization:
+
+* :mod:`repro.binding.region` — shared data regions: multi-dimensional
+  strided index ranges with field selectors, exact conflict detection
+  (overlap ∧ at least one read-write), Figs 6.2/6.3.
+* :mod:`repro.binding.manager` — the shared-memory implementation
+  (Fig 6.11): active binding list, per-binding request queues, blocking and
+  non-blocking binds, built on the cooperative scheduler.
+* :mod:`repro.binding.process` — process binding: the PROC abstract data
+  type ("virtual processors"), permission levels, ``bfork`` (§6.4).
+* :mod:`repro.binding.patterns` — barrier and pipelining expressed in
+  process binding (Figs 6.9/6.10).
+* :mod:`repro.binding.deadlock` — wait-for-graph deadlock detection, the
+  reliability hook §6.2 calls for.
+* :mod:`repro.binding.linda` — a Linda tuple space (out/in/rd/eval) as the
+  §6.1.3 baseline.
+* :mod:`repro.binding.semaphores` — locking semaphores as the §6.1.1
+  baseline.
+* :mod:`repro.binding.distributed` — the message-passing implementation on
+  a distributed-memory machine (§6.5.2) with data shipped on rw binds.
+"""
+
+from repro.binding.region import AccessType, DimRange, Region, regions_conflict
+from repro.binding.manager import (
+    Bind,
+    BindingDescriptor,
+    BindingRuntime,
+    DeadlockDetected,
+    SetPermission,
+    Unbind,
+)
+from repro.binding.process import ProcHandle, make_proc_array
+from repro.binding.deadlock import build_wait_for_graph, find_deadlock_cycle
+from repro.binding.cfm_backend import BindStep, CFMBindingSystem
+from repro.binding.index import ActiveBindingIndex, FlatBindingList
+from repro.binding.linda import TupleSpace, Out, In, Rd
+from repro.binding.message_passing import MessagePassingRuntime, Recv, Send
+from repro.binding.semaphores import SemaphoreRuntime, Lock, Unlock
+
+__all__ = [
+    "AccessType",
+    "DimRange",
+    "Region",
+    "regions_conflict",
+    "BindingRuntime",
+    "BindingDescriptor",
+    "Bind",
+    "Unbind",
+    "SetPermission",
+    "DeadlockDetected",
+    "ProcHandle",
+    "make_proc_array",
+    "build_wait_for_graph",
+    "find_deadlock_cycle",
+    "TupleSpace",
+    "Out",
+    "In",
+    "Rd",
+    "SemaphoreRuntime",
+    "Lock",
+    "Unlock",
+    "CFMBindingSystem",
+    "BindStep",
+    "ActiveBindingIndex",
+    "FlatBindingList",
+    "MessagePassingRuntime",
+    "Send",
+    "Recv",
+]

@@ -1,0 +1,45 @@
+"""Wait-for-graph deadlock detection (§6.2's reliability requirement).
+
+Unlike Linda — where "there is no way to identify by which processes a
+process is blocked" (§6.1.3) — a blocked bind request knows exactly which
+active bindings conflict with it, so the runtime can maintain a wait-for
+graph (blocked process → holders of conflicting binds) and report a cycle
+the moment one forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+def build_wait_for_graph(
+    edges: Iterable[Tuple[int, int]],
+) -> "nx.DiGraph":
+    """Directed graph from (waiter_pid, holder_pid) edges."""
+    g = nx.DiGraph()
+    for waiter, holder in edges:
+        if waiter != holder:
+            g.add_edge(waiter, holder)
+    return g
+
+
+def find_deadlock_cycle(
+    edges: Iterable[Tuple[int, int]],
+) -> Optional[List[int]]:
+    """The pids of one deadlock cycle, or None when the graph is acyclic."""
+    g = build_wait_for_graph(edges)
+    try:
+        cycle_edges = nx.find_cycle(g)
+    except nx.NetworkXNoCycle:
+        return None
+    return [u for u, _v in cycle_edges]
+
+
+def would_deadlock(
+    existing: Iterable[Tuple[int, int]],
+    new_edges: Iterable[Tuple[int, int]],
+) -> Optional[List[int]]:
+    """Cycle created by adding ``new_edges`` to ``existing``, if any."""
+    return find_deadlock_cycle(list(existing) + list(new_edges))

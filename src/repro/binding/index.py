@@ -1,0 +1,159 @@
+"""Hierarchical active-binding index (§6.5.1).
+
+"In order to reduce the overhead of comparing data binding requests,
+active binds can be maintained hierarchically instead of in a single
+list.  The active binding hierarchy is arranged according to the logic
+structure of the target data structure.  This relaxes the requirement of
+comparing a data binding request with all active binds."
+
+The index buckets active binds by variable name and, within a variable,
+by coarse bins over the first index dimension; a conflict query probes
+only the bins its region touches.  Probe counts are tracked so the
+benchmark can show the comparison reduction over the flat list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.binding.region import AccessType, DimRange, Region, regions_conflict
+
+
+@dataclass
+class IndexedBind:
+    """One active bind as stored in the index."""
+
+    bind_id: int
+    owner_pid: int
+    region: Region
+    access: AccessType
+
+
+class ActiveBindingIndex:
+    """Variable → first-dimension-bin hierarchy over active binds."""
+
+    def __init__(self, bin_width: int = 16):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = bin_width
+        # var -> bin -> set of bind ids; bin None = binds with no index
+        # range (whole-variable binds), checked on every query.
+        self._bins: Dict[str, Dict[Optional[int], Set[int]]] = {}
+        self._binds: Dict[int, IndexedBind] = {}
+        self.probes = 0  # pairwise conflict checks actually performed
+
+    def __len__(self) -> int:
+        return len(self._binds)
+
+    # -- bin math ------------------------------------------------------------
+
+    def _first_range(self, region: Region) -> Optional[DimRange]:
+        for sel in region.selectors:
+            if isinstance(sel, DimRange):
+                return sel
+        return None
+
+    def _bins_of(self, region: Region) -> Optional[List[int]]:
+        rng = self._first_range(region)
+        if rng is None:
+            return None
+        lo = rng.start // self.bin_width
+        hi = rng.last // self.bin_width
+        return list(range(lo, hi + 1))
+
+    # -- mutation --------------------------------------------------------------
+
+    def add(self, bind_id: int, owner_pid: int, region: Region,
+            access: AccessType) -> None:
+        if bind_id in self._binds:
+            raise ValueError(f"bind {bind_id} already indexed")
+        self._binds[bind_id] = IndexedBind(bind_id, owner_pid, region, access)
+        var_bins = self._bins.setdefault(region.var, {})
+        bins = self._bins_of(region)
+        keys: Iterable[Optional[int]] = bins if bins is not None else [None]
+        for b in keys:
+            var_bins.setdefault(b, set()).add(bind_id)
+
+    def remove(self, bind_id: int) -> None:
+        ib = self._binds.pop(bind_id, None)
+        if ib is None:
+            raise ValueError(f"bind {bind_id} is not indexed")
+        var_bins = self._bins.get(ib.region.var, {})
+        bins = self._bins_of(ib.region)
+        keys: Iterable[Optional[int]] = bins if bins is not None else [None]
+        for b in keys:
+            bucket = var_bins.get(b)
+            if bucket is not None:
+                bucket.discard(bind_id)
+                if not bucket:
+                    var_bins.pop(b, None)
+        if not var_bins:
+            self._bins.pop(ib.region.var, None)
+
+    # -- queries -----------------------------------------------------------------
+
+    def _candidates(self, region: Region) -> Set[int]:
+        var_bins = self._bins.get(region.var)
+        if not var_bins:
+            return set()
+        out: Set[int] = set(var_bins.get(None, ()))
+        bins = self._bins_of(region)
+        if bins is None:
+            # Whole-variable query: every bind on this variable.
+            for bucket in var_bins.values():
+                out |= bucket
+            return out
+        for b in bins:
+            out |= var_bins.get(b, set())
+        return out
+
+    def find_conflicts(
+        self, region: Region, access: AccessType,
+        exclude_pid: Optional[int] = None,
+    ) -> List[IndexedBind]:
+        """Active binds conflicting with the request — probing only the
+        index bins the request's region touches."""
+        out = []
+        for bid in self._candidates(region):
+            ib = self._binds[bid]
+            if exclude_pid is not None and ib.owner_pid == exclude_pid:
+                continue
+            self.probes += 1
+            if regions_conflict(region, access, ib.region, ib.access):
+                out.append(ib)
+        return out
+
+
+class FlatBindingList:
+    """The single-list baseline: every query compares every active bind."""
+
+    def __init__(self):
+        self._binds: Dict[int, IndexedBind] = {}
+        self.probes = 0
+
+    def __len__(self) -> int:
+        return len(self._binds)
+
+    def add(self, bind_id: int, owner_pid: int, region: Region,
+            access: AccessType) -> None:
+        if bind_id in self._binds:
+            raise ValueError(f"bind {bind_id} already listed")
+        self._binds[bind_id] = IndexedBind(bind_id, owner_pid, region, access)
+
+    def remove(self, bind_id: int) -> None:
+        if self._binds.pop(bind_id, None) is None:
+            raise ValueError(f"bind {bind_id} is not listed")
+
+    def find_conflicts(
+        self, region: Region, access: AccessType,
+        exclude_pid: Optional[int] = None,
+    ) -> List[IndexedBind]:
+        out = []
+        for ib in self._binds.values():
+            if exclude_pid is not None and ib.owner_pid == exclude_pid:
+                continue
+            self.probes += 1
+            if regions_conflict(region, access, ib.region, ib.access):
+                out.append(ib)
+        return out

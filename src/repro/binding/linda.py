@@ -1,0 +1,142 @@
+"""A Linda tuple space (§6.1.3, Fig 6.1) — the baseline paradigm.
+
+Processes communicate through an associative tuple space with four
+primitives: ``out`` places a tuple, ``in`` matches-and-removes (blocking),
+``rd`` matches-and-copies (blocking), ``eval`` spawns an active tuple
+(a process).  Matching is by pattern: each slot is a literal value or a
+wildcard (a type, or ``ANY``).
+
+The cost that motivates resource binding: every ``in``/``rd`` must
+*search* the space — O(space size) associative matching — and the sender/
+receiver decoupling makes deadlock undetectable (§6.1.3).  The benchmark
+counts match probes per operation for the Linda vs binding comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.procs import Process, Scheduler, Syscall
+
+
+class _Any:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "ANY"
+
+
+ANY = _Any()
+"""Wildcard matching any value in a pattern slot."""
+
+
+@dataclass
+class Out(Syscall):
+    """out(t): place a tuple in tuple space."""
+
+    values: Tuple[Any, ...]
+
+
+@dataclass
+class In(Syscall):
+    """in(p): match a tuple, remove it, return it (blocking)."""
+
+    pattern: Tuple[Any, ...]
+
+
+@dataclass
+class Rd(Syscall):
+    """rd(p): match a tuple, return a copy (blocking)."""
+
+    pattern: Tuple[Any, ...]
+
+
+@dataclass
+class Eval(Syscall):
+    """eval(...): spawn an active tuple (a new process)."""
+
+    gen_factory: Callable[[], Generator[Syscall, Any, Any]]
+    name: str = "eval"
+
+
+def matches(pattern: Tuple[Any, ...], values: Tuple[Any, ...]) -> bool:
+    """Slot-wise match: ANY matches anything; a type matches instances;
+    anything else must compare equal."""
+    if len(pattern) != len(values):
+        return False
+    for p, v in zip(pattern, values):
+        if p is ANY:
+            continue
+        if isinstance(p, type):
+            if not isinstance(v, p):
+                return False
+        elif p != v:
+            return False
+    return True
+
+
+class TupleSpace:
+    """Scheduler-integrated tuple space with probe accounting."""
+
+    def __init__(self, max_cycles: int = 1_000_000):
+        self.sched = Scheduler(max_cycles=max_cycles)
+        self.sched.handle(Out, self._handle_out)
+        self.sched.handle(In, self._handle_in)
+        self.sched.handle(Rd, self._handle_rd)
+        self.sched.handle(Eval, self._handle_eval)
+        self.space: List[Tuple[Any, ...]] = []
+        self._waiting: List[Tuple[Process, Tuple[Any, ...], bool]] = []
+        self.match_probes = 0  # tuples examined — the Linda overhead metric
+        self.ops = 0
+
+    def spawn(self, gen: Generator[Syscall, Any, Any], name: str = "") -> Process:
+        return self.sched.spawn(gen, name)
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        return self.sched.run(max_cycles=max_cycles)
+
+    # -- handlers ------------------------------------------------------------
+
+    def _find(self, pattern: Tuple[Any, ...]) -> Optional[int]:
+        for i, t in enumerate(self.space):
+            self.match_probes += 1
+            if matches(pattern, t):
+                return i
+        return None
+
+    def _handle_out(self, sched: Scheduler, proc: Process, call: Out) -> Any:
+        self.ops += 1
+        self.space.append(tuple(call.values))
+        # Wake the first waiter whose pattern now matches (FIFO fairness).
+        for entry in list(self._waiting):
+            waiter, pattern, remove = entry
+            self.match_probes += 1
+            if matches(pattern, tuple(call.values)):
+                self._waiting.remove(entry)
+                idx = self._find(pattern)
+                assert idx is not None
+                t = self.space.pop(idx) if remove else self.space[idx]
+                sched.unblock(waiter, t)
+                break
+        return None
+
+    def _blocking_match(
+        self, sched: Scheduler, proc: Process, pattern: Tuple[Any, ...], remove: bool
+    ) -> Any:
+        self.ops += 1
+        idx = self._find(pattern)
+        if idx is not None:
+            t = self.space.pop(idx) if remove else self.space[idx]
+            return t
+        self._waiting.append((proc, tuple(pattern), remove))
+        return sched.block(proc, on=("linda", pattern))
+
+    def _handle_in(self, sched: Scheduler, proc: Process, call: In) -> Any:
+        return self._blocking_match(sched, proc, call.pattern, remove=True)
+
+    def _handle_rd(self, sched: Scheduler, proc: Process, call: Rd) -> Any:
+        return self._blocking_match(sched, proc, call.pattern, remove=False)
+
+    def _handle_eval(self, sched: Scheduler, proc: Process, call: Eval) -> Any:
+        self.ops += 1
+        child = sched.spawn(call.gen_factory(), name=call.name)
+        return child.pid

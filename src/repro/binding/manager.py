@@ -1,0 +1,270 @@
+"""The shared-memory resource-binding runtime (§6.2, §6.5.1, Fig 6.11).
+
+Binding requests from concurrent processes are verified against an
+**active binding list**; a granted bind returns a binding descriptor, a
+conflicting blocking bind parks the requester on the **request queue** of
+the conflicting active bind, and a conflicting non-blocking bind returns
+``None`` immediately.  On unbind, the freed bind's queue is retried FIFO;
+a request that now conflicts with a *different* active bind migrates to
+that bind's queue — exactly the Fig 6.11 machinery.
+
+Process (ex) binds go through the same ``Bind`` syscall: binding another
+process's PROC blocks until the requested levels appear in its permission
+status; binding your own PROC sets your permission status (also exposed
+directly as :class:`SetPermission`).
+
+Deadlock detection (§6.2): every blocked data bind contributes wait-for
+edges to the holders of its conflicting binds; a cycle raises
+:class:`DeadlockDetected` at block time.
+
+Processes are generators over :class:`repro.sim.procs.Scheduler`; a bind
+costs one scheduler cycle when granted immediately (the paper: "its
+overhead is much lower than opening a file").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, FrozenSet, Generator, List, Optional, Tuple, Union
+from collections import deque
+
+from repro.binding.deadlock import find_deadlock_cycle
+from repro.binding.process import LevelSpec, ProcHandle, normalize_levels
+from repro.binding.region import AccessType, Region, regions_conflict
+from repro.sim.procs import Process, Scheduler, Syscall
+
+
+@dataclass
+class Bind(Syscall):
+    """bind(target, access, sync, level) — yield this from a process."""
+
+    target: Union[Region, ProcHandle]
+    access: AccessType = AccessType.RW
+    blocking: bool = True
+    level: Optional[LevelSpec] = None
+
+
+@dataclass
+class Unbind(Syscall):
+    """unbind(b) — release a previously granted binding descriptor."""
+
+    descriptor: "BindingDescriptor"
+
+
+@dataclass
+class SetPermission(Syscall):
+    """Set the yielding process's own PROC permission status (§6.4.2)."""
+
+    handle: ProcHandle
+    levels: LevelSpec
+    replace: bool = False  # default: add levels (monotone pipelines)
+
+
+@dataclass
+class BindingDescriptor:
+    """Returned by a successful bind; pass to :class:`Unbind`."""
+
+    bind_id: int
+    owner_pid: int
+    target: Region
+    access: AccessType
+    granted_cycle: int
+    released: bool = False
+
+
+class DeadlockDetected(RuntimeError):
+    """A blocking bind would close a wait-for cycle (§6.2)."""
+    def __init__(self, cycle: List[int]):
+        super().__init__(f"deadlock among processes {cycle}")
+        self.cycle = cycle
+
+
+@dataclass
+class _ActiveBind:
+    desc: BindingDescriptor
+    owner: Process
+    queue: Deque[Tuple[Process, Bind]] = field(default_factory=deque)
+
+
+class BindingRuntime:
+    """Scheduler + binding manager for shared-memory machines."""
+
+    def __init__(self, detect_deadlock: bool = True, max_cycles: int = 1_000_000):
+        self.sched = Scheduler(max_cycles=max_cycles)
+        self.sched.handle(Bind, self._handle_bind)
+        self.sched.handle(Unbind, self._handle_unbind)
+        self.sched.handle(SetPermission, self._handle_set_permission)
+        self.detect_deadlock = detect_deadlock
+        self._ids = itertools.count()
+        self.active: Dict[int, _ActiveBind] = {}
+        # blocked pid -> (bind request, pids of holders it waits on)
+        self._blocked_on: Dict[int, List[int]] = {}
+        self.stats_binds = 0
+        self.stats_blocks = 0
+        self.stats_denials = 0
+
+    # -- public driver --------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        return self.sched.spawn(gen, name)
+
+    def bfork(
+        self,
+        handles: List[ProcHandle],
+        body: Callable[[ProcHandle], Generator],
+    ) -> List[Process]:
+        """§6.4.1's bfork: one process per PROC handle, pids assigned."""
+        procs = []
+        for h in handles:
+            proc = self.spawn(body(h), name=f"{h.name}[{h.index}]")
+            h.pid = proc.pid
+            procs.append(proc)
+        return procs
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        return self.sched.run(max_cycles=max_cycles)
+
+    # -- conflict machinery -------------------------------------------------------
+
+    def _conflicting_binds(
+        self, requester: Process, target: Region, access: AccessType
+    ) -> List[_ActiveBind]:
+        out = []
+        for ab in self.active.values():
+            if ab.desc.owner_pid == requester.pid:
+                continue  # a process never conflicts with itself (§6.2.2)
+            if regions_conflict(target, access, ab.desc.target, ab.desc.access):
+                out.append(ab)
+        return out
+
+    def _wait_edges(self) -> List[Tuple[int, int]]:
+        return [
+            (pid, holder)
+            for pid, holders in self._blocked_on.items()
+            for holder in holders
+        ]
+
+    # -- syscall handlers ------------------------------------------------------------
+
+    def _handle_bind(self, sched: Scheduler, proc: Process, call: Bind) -> Any:
+        self.stats_binds += 1
+        if isinstance(call.target, ProcHandle):
+            return self._handle_process_bind(sched, proc, call)
+        conflicts = self._conflicting_binds(proc, call.target, call.access)
+        if not conflicts:
+            desc = BindingDescriptor(
+                bind_id=next(self._ids),
+                owner_pid=proc.pid,
+                target=call.target,
+                access=call.access,
+                granted_cycle=sched.cycle,
+            )
+            self.active[desc.bind_id] = _ActiveBind(desc=desc, owner=proc)
+            return desc
+        if not call.blocking:
+            self.stats_denials += 1
+            return None
+        holders = [ab.desc.owner_pid for ab in conflicts]
+        if self.detect_deadlock:
+            cycle = find_deadlock_cycle(
+                self._wait_edges() + [(proc.pid, h) for h in holders]
+            )
+            if cycle is not None:
+                raise DeadlockDetected(cycle)
+        self.stats_blocks += 1
+        self._blocked_on[proc.pid] = holders
+        conflicts[0].queue.append((proc, call))
+        return sched.block(proc, on=("bind", call.target.describe()))
+
+    def _handle_unbind(self, sched: Scheduler, proc: Process, call: Unbind) -> Any:
+        desc = call.descriptor
+        if desc is None or desc.released:
+            raise ValueError("unbinding a released or invalid descriptor")
+        ab = self.active.pop(desc.bind_id, None)
+        if ab is None:
+            raise ValueError(f"descriptor {desc.bind_id} is not active")
+        if ab.desc.owner_pid != proc.pid:
+            raise ValueError(
+                f"process {proc.pid} cannot unbind a bind owned by "
+                f"{ab.desc.owner_pid}"
+            )
+        desc.released = True
+        # Retry the freed bind's request queue FIFO (Fig 6.11).
+        for waiter, request in list(ab.queue):
+            self._blocked_on.pop(waiter.pid, None)
+            self._retry_bind(sched, waiter, request)
+        return None
+
+    def _retry_bind(self, sched: Scheduler, waiter: Process, request: Bind) -> None:
+        conflicts = self._conflicting_binds(waiter, request.target, request.access)
+        if not conflicts:
+            desc = BindingDescriptor(
+                bind_id=next(self._ids),
+                owner_pid=waiter.pid,
+                target=request.target,
+                access=request.access,
+                granted_cycle=sched.cycle,
+            )
+            self.active[desc.bind_id] = _ActiveBind(desc=desc, owner=waiter)
+            sched.unblock(waiter, desc)
+            return
+        # Still conflicting: migrate to the new conflicting bind's queue.
+        self._blocked_on[waiter.pid] = [ab.desc.owner_pid for ab in conflicts]
+        conflicts[0].queue.append((waiter, request))
+
+    # -- process binding ----------------------------------------------------------------
+
+    def _handle_process_bind(
+        self, sched: Scheduler, proc: Process, call: Bind
+    ) -> Any:
+        if call.access is not AccessType.EX:
+            raise ValueError("binding a PROC requires the ex access type")
+        handle = call.target
+        assert isinstance(handle, ProcHandle)
+        if handle.pid == proc.pid:
+            # Binding your own PROC sets your permission status (§6.4.2).
+            if call.level is None:
+                raise ValueError("setting permission requires a level")
+            handle.permission |= normalize_levels(call.level)
+            self._wake_satisfied(sched, handle)
+            return None
+        if call.level is None:
+            raise ValueError("binding another PROC requires a request level")
+        levels = normalize_levels(call.level)
+        if handle.satisfies(levels):
+            return None  # dependency already met
+        if not call.blocking:
+            self.stats_denials += 1
+            return False
+        self.stats_blocks += 1
+        if self.detect_deadlock and handle.pid >= 0:
+            cycle = find_deadlock_cycle(
+                self._wait_edges() + [(proc.pid, handle.pid)]
+            )
+            if cycle is not None:
+                raise DeadlockDetected(cycle)
+        self._blocked_on[proc.pid] = [handle.pid] if handle.pid >= 0 else []
+        handle.waiters.append((proc, levels))
+        return sched.block(proc, on=("proc-bind", handle.name, handle.index))
+
+    def _handle_set_permission(
+        self, sched: Scheduler, proc: Process, call: SetPermission
+    ) -> Any:
+        levels = normalize_levels(call.levels)
+        if call.replace:
+            call.handle.permission = set(levels)
+        else:
+            call.handle.permission |= levels
+        self._wake_satisfied(sched, call.handle)
+        return None
+
+    def _wake_satisfied(self, sched: Scheduler, handle: ProcHandle) -> None:
+        still: List[Tuple[Process, FrozenSet[int]]] = []
+        for waiter, levels in handle.waiters:
+            if handle.satisfies(levels):
+                self._blocked_on.pop(waiter.pid, None)
+                sched.unblock(waiter, None)
+            else:
+                still.append((waiter, levels))
+        handle.waiters = still

@@ -1,0 +1,126 @@
+"""Plain message passing (§6.1.2) — the distributed-memory baseline.
+
+"Sending and receiving messages are the major operations ... The
+operations may be either blocking or non-blocking."  The §6.1.2 critique
+this runtime lets the benchmarks demonstrate: the programmer must manually
+pair every send with its receive, the pairs end up "scattered throughout
+the entire program", and a mismatched pair deadlocks with no structure the
+runtime could inspect (contrast the binding runtime's wait-for graph).
+
+Channels are (src, dst, tag)-addressed FIFOs; a blocking receive parks the
+process until a matching message arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.sim.procs import Process, Scheduler, Syscall
+
+
+@dataclass
+class Send(Syscall):
+    """send(dst, data, tag): non-blocking by default (buffered)."""
+
+    dst: int
+    data: Any
+    tag: str = ""
+
+
+@dataclass
+class Recv(Syscall):
+    """recv(src, tag): blocking until a matching message arrives.
+
+    ``src=None`` receives from anyone; ``tag=None`` matches any tag."""
+
+    src: Optional[int] = None
+    tag: Optional[str] = None
+
+
+@dataclass
+class Message:
+    src: int
+    dst: int
+    tag: str
+    data: Any
+
+
+class MessagePassingRuntime:
+    """Rank-addressed processes over buffered channels."""
+
+    def __init__(self, max_cycles: int = 1_000_000):
+        self.sched = Scheduler(max_cycles=max_cycles)
+        self.sched.handle(Send, self._handle_send)
+        self.sched.handle(Recv, self._handle_recv)
+        self._rank_of: Dict[int, int] = {}  # pid -> rank
+        self._proc_of: Dict[int, Process] = {}  # rank -> process
+        self._mailbox: Dict[int, Deque[Message]] = {}
+        self._waiting: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
+        self.stats_sends = 0
+        self.stats_receives = 0
+
+    def spawn_rank(self, rank: int,
+                   gen: Generator[Syscall, Any, Any]) -> Process:
+        if rank in self._proc_of:
+            raise ValueError(f"rank {rank} already spawned")
+        proc = self.sched.spawn(gen, name=f"rank{rank}")
+        self._rank_of[proc.pid] = rank
+        self._proc_of[rank] = proc
+        self._mailbox.setdefault(rank, deque())
+        return proc
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        return self.sched.run(max_cycles=max_cycles)
+
+    # -- matching ------------------------------------------------------------
+
+    def _matches(self, msg: Message,
+                 want: Tuple[Optional[int], Optional[str]]) -> bool:
+        src, tag = want
+        if src is not None and msg.src != src:
+            return False
+        if tag is not None and msg.tag != tag:
+            return False
+        return True
+
+    def _take_matching(self, rank: int,
+                       want: Tuple[Optional[int], Optional[str]]
+                       ) -> Optional[Message]:
+        box = self._mailbox.get(rank, deque())
+        for i, msg in enumerate(box):
+            if self._matches(msg, want):
+                del box[i]
+                return msg
+        return None
+
+    # -- handlers --------------------------------------------------------------
+
+    def _handle_send(self, sched: Scheduler, proc: Process, call: Send) -> Any:
+        self.stats_sends += 1
+        src = self._rank_of.get(proc.pid)
+        if src is None:
+            raise ValueError("only spawned ranks may send")
+        if call.dst not in self._proc_of:
+            raise ValueError(f"destination rank {call.dst} does not exist")
+        msg = Message(src=src, dst=call.dst, tag=call.tag, data=call.data)
+        # Deliver straight to a matching blocked receiver, else buffer.
+        want = self._waiting.get(call.dst)
+        if want is not None and self._matches(msg, want):
+            del self._waiting[call.dst]
+            sched.unblock(self._proc_of[call.dst], msg)
+        else:
+            self._mailbox.setdefault(call.dst, deque()).append(msg)
+        return None
+
+    def _handle_recv(self, sched: Scheduler, proc: Process, call: Recv) -> Any:
+        self.stats_receives += 1
+        rank = self._rank_of.get(proc.pid)
+        if rank is None:
+            raise ValueError("only spawned ranks may receive")
+        msg = self._take_matching(rank, (call.src, call.tag))
+        if msg is not None:
+            return msg
+        self._waiting[rank] = (call.src, call.tag)
+        return sched.block(proc, on=("recv", call.src, call.tag))

@@ -1,0 +1,141 @@
+"""Barrier and pipelining via process binding (§6.4.3, Figs 6.9/6.10).
+
+Both patterns are just the two fundamental operations:
+
+* **barrier** — each arriving process grants level *k* on its own PROC,
+  then binds every other PROC at level *k*; nobody proceeds until everyone
+  has granted, and the epoch counter k keeps successive barriers distinct.
+* **pipeline** — stage *i* binds stage *i−1*'s PROC at level *j* before
+  computing item *j*, and grants level *j* on its own PROC afterwards, so
+  no two stages ever touch the same item and every stage runs concurrently
+  on different items (Fig 6.10's 2-D wavefront).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+from repro.binding.manager import Bind, SetPermission
+from repro.binding.process import ProcHandle, levels_range
+from repro.binding.region import AccessType
+from repro.sim.procs import Syscall
+
+
+def barrier_wait(
+    me: ProcHandle, everyone: Sequence[ProcHandle], epoch: int
+) -> Generator[Syscall, object, None]:
+    """Yield-from this inside a process generator to hit a barrier.
+
+    Fig 6.9: announce arrival by granting ``epoch`` on your own PROC, then
+    bind all others at ``epoch`` — each bind releases as soon as that
+    process arrives."""
+    yield SetPermission(me, epoch)
+    for other in everyone:
+        if other is me:
+            continue
+        yield Bind(other, AccessType.EX, blocking=True, level=epoch)
+
+
+def barrier_team(
+    handles: Sequence[ProcHandle],
+    body: Callable[[ProcHandle, int], Generator[Syscall, object, None]],
+    rounds: int,
+) -> Callable[[ProcHandle], Generator[Syscall, object, None]]:
+    """A bfork-able body running ``body`` between barriers for ``rounds``."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+
+    def make(handle: ProcHandle) -> Generator[Syscall, object, None]:
+        for k in range(rounds):
+            yield from body(handle, k)
+            yield from barrier_wait(handle, handles, epoch=k)
+
+    return make
+
+
+def pipeline_stage(
+    me: ProcHandle,
+    upstream: Optional[ProcHandle],
+    n_items: int,
+    compute: Callable[[int], None],
+) -> Generator[Syscall, object, None]:
+    """One stage of the Fig 6.10 pipeline.
+
+    For each item i: wait for the upstream stage to have finished item i
+    (bind its PROC at level i), compute, then grant levels 0..i on our own
+    PROC so the downstream stage may proceed — the paper's
+    ``bind(*pp, ex, , 0:i)``."""
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    for i in range(n_items):
+        if upstream is not None:
+            yield Bind(upstream, AccessType.EX, blocking=True, level=i)
+        compute(i)
+        yield SetPermission(me, levels_range(0, i))
+
+
+def make_pipeline(
+    handles: Sequence[ProcHandle],
+    n_items: int,
+    compute: Callable[[int, int], None],
+) -> List[Generator[Syscall, object, None]]:
+    """Generators for a whole pipeline; ``compute(stage, item)`` is the
+    user work function.  Spawn them with
+    :meth:`repro.binding.manager.BindingRuntime.bfork`."""
+    gens = []
+    for s, h in enumerate(handles):
+        upstream = handles[s - 1] if s > 0 else None
+        gens.append(
+            pipeline_stage(
+                h, upstream, n_items,
+                lambda i, s=s: compute(s, i),
+            )
+        )
+    return gens
+
+
+def wavefront_cell(
+    me: ProcHandle,
+    north: Optional[ProcHandle],
+    west: Optional[ProcHandle],
+    n_steps: int,
+    compute: Callable[[int], None],
+) -> Generator[Syscall, object, None]:
+    """One cell of the 2-D pipeline §6.4.3 alludes to.
+
+    Cell (r, c) may compute step *k* only after its north and west
+    neighbours have computed step *k* — the diagonal wavefront of, e.g.,
+    dynamic-programming grids.  Each cell publishes its progress as
+    permission levels on its own PROC."""
+    if n_steps <= 0:
+        raise ValueError("n_steps must be positive")
+    for k in range(n_steps):
+        if north is not None:
+            yield Bind(north, AccessType.EX, blocking=True, level=k)
+        if west is not None:
+            yield Bind(west, AccessType.EX, blocking=True, level=k)
+        compute(k)
+        yield SetPermission(me, k)
+
+
+def make_wavefront(
+    grid: Sequence[Sequence[ProcHandle]],
+    n_steps: int,
+    compute: Callable[[int, int, int], None],
+) -> List[Generator[Syscall, object, None]]:
+    """Generators for a full 2-D wavefront grid.
+
+    ``grid[r][c]`` is the PROC of cell (r, c);
+    ``compute(row, col, step)`` is the user work function."""
+    gens = []
+    for r, row in enumerate(grid):
+        for c, h in enumerate(row):
+            north = grid[r - 1][c] if r > 0 else None
+            west = grid[r][c - 1] if c > 0 else None
+            gens.append(
+                wavefront_cell(
+                    h, north, west, n_steps,
+                    lambda k, r=r, c=c: compute(r, c, k),
+                )
+            )
+    return gens

@@ -1,0 +1,68 @@
+"""Process binding: the PROC abstract data type (§6.4).
+
+Concurrent processes are managed "in the same way as ordinary shared
+variables" through an abstract data type, PROC — a *virtual processor*
+holding a pseudo process id and a **permission status**: the set of levels
+other processes may currently bind it at.
+
+* ``bind(other_proc, ex, blocking, level)`` — blocks until ``level`` is in
+  the target's permission status (defining a dependency on that process);
+* binding *your own* PROC in ex mode *sets* your permission status —
+  granting the levels others may be waiting for.
+
+Barriers, pipelines and "all regular synchronization patterns" (§7.1)
+reduce to these two uses; see :mod:`repro.binding.patterns`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Set, Tuple, Union
+
+
+LevelSpec = Union[int, Iterable[int]]
+
+
+def normalize_levels(level: LevelSpec) -> FrozenSet[int]:
+    """Accept a single level, an iterable, or a (lo, hi) range tuple.
+
+    The paper writes ``0:i`` for the range 0..i inclusive; pass
+    ``range(0, i + 1)`` or ``levels_range(0, i)``."""
+    if isinstance(level, int):
+        return frozenset({level})
+    return frozenset(int(x) for x in level)
+
+
+def levels_range(lo: int, hi: int) -> FrozenSet[int]:
+    """The paper's ``lo:hi`` level range, inclusive on both ends."""
+    if hi < lo:
+        raise ValueError(f"empty level range {lo}:{hi}")
+    return frozenset(range(lo, hi + 1))
+
+
+class ProcHandle:
+    """A PROC shared variable: one virtual processor."""
+
+    def __init__(self, name: str, index: int = 0):
+        self.name = name
+        self.index = index
+        self.pid: int = -1  # pseudo process id, assigned by bfork
+        self.permission: Set[int] = set()
+        # (scheduler process, required levels) pairs blocked on this PROC.
+        self.waiters: List[Tuple[object, FrozenSet[int]]] = []
+
+    def satisfies(self, levels: FrozenSet[int]) -> bool:
+        return levels <= self.permission
+
+    def __repr__(self) -> str:
+        return (
+            f"<PROC {self.name}[{self.index}] pid={self.pid} "
+            f"permission={sorted(self.permission)}>"
+        )
+
+
+def make_proc_array(name: str, count: int) -> List[ProcHandle]:
+    """``shared PROC p[count];`` — an array of virtual processors."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return [ProcHandle(name, i) for i in range(count)]

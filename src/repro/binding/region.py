@@ -1,0 +1,160 @@
+"""Shared data regions and exact conflict detection (§6.2.2–6.3).
+
+A bind target can be "as large as the entire shared data structure or as
+small as a single element": a variable name followed by selectors, each
+either a strided index range (``sh[0:3:2]``) or a structure field
+(``.c``).  Two regions **overlap** when they name the same variable and
+every paired selector overlaps (a shorter selector list covers the whole
+subtree under it, so ``sh[1]`` overlaps ``sh[1].c[2]``).
+
+Two regions **conflict** (§6.2.2) when they are requested by different
+processes, overlap, *and* at least one request is read-write — this is
+what enables the multiple-read/single-write style that keeps parallel
+readers parallel.
+
+Strided-range intersection is exact (gcd/CRT), not sampled, so regions
+like ``sh[0:4:2]`` and ``sh[1:4:2]`` are correctly disjoint (Fig 6.3c).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class AccessType(enum.Enum):
+    """Bind access types: read-only, read-write, execution (§6.2.2)."""
+    RO = "ro"  # read-only: may overlap other ro binds
+    RW = "rw"  # read-write: exclusive over any overlap
+    EX = "ex"  # execution: process binding (§6.4)
+
+
+@dataclass(frozen=True)
+class DimRange:
+    """A strided index range: start, start+step, …, < stop."""
+
+    start: int
+    stop: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError(f"step must be positive, got {self.step}")
+        if self.stop <= self.start:
+            raise ValueError(
+                f"empty range [{self.start}:{self.stop}:{self.step}]"
+            )
+
+    @classmethod
+    def single(cls, index: int) -> "DimRange":
+        return cls(index, index + 1, 1)
+
+    @property
+    def last(self) -> int:
+        """The largest index actually in the range."""
+        n = (self.stop - 1 - self.start) // self.step
+        return self.start + n * self.step
+
+    def __contains__(self, index: int) -> bool:
+        return (
+            self.start <= index <= self.last
+            and (index - self.start) % self.step == 0
+        )
+
+    def count(self) -> int:
+        return (self.last - self.start) // self.step + 1
+
+    def intersects(self, other: "DimRange") -> bool:
+        """Exact strided intersection via gcd (no enumeration)."""
+        lo = max(self.start, other.start)
+        hi = min(self.last, other.last)
+        if lo > hi:
+            return False
+        g = math.gcd(self.step, other.step)
+        if (other.start - self.start) % g != 0:
+            return False
+        # Smallest x >= lo with x ≡ start (mod step) for both ranges: CRT.
+        m1, m2 = self.step // g, other.step // g
+        lcm = self.step * m2
+        # x = self.start + k*self.step ; need ≡ other.start (mod other.step)
+        k0 = ((other.start - self.start) // g) * pow(m1, -1, m2) % m2
+        x = self.start + k0 * self.step
+        if x < lo:
+            x += ((lo - x + lcm - 1) // lcm) * lcm
+        return x <= hi
+
+
+Selector = Union[DimRange, str]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A shared data region: variable name plus a selector chain."""
+
+    var: str
+    selectors: Tuple[Selector, ...] = ()
+
+    def __getitem__(self, idx) -> "Region":
+        """Fluent construction: Region("sh")[1:3][DimRange(2,4)] etc."""
+        if isinstance(idx, slice):
+            if idx.start is None or idx.stop is None:
+                raise ValueError("region slices need explicit start and stop")
+            sel: Selector = DimRange(idx.start, idx.stop, idx.step or 1)
+        elif isinstance(idx, int):
+            sel = DimRange.single(idx)
+        elif isinstance(idx, DimRange):
+            sel = idx
+        else:
+            raise TypeError(f"cannot index a region with {idx!r}")
+        return Region(self.var, self.selectors + (sel,))
+
+    def field(self, name: str) -> "Region":
+        """Select a structure field (the `.c` of ``sh[1:2][2:3].c[2]``)."""
+        return Region(self.var, self.selectors + (name,))
+
+    def overlaps(self, other: "Region") -> bool:
+        if self.var != other.var:
+            return False
+        for a, b in zip(self.selectors, other.selectors):
+            if isinstance(a, str) or isinstance(b, str):
+                if not (isinstance(a, str) and isinstance(b, str)):
+                    raise TypeError(
+                        f"selector shape mismatch on {self.var}: field vs index"
+                    )
+                if a != b:
+                    return False
+            else:
+                if not a.intersects(b):
+                    return False
+        # All compared selectors overlap; the shorter chain covers the
+        # whole subtree below it.
+        return True
+
+    def describe(self) -> str:
+        parts = [self.var]
+        for s in self.selectors:
+            if isinstance(s, str):
+                parts.append(f".{s}")
+            elif s.count() == 1:
+                parts.append(f"[{s.start}]")
+            elif s.step == 1:
+                parts.append(f"[{s.start}:{s.stop}]")
+            else:
+                parts.append(f"[{s.start}:{s.stop}:{s.step}]")
+        return "".join(parts)
+
+
+def regions_conflict(
+    a: Region, a_access: AccessType, b: Region, b_access: AccessType
+) -> bool:
+    """§6.2.2: conflicting iff overlapping with at least one rw access.
+
+    (ro/ro overlaps are fine — multiple-read; ex binds never conflict with
+    data binds.)"""
+    if AccessType.EX in (a_access, b_access):
+        return False
+    if a_access is AccessType.RO and b_access is AccessType.RO:
+        return False
+    return a.overlaps(b)

@@ -1,0 +1,57 @@
+"""Chapter 5: the CFM cache coherence protocol and synchronization support.
+
+* :mod:`repro.cache.state` — cache-line states and the pure protocol
+  transition function (Fig 5.2, Table 5.1).
+* :mod:`repro.cache.directory` — per-processor direct-mapped cache
+  directories shared with their coupled memory banks (Fig 5.1).
+* :mod:`repro.cache.protocol` — the slot-accurate coherent system: the
+  three primitive operations (read, read-invalidate, write-back) riding the
+  CFM block-access engine, with autonomous access control (Table 5.2,
+  Fig 5.3) and remote write-back triggering.
+* :mod:`repro.cache.sync_ops` — atomic read-modify-write, test-and-set,
+  fetch-and-add and the block-wide multiple test-and-set (§5.3.1, 5.3.3,
+  Fig 5.5).
+* :mod:`repro.cache.locks` — busy-wait lock/unlock and atomic multiple
+  lock/unlock on the cache protocol; the Fig 5.4 lock transfer.
+* :mod:`repro.cache.consistency` — weak-consistency conditions (§2.2.3) and
+  a trace checker.
+* :mod:`repro.cache.snoopy` — bus-based write-once snoopy baseline (§5.1.1).
+* :mod:`repro.cache.directory_based` — full-map directory baseline
+  (Censier–Feautrier / DASH-style, §5.1.2) with message accounting.
+"""
+
+from repro.cache.state import CacheLineState, ProtocolEvent, protocol_action, Action
+from repro.cache.directory import CacheDirectory, CacheLine
+from repro.cache.protocol import CacheSystem, CpuOp, CpuOpKind, OpPhase
+from repro.cache.sync_ops import MultipleTestAndSet, ReadModifyWrite, SyncStatus
+from repro.cache.locks import CacheLockSystem, MultiLockSystem
+from repro.cache.consistency import WeakConsistencyChecker, TraceEvent
+from repro.cache.prefetch import PrefetchingClient
+from repro.cache.snoopy import SnoopyBusSystem
+from repro.cache.directory_based import FullMapDirectorySystem
+from repro.cache.weak_driver import ConsistencyDriver, Discipline
+
+__all__ = [
+    "CacheLineState",
+    "ProtocolEvent",
+    "Action",
+    "protocol_action",
+    "CacheDirectory",
+    "CacheLine",
+    "CacheSystem",
+    "CpuOp",
+    "CpuOpKind",
+    "OpPhase",
+    "ReadModifyWrite",
+    "MultipleTestAndSet",
+    "SyncStatus",
+    "CacheLockSystem",
+    "MultiLockSystem",
+    "WeakConsistencyChecker",
+    "TraceEvent",
+    "SnoopyBusSystem",
+    "FullMapDirectorySystem",
+    "PrefetchingClient",
+    "ConsistencyDriver",
+    "Discipline",
+]

@@ -1,0 +1,244 @@
+"""Memory consistency models and the weak-consistency checker (§2.2, §5.3.1).
+
+The CFM cache protocol supports weak consistency (Dubois et al.): with all
+synchronization accesses identified, the model requires
+
+1. all previously issued synchronization operations perform before a
+   synchronization operation performs;
+2. all previously issued ordinary accesses perform before a
+   synchronization operation performs;
+3. all previously issued synchronization operations perform before an
+   ordinary access performs.
+
+:class:`WeakConsistencyChecker` validates a completed-operation trace
+against these conditions; the per-processor issue logic of
+:func:`enforce_weak_order` computes the earliest legal issue slot for each
+operation (ordinary accesses pipeline freely between sync points — the
+performance win weak consistency buys, §2.2.3).
+
+Condition functions for the stricter/looser models of §2.2 (sequential,
+processor, release consistency) are included for the consistency-model
+comparison benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class AccessClass(enum.Enum):
+    """Memory-access classes the §2.2 consistency models distinguish."""
+    ORDINARY_LOAD = "load"
+    ORDINARY_STORE = "store"
+    SYNC = "sync"  # weak consistency
+    ACQUIRE = "acquire"  # release consistency refinement
+    RELEASE = "release"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed memory operation in a per-processor program order."""
+
+    proc: int
+    index: int  # program order within the processor
+    klass: AccessClass
+    issued: int  # slot issued
+    performed: int  # slot globally performed
+
+
+class ConsistencyViolation(AssertionError):
+    """A trace broke one of the model's ordering conditions."""
+    pass
+
+
+class WeakConsistencyChecker:
+    """Checks a trace against Condition 2.3 (weak consistency)."""
+
+    def __init__(self, events: Iterable[TraceEvent]):
+        self.by_proc: Dict[int, List[TraceEvent]] = {}
+        for ev in events:
+            self.by_proc.setdefault(ev.proc, []).append(ev)
+        for evs in self.by_proc.values():
+            evs.sort(key=lambda e: e.index)
+
+    def check(self) -> None:
+        """Raise :class:`ConsistencyViolation` on the first broken condition."""
+        for proc, evs in self.by_proc.items():
+            for i, ev in enumerate(evs):
+                prev = evs[:i]
+                if ev.klass is AccessClass.SYNC or ev.klass in (
+                    AccessClass.ACQUIRE, AccessClass.RELEASE,
+                ):
+                    # Conditions 1 & 2: everything before a sync performs first.
+                    for p in prev:
+                        if p.performed > ev.performed:
+                            raise ConsistencyViolation(
+                                f"P{proc}: op {p.index} ({p.klass.value}) performed "
+                                f"at {p.performed} after sync op {ev.index} at "
+                                f"{ev.performed}"
+                            )
+                else:
+                    # Condition 3: previous syncs perform before ordinary ops.
+                    for p in prev:
+                        if p.klass in (
+                            AccessClass.SYNC, AccessClass.ACQUIRE, AccessClass.RELEASE
+                        ) and p.performed > ev.performed:
+                            raise ConsistencyViolation(
+                                f"P{proc}: sync op {p.index} performed at "
+                                f"{p.performed} after ordinary op {ev.index} at "
+                                f"{ev.performed}"
+                            )
+
+    def holds(self) -> bool:
+        try:
+            self.check()
+        except ConsistencyViolation:
+            return False
+        return True
+
+
+def enforce_weak_order(
+    program: Sequence[Tuple[AccessClass, int]],
+) -> List[Tuple[int, int]]:
+    """Earliest legal (issue, perform) schedule for one processor's program.
+
+    ``program`` is a list of (class, duration) pairs.  Ordinary accesses
+    pipeline: each may issue one slot after the previous issue.  A sync
+    access must wait for everything before it to perform; everything after
+    a sync waits for the sync to perform.  Returns (issue, perform) pairs —
+    the quantitative content of §2.2.3's "weak consistency permits multiple
+    memory accesses to be pipelined"."""
+    out: List[Tuple[int, int]] = []
+    barrier = 0  # earliest slot anything may issue (last sync's perform)
+    last_issue = -1
+    max_perform = 0
+    for klass, dur in program:
+        if dur <= 0:
+            raise ValueError("duration must be positive")
+        if klass in (AccessClass.SYNC, AccessClass.ACQUIRE, AccessClass.RELEASE):
+            issue = max(barrier, max_perform, last_issue + 1)
+            perform = issue + dur
+            barrier = perform
+        else:
+            issue = max(barrier, last_issue + 1)
+            perform = issue + dur
+        out.append((issue, perform))
+        last_issue = issue
+        max_perform = max(max_perform, perform)
+    return out
+
+
+def enforce_sequential_order(
+    program: Sequence[Tuple[AccessClass, int]],
+) -> List[Tuple[int, int]]:
+    """Sequential consistency: every access waits for the previous one —
+    no pipelining at all (Condition 2.1).  Baseline for the comparison."""
+    out: List[Tuple[int, int]] = []
+    t = 0
+    for _klass, dur in program:
+        if dur <= 0:
+            raise ValueError("duration must be positive")
+        out.append((t, t + dur))
+        t += dur
+    return out
+
+
+def enforce_processor_order(
+    program: Sequence[Tuple[AccessClass, int]],
+) -> List[Tuple[int, int]]:
+    """Processor consistency (Condition 2.2): a load may issue before
+    earlier stores have performed (loads pipeline past stores), but a
+    store waits for *all* previous accesses to perform."""
+    out: List[Tuple[int, int]] = []
+    last_issue = -1
+    max_perform = 0
+    load_barrier = 0  # loads must wait for previous loads to perform
+    for klass, dur in program:
+        if dur <= 0:
+            raise ValueError("duration must be positive")
+        is_store = klass in (AccessClass.ORDINARY_STORE, AccessClass.SYNC,
+                             AccessClass.RELEASE)
+        if is_store:
+            issue = max(max_perform, last_issue + 1)
+        else:
+            issue = max(load_barrier, last_issue + 1)
+        perform = issue + dur
+        out.append((issue, perform))
+        last_issue = issue
+        max_perform = max(max_perform, perform)
+        if not is_store:
+            load_barrier = max(load_barrier, perform)
+    return out
+
+
+def enforce_release_order(
+    program: Sequence[Tuple[AccessClass, int]],
+) -> List[Tuple[int, int]]:
+    """Release consistency (Condition 2.4): ordinary accesses after a
+    *release* need not wait for it; an *acquire* need not wait for earlier
+    ordinary accesses; ordinary accesses do wait for previous acquires,
+    and a release waits for all previous ordinary accesses.  SYNC entries
+    are treated as acquire+release pairs (conservative)."""
+    out: List[Tuple[int, int]] = []
+    last_issue = -1
+    acquire_barrier = 0  # previous acquires gate ordinary accesses
+    max_ordinary_perform = 0
+    sync_barrier = 0  # syncs are processor consistent w.r.t. one another
+    for klass, dur in program:
+        if dur <= 0:
+            raise ValueError("duration must be positive")
+        if klass is AccessClass.ACQUIRE:
+            issue = max(sync_barrier, last_issue + 1)
+            perform = issue + dur
+            acquire_barrier = max(acquire_barrier, perform)
+            sync_barrier = max(sync_barrier, perform)
+        elif klass in (AccessClass.RELEASE, AccessClass.SYNC):
+            issue = max(acquire_barrier, max_ordinary_perform,
+                        sync_barrier, last_issue + 1)
+            perform = issue + dur
+            sync_barrier = max(sync_barrier, perform)
+            if klass is AccessClass.SYNC:
+                acquire_barrier = max(acquire_barrier, perform)
+        else:
+            issue = max(acquire_barrier, last_issue + 1)
+            perform = issue + dur
+            max_ordinary_perform = max(max_ordinary_perform, perform)
+        out.append((issue, perform))
+        last_issue = issue
+    return out
+
+
+def completion_time(schedule: Sequence[Tuple[int, int]]) -> int:
+    """When the whole program has performed."""
+    if not schedule:
+        return 0
+    return max(p for _i, p in schedule)
+
+
+def compare_consistency_models(
+    program: Sequence[Tuple[AccessClass, int]],
+) -> dict:
+    """Completion time of one program under all four §2.2 models.
+
+    The orderings the paper claims: sequential ≥ processor ≥ weak ≥
+    release (each model relaxes the previous one's constraints)."""
+    return {
+        "sequential": completion_time(enforce_sequential_order(program)),
+        "processor": completion_time(enforce_processor_order(program)),
+        "weak": completion_time(enforce_weak_order(program)),
+        "release": completion_time(enforce_release_order(program)),
+    }
+
+
+def pipelining_speedup(
+    program: Sequence[Tuple[AccessClass, int]],
+) -> float:
+    """Completion-time ratio sequential/weak for one program — ≥ 1, growing
+    with the run length of ordinary accesses between sync points."""
+    if not program:
+        return 1.0
+    seq = enforce_sequential_order(program)
+    weak = enforce_weak_order(program)
+    return seq[-1][1] / weak[-1][1]

@@ -1,0 +1,140 @@
+"""Full-map directory baseline: Censier–Feautrier / DASH-style (§5.1.2).
+
+Each memory block carries a dirty bit plus one presence bit per cache.
+Misses consult the directory; invalidations are *point-to-point messages*,
+each of which must be acknowledged (the DASH property the CFM protocol
+avoids, §5.2.3).  This transaction-level model counts messages and
+computes latency from a per-hop network cost, for the protocol-comparison
+benchmarks:
+
+* CFM read-invalidate: invalidations happen in passing, **zero** extra
+  messages, **zero** acknowledgements;
+* full-map directory: a write to a block shared by k caches costs
+  1 request + k invalidations + k acks (+ 2 for a dirty fetch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class _DirEntry:
+    dirty: bool = False
+    presence: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class MessageCount:
+    requests: int = 0
+    invalidations: int = 0
+    acknowledgements: int = 0
+    data_transfers: int = 0
+    writebacks: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.requests
+            + self.invalidations
+            + self.acknowledgements
+            + self.data_transfers
+            + self.writebacks
+        )
+
+
+class FullMapDirectorySystem:
+    """Censier–Feautrier full-map directory over a point-to-point network."""
+
+    def __init__(self, n_procs: int, hop_latency: int = 4, block_cycles: int = 8):
+        if n_procs <= 0:
+            raise ValueError("n_procs must be positive")
+        self.n_procs = n_procs
+        self.hop_latency = hop_latency
+        self.block_cycles = block_cycles
+        self.directory: Dict[int, _DirEntry] = {}
+        # Per-proc view: offset -> "v"/"d" (INVALID = absent)
+        self.caches: List[Dict[int, str]] = [dict() for _ in range(n_procs)]
+        self.messages = MessageCount()
+
+    def _entry(self, offset: int) -> _DirEntry:
+        return self.directory.setdefault(offset, _DirEntry())
+
+    def directory_bits_per_block(self) -> int:
+        """Storage overhead: one presence bit per cache + one dirty bit —
+        the scalability cost §5.1.2 points out grows with processor count."""
+        return self.n_procs + 1
+
+    # -- operations (latency returned in cycles) ------------------------------
+
+    def read(self, p: int, offset: int) -> int:
+        if self.caches[p].get(offset) in ("v", "d"):
+            return 0
+        e = self._entry(offset)
+        latency = self.hop_latency  # request to home
+        self.messages.requests += 1
+        if e.dirty:
+            (owner,) = e.presence
+            # home → owner fetch request, owner → home write-back
+            self.messages.requests += 1
+            self.messages.writebacks += 1
+            latency += 2 * self.hop_latency + self.block_cycles
+            self.caches[owner][offset] = "v"
+            e.dirty = False
+        self.messages.data_transfers += 1
+        latency += self.hop_latency + self.block_cycles
+        e.presence.add(p)
+        self.caches[p][offset] = "v"
+        return latency
+
+    def write(self, p: int, offset: int) -> int:
+        state = self.caches[p].get(offset)
+        if state == "d":
+            return 0
+        e = self._entry(offset)
+        latency = self.hop_latency
+        self.messages.requests += 1
+        if e.dirty:
+            (owner,) = e.presence
+            self.messages.requests += 1
+            self.messages.writebacks += 1
+            latency += 2 * self.hop_latency + self.block_cycles
+            self.caches[owner].pop(offset, None)
+            e.presence.discard(owner)
+            e.dirty = False
+        sharers = [q for q in e.presence if q != p]
+        if sharers:
+            # Point-to-point invalidations, each acknowledged (DASH-style);
+            # they fan out in parallel but the last ack bounds the latency.
+            self.messages.invalidations += len(sharers)
+            self.messages.acknowledgements += len(sharers)
+            latency += 2 * self.hop_latency
+            for q in sharers:
+                self.caches[q].pop(offset, None)
+            e.presence = {q for q in e.presence if q == p}
+        if state != "v":
+            self.messages.data_transfers += 1
+            latency += self.hop_latency + self.block_cycles
+        e.presence = {p}
+        e.dirty = True
+        self.caches[p][offset] = "d"
+        return latency
+
+    def check_coherence_invariant(self) -> None:
+        for off, e in self.directory.items():
+            holders = [q for q in range(self.n_procs) if off in self.caches[q]]
+            if set(holders) != e.presence:
+                raise AssertionError(
+                    f"directory presence {e.presence} != caches {holders} for {off}"
+                )
+            if e.dirty and len(e.presence) != 1:
+                raise AssertionError(f"dirty block {off} with presence {e.presence}")
+
+
+def invalidation_message_cost(n_sharers: int) -> Tuple[int, int]:
+    """(messages, acks) a full-map write to an n_sharers block costs, vs the
+    CFM protocol's (0, 0) — its invalidations ride the block access itself."""
+    if n_sharers < 0:
+        raise ValueError("n_sharers must be >= 0")
+    return n_sharers, n_sharers

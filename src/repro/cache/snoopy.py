@@ -1,0 +1,145 @@
+"""Snoopy bus baseline: Goodman's write-once protocol (§5.1.1).
+
+A single shared bus carries every coherence transaction; each cache snoops
+all of them.  States per line: INVALID, VALID, RESERVED (written once,
+memory up to date), DIRTY.  The first write to a valid line writes through
+(updating memory and invalidating other copies); subsequent writes are
+local.  The bus is the scalability bottleneck the CFM avoids: transactions
+serialize, so utilization — and with it latency — grows with processor
+count.  This transaction-level model counts bus occupancy and serves as the
+baseline in the protocol-comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class SnoopyState(enum.Enum):
+    """Write-once line states: invalid/valid/reserved/dirty (§5.1.1)."""
+    INVALID = "i"
+    VALID = "v"
+    RESERVED = "r"  # written exactly once; memory is current
+    DIRTY = "d"
+
+
+@dataclass
+class _Line:
+    state: SnoopyState = SnoopyState.INVALID
+    tag: Optional[int] = None
+
+    def holds(self, offset: int) -> bool:
+        return self.state is not SnoopyState.INVALID and self.tag == offset
+
+
+class SnoopyBusSystem:
+    """Write-once snoopy caches over one serializing bus."""
+
+    def __init__(
+        self,
+        n_procs: int,
+        n_lines: int = 64,
+        bus_block_cycles: int = 8,  # block transfer occupancy
+        bus_word_cycles: int = 1,  # write-through word occupancy
+    ):
+        if n_procs <= 0:
+            raise ValueError("n_procs must be positive")
+        self.n_procs = n_procs
+        self.n_lines = n_lines
+        self.bus_block_cycles = bus_block_cycles
+        self.bus_word_cycles = bus_word_cycles
+        self.caches: List[Dict[int, _Line]] = [dict() for _ in range(n_procs)]
+        self.bus_busy_cycles = 0
+        self.bus_transactions = 0
+        self.invalidations = 0
+        self.now = 0
+
+    def _line(self, p: int, offset: int) -> _Line:
+        idx = offset % self.n_lines
+        return self.caches[p].setdefault(idx, _Line())
+
+    def _bus(self, cycles: int) -> int:
+        """Occupy the bus; returns the completion time (serialized)."""
+        self.bus_transactions += 1
+        self.bus_busy_cycles += cycles
+        self.now += cycles
+        return self.now
+
+    def _snoop_invalidate(self, writer: int, offset: int) -> None:
+        for q in range(self.n_procs):
+            if q == writer:
+                continue
+            line = self._line(q, offset)
+            if line.holds(offset):
+                line.state = SnoopyState.INVALID
+                line.tag = None
+                self.invalidations += 1
+
+    def _snoop_flush_dirty(self, requester: int, offset: int) -> bool:
+        """If a remote dirty copy exists, flush it over the bus."""
+        for q in range(self.n_procs):
+            if q == requester:
+                continue
+            line = self._line(q, offset)
+            if line.holds(offset) and line.state is SnoopyState.DIRTY:
+                self._bus(self.bus_block_cycles)
+                line.state = SnoopyState.VALID
+                return True
+        return False
+
+    def read(self, p: int, offset: int) -> int:
+        """Returns the cycles this read cost (0 for a pure hit)."""
+        line = self._line(p, offset)
+        if line.holds(offset):
+            return 0
+        start = self.now
+        self._snoop_flush_dirty(p, offset)
+        self._bus(self.bus_block_cycles)
+        line.state = SnoopyState.VALID
+        line.tag = offset
+        return self.now - start
+
+    def write(self, p: int, offset: int) -> int:
+        """Returns the cycles this write cost (0 for a dirty/reserved hit)."""
+        line = self._line(p, offset)
+        if line.holds(offset):
+            if line.state in (SnoopyState.DIRTY, SnoopyState.RESERVED):
+                if line.state is SnoopyState.RESERVED:
+                    line.state = SnoopyState.DIRTY
+                return 0
+            # First write to a shared valid line: write through one word;
+            # other caches snoop it as their cue to invalidate.
+            start = self.now
+            self._bus(self.bus_word_cycles)
+            self._snoop_invalidate(p, offset)
+            line.state = SnoopyState.RESERVED
+            return self.now - start
+        # Write miss: fetch (flushing any dirty remote), invalidate, own.
+        start = self.now
+        self._snoop_flush_dirty(p, offset)
+        self._bus(self.bus_block_cycles)
+        self._snoop_invalidate(p, offset)
+        line.state = SnoopyState.DIRTY
+        line.tag = offset
+        return self.now - start
+
+    def bus_utilization(self, elapsed: Optional[int] = None) -> float:
+        total = elapsed if elapsed is not None else max(1, self.now)
+        return self.bus_busy_cycles / total
+
+    def check_coherence_invariant(self) -> None:
+        """At most one DIRTY/RESERVED copy per block, excluding VALID copies
+        for DIRTY."""
+        owners: Dict[int, List[Tuple[int, SnoopyState]]] = {}
+        for p, cache in enumerate(self.caches):
+            for line in cache.values():
+                if line.tag is not None and line.state is not SnoopyState.INVALID:
+                    owners.setdefault(line.tag, []).append((p, line.state))
+        for off, holders in owners.items():
+            exclusive = [h for h in holders if h[1] in (SnoopyState.DIRTY, SnoopyState.RESERVED)]
+            if len(exclusive) > 1:
+                raise AssertionError(f"block {off} exclusively held by {exclusive}")
+            if exclusive and exclusive[0][1] is SnoopyState.DIRTY and len(holders) > 1:
+                raise AssertionError(f"block {off} dirty alongside other copies")

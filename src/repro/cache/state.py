@@ -1,0 +1,123 @@
+"""Cache-line states and the pure protocol transition table (Fig 5.2, Table 5.1).
+
+The CFM cache protocol is invalidation-based with write-back:
+
+* ``INVALID`` — no cached block;
+* ``VALID`` — a (possibly shared) clean copy;
+* ``DIRTY`` — the exclusive, modified copy; at most one system-wide.
+
+:func:`protocol_action` is the side-effect-free statement of Table 5.1:
+given the CPU event, the local line state, and whether some remote cache
+holds the block (and in what state), it returns the memory operation to
+issue, whether a remote write-back must be triggered first, and the final
+local state.  The slot-accurate simulator in :mod:`repro.cache.protocol`
+implements exactly this table; tests assert both against the paper's rows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CacheLineState(enum.Enum):
+    """The three CFM cache-line states of Fig 5.2."""
+    INVALID = "i"
+    VALID = "v"
+    DIRTY = "d"
+
+
+class ProtocolEvent(enum.Enum):
+    """CPU-side events of Table 5.1."""
+    READ_HIT = "read_hit"
+    READ_MISS = "read_miss"
+    WRITE_HIT = "write_hit"
+    WRITE_MISS = "write_miss"
+
+
+class MemoryOp(enum.Enum):
+    """Memory operation a Table 5.1 row prescribes."""
+    NONE = "none"
+    READ = "read"
+    READ_INVALIDATE = "read_invalidate"
+
+
+@dataclass(frozen=True)
+class Action:
+    """What Table 5.1 prescribes for one (event, local, remote) combination."""
+
+    memory_op: MemoryOp
+    triggers_remote_writeback: bool
+    final_local_state: CacheLineState
+
+    def describe(self) -> str:
+        if self.memory_op is MemoryOp.NONE:
+            return "no memory access"
+        s = self.memory_op.value.replace("_", "-")
+        if self.triggers_remote_writeback:
+            s += " (trigger remote write-back)"
+        return s
+
+
+def protocol_action(
+    event: ProtocolEvent,
+    local: CacheLineState,
+    remote: CacheLineState,
+) -> Action:
+    """The Table 5.1 row for (event, local state, most-privileged remote state).
+
+    ``remote`` is the strongest state the block holds in any other cache
+    (INVALID when uncached elsewhere).  Raises on combinations the protocol
+    invariants make impossible (e.g. a local DIRTY with a remote copy)."""
+    if local is CacheLineState.DIRTY and remote is not CacheLineState.INVALID:
+        raise ValueError("the dirty state is exclusive: no remote copy may exist")
+    if event is ProtocolEvent.READ_HIT:
+        if local is CacheLineState.INVALID:
+            raise ValueError("a read hit requires a valid or dirty local line")
+        return Action(MemoryOp.NONE, False, local)
+    if event is ProtocolEvent.READ_MISS:
+        if local is not CacheLineState.INVALID:
+            raise ValueError("a read miss implies an invalid local line")
+        return Action(
+            MemoryOp.READ,
+            remote is CacheLineState.DIRTY,
+            CacheLineState.VALID,
+        )
+    if event is ProtocolEvent.WRITE_HIT:
+        if local is CacheLineState.INVALID:
+            raise ValueError("a write hit requires a valid or dirty local line")
+        if local is CacheLineState.DIRTY:
+            return Action(MemoryOp.NONE, False, CacheLineState.DIRTY)
+        return Action(MemoryOp.READ_INVALIDATE, False, CacheLineState.DIRTY)
+    # WRITE_MISS
+    if local is not CacheLineState.INVALID:
+        raise ValueError("a write miss implies an invalid local line")
+    return Action(
+        MemoryOp.READ_INVALIDATE,
+        remote is CacheLineState.DIRTY,
+        CacheLineState.DIRTY,
+    )
+
+
+def table_5_1_rows():
+    """Every legal (event, local, remote) combination with its action —
+    regenerates Table 5.1 including the 'Final' column."""
+    rows = []
+    combos = [
+        (ProtocolEvent.READ_HIT, CacheLineState.VALID, CacheLineState.VALID),
+        (ProtocolEvent.READ_HIT, CacheLineState.VALID, CacheLineState.INVALID),
+        (ProtocolEvent.READ_HIT, CacheLineState.DIRTY, CacheLineState.INVALID),
+        (ProtocolEvent.READ_MISS, CacheLineState.INVALID, CacheLineState.VALID),
+        (ProtocolEvent.READ_MISS, CacheLineState.INVALID, CacheLineState.INVALID),
+        (ProtocolEvent.READ_MISS, CacheLineState.INVALID, CacheLineState.DIRTY),
+        (ProtocolEvent.WRITE_HIT, CacheLineState.VALID, CacheLineState.VALID),
+        (ProtocolEvent.WRITE_HIT, CacheLineState.VALID, CacheLineState.INVALID),
+        (ProtocolEvent.WRITE_HIT, CacheLineState.DIRTY, CacheLineState.INVALID),
+        (ProtocolEvent.WRITE_MISS, CacheLineState.INVALID, CacheLineState.VALID),
+        (ProtocolEvent.WRITE_MISS, CacheLineState.INVALID, CacheLineState.INVALID),
+        (ProtocolEvent.WRITE_MISS, CacheLineState.INVALID, CacheLineState.DIRTY),
+    ]
+    for ev, loc, rem in combos:
+        rows.append((ev, loc, rem, protocol_action(ev, loc, rem)))
+    return rows

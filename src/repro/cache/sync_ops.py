@@ -1,0 +1,222 @@
+"""Synchronization operations on the cache protocol (§5.3.1, §5.3.3).
+
+An atomic **read-modify-write** is three phases:
+
+1. *acquire* — a read-invalidate obtains exclusive ownership and disables
+   remotely triggered write-back of the line;
+2. *modify* — one local cycle mutates the owned copy;
+3. *flush* — an explicit write-back publishes the result and releases
+   ownership (line → VALID).
+
+Atomicity follows from exclusivity: no other processor can read or update
+the block between phases.  Swap, test-and-set and fetch-and-add are
+special cases of the modify function.
+
+The **multiple test-and-set** (§5.3.3, Fig 5.5) treats the owned block as a
+bitmap: if ``block & pattern`` has any common 1 the pattern cannot be set
+— the block is flushed *unchanged* and the op reports failure (True, as in
+the paper's C convention); otherwise ``block |= pattern`` is flushed and
+the op reports success (False).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.block import Block
+from repro.cache.protocol import CacheSystem, CpuOp
+
+
+class SyncStatus(enum.Enum):
+    """Phases of a synchronization operation (§5.3.1)."""
+    PENDING = "pending"
+    ACQUIRING = "acquiring"
+    FLUSHING = "flushing"
+    DONE = "done"
+
+
+ModifyFn = Callable[[Block], Dict[int, int]]
+"""Maps the owned block to {word_index: new_value} updates (may be empty)."""
+
+
+class ReadModifyWrite:
+    """One atomic read-modify-write against a :class:`CacheSystem`."""
+
+    def __init__(
+        self,
+        system: CacheSystem,
+        proc: int,
+        offset: int,
+        modify: ModifyFn,
+        on_done: Optional[Callable[["ReadModifyWrite"], None]] = None,
+    ):
+        self.sys = system
+        self.proc = proc
+        self.offset = offset
+        self.modify = modify
+        self.on_done = on_done
+        self.status = SyncStatus.PENDING
+        self.old_block: Optional[Block] = None
+        self.new_block: Optional[Block] = None
+        self.issue_slot = -1
+        self.done_slot = -1
+        self._acquire_op: Optional[CpuOp] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status is SyncStatus.DONE
+
+    @property
+    def latency(self) -> int:
+        if not self.done:
+            raise ValueError("sync op has not completed")
+        return self.done_slot - self.issue_slot + 1
+
+    def start(self) -> "ReadModifyWrite":
+        self.status = SyncStatus.ACQUIRING
+        self.issue_slot = self.sys.slot
+        self._acquire_op = self.sys.acquire(self.proc, self.offset, self._acquired)
+        return self
+
+    def _acquired(self, op: CpuOp) -> None:
+        assert op.result is not None
+        self.old_block = op.result
+        updates = self.modify(self.old_block)
+        if updates:
+            self.new_block = self.sys.modify_owned(self.proc, self.offset, updates)
+        else:
+            self.new_block = self.old_block
+        # Publish (flush → VALID); wb_disabled stays set until the flush
+        # completes, so no remote trigger can steal the line in between —
+        # the write-back completion handler re-enables remote triggering.
+        self.status = SyncStatus.FLUSHING
+        self.sys.flush(self.proc, self.offset, self._flushed)
+
+    def _flushed(self, op: CpuOp) -> None:
+        self.status = SyncStatus.DONE
+        self.done_slot = self.sys.slot
+        if self.on_done is not None:
+            self.on_done(self)
+
+
+def atomic_swap(
+    system: CacheSystem, proc: int, offset: int, new_words: Sequence[int],
+    on_done: Optional[Callable[[ReadModifyWrite], None]] = None,
+) -> ReadModifyWrite:
+    """Exchange the block's contents with ``new_words``."""
+    words = list(new_words)
+
+    def modify(old: Block) -> Dict[int, int]:
+        if len(words) != len(old):
+            raise ValueError(f"swap needs {len(old)} words, got {len(words)}")
+        return {i: w for i, w in enumerate(words)}
+
+    return ReadModifyWrite(system, proc, offset, modify, on_done).start()
+
+
+def fetch_and_add(
+    system: CacheSystem, proc: int, offset: int, delta: int, word: int = 0,
+    on_done: Optional[Callable[[ReadModifyWrite], None]] = None,
+) -> ReadModifyWrite:
+    """Atomically add ``delta`` to one word of the block."""
+    return ReadModifyWrite(
+        system, proc, offset,
+        lambda old: {word: old[word].value + delta},
+        on_done,
+    ).start()
+
+
+def test_and_set(
+    system: CacheSystem, proc: int, offset: int, word: int = 0,
+    on_done: Optional[Callable[[ReadModifyWrite], None]] = None,
+) -> ReadModifyWrite:
+    """Atomic test-and-set of one word; ``old_block`` reveals the outcome."""
+    return ReadModifyWrite(
+        system, proc, offset, lambda old: {word: 1}, on_done
+    ).start()
+
+
+class MultipleTestAndSet:
+    """The block-wide multiple test-and-set of §5.3.3 / Fig 5.5.
+
+    Bits are spread one per block word (word k holds bit k).  ``failed``
+    is True when the pattern conflicted with already-set bits (the paper's
+    convention: the operation *returns true* when the pattern cannot be
+    set)."""
+
+    def __init__(
+        self,
+        system: CacheSystem,
+        proc: int,
+        offset: int,
+        pattern: Sequence[int],
+        clear: bool = False,
+        on_done: Optional[Callable[["MultipleTestAndSet"], None]] = None,
+    ):
+        n = system.cfg.n_banks
+        if len(pattern) != n:
+            raise ValueError(f"pattern must have {n} bits, got {len(pattern)}")
+        if any(b not in (0, 1) for b in pattern):
+            raise ValueError("pattern bits must be 0/1")
+        self.sys = system
+        self.proc = proc
+        self.offset = offset
+        self.pattern = list(pattern)
+        self.clear = clear
+        self.on_done = on_done
+        self.failed: Optional[bool] = None
+        self.old_bits: Optional[List[int]] = None
+        self.new_bits: Optional[List[int]] = None
+        self._rmw = ReadModifyWrite(system, proc, offset, self._modify, self._rmw_done)
+
+    def start(self) -> "MultipleTestAndSet":
+        self._rmw.start()
+        return self
+
+    @property
+    def done(self) -> bool:
+        return self._rmw.done
+
+    @property
+    def latency(self) -> int:
+        return self._rmw.latency
+
+    def _modify(self, old: Block) -> Dict[int, int]:
+        bits = [1 if w.value else 0 for w in old.words]
+        self.old_bits = bits
+        if self.clear:
+            # multiple_unlock: s = s & ~p  (always succeeds)
+            self.failed = False
+            self.new_bits = [b & (1 - p) for b, p in zip(bits, self.pattern)]
+            return {i: v for i, (v, b) in enumerate(zip(self.new_bits, bits)) if v != b}
+        if any(b & p for b, p in zip(bits, self.pattern)):
+            # Common 1: cannot set — release unchanged, report failure.
+            self.failed = True
+            self.new_bits = bits
+            return {}
+        self.failed = False
+        self.new_bits = [b | p for b, p in zip(bits, self.pattern)]
+        return {i: v for i, (v, b) in enumerate(zip(self.new_bits, bits)) if v != b}
+
+    def _rmw_done(self, rmw: ReadModifyWrite) -> None:
+        if self.on_done is not None:
+            self.on_done(self)
+
+
+def multiple_test_and_set(
+    system: CacheSystem, proc: int, offset: int, pattern: Sequence[int],
+    on_done: Optional[Callable[[MultipleTestAndSet], None]] = None,
+) -> MultipleTestAndSet:
+    """multiple_lock's kernel: atomically set the pattern's bits, or fail."""
+    return MultipleTestAndSet(system, proc, offset, pattern, on_done=on_done).start()
+
+
+def multiple_clear(
+    system: CacheSystem, proc: int, offset: int, pattern: Sequence[int],
+    on_done: Optional[Callable[[MultipleTestAndSet], None]] = None,
+) -> MultipleTestAndSet:
+    """multiple_unlock's kernel: atomically clear the pattern's bits."""
+    return MultipleTestAndSet(
+        system, proc, offset, pattern, clear=True, on_done=on_done
+    ).start()

@@ -1,0 +1,134 @@
+"""Weak consistency on the live cache protocol (§5.3.1).
+
+The paper's conditions, restated operationally on our machine:
+
+1/2.  A synchronization operation waits for all previous reads to complete
+      and all previous local cache accesses — but **not** for dirty lines
+      to be written back: "previous write operations are considered
+      performed once the issuing processor has obtained the ownerships of
+      the targeting blocks and completed modifications on their local
+      cache copies."
+3.    Ordinary accesses after a sync wait for the sync.
+
+:class:`ConsistencyDriver` runs a program of loads/stores/syncs on the
+slot-accurate :class:`repro.cache.protocol.CacheSystem` under two
+disciplines — ``WEAK`` (write-backs stay lazy, the weak-consistency win)
+and ``STRICT`` (every store is flushed before the next operation, the
+sequential-consistency-style cost) — and reports the completion times the
+§2.2.3 discussion predicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cache.protocol import CacheSystem, CpuOp
+from repro.cache.state import CacheLineState
+from repro.cache.sync_ops import ReadModifyWrite
+
+
+class Discipline(enum.Enum):
+    """Write-back discipline: weak (lazy) vs strict (flush-per-store)."""
+    WEAK = "weak"
+    STRICT = "strict"
+
+
+class OpKind(enum.Enum):
+    """Program operations the consistency driver executes."""
+    LOAD = "load"
+    STORE = "store"
+    SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class ProgramOp:
+    kind: OpKind
+    offset: int
+
+
+@dataclass
+class RunResult:
+    cycles: int
+    memory_ops: int
+    writebacks_at_sync: int  # flushes forced before sync points
+
+
+class ConsistencyDriver:
+    """Executes one processor's program under a consistency discipline."""
+
+    def __init__(self, system: CacheSystem, proc: int):
+        self.sys = system
+        self.proc = proc
+
+    def _run_op(self, op: CpuOp, max_slots: int = 50_000) -> None:
+        self.sys.run_until(lambda: op.done, max_slots)
+
+    def _flush_if_dirty(self, offset: int) -> bool:
+        line = self.sys.dirs[self.proc].lookup(offset)
+        if line is not None and line.state is CacheLineState.DIRTY:
+            self._run_op(self.sys.flush(self.proc, offset))
+            return True
+        return False
+
+    def _dirty_offsets(self) -> List[int]:
+        return self.sys.dirs[self.proc].dirty_offsets()
+
+    def run(self, program: Sequence[ProgramOp],
+            discipline: Discipline) -> RunResult:
+        start = self.sys.slot
+        mem_ops_before = self.sys.stats_memory_ops
+        forced_flushes = 0
+        for p_op in program:
+            if p_op.kind is OpKind.LOAD:
+                self._run_op(self.sys.load(self.proc, p_op.offset))
+            elif p_op.kind is OpKind.STORE:
+                self._run_op(self.sys.store(self.proc, p_op.offset, {0: 1}))
+                if discipline is Discipline.STRICT:
+                    # Sequential-style: the store is not "performed" until
+                    # globally visible — flush before proceeding.
+                    if self._flush_if_dirty(p_op.offset):
+                        forced_flushes += 1
+            else:  # SYNC
+                if discipline is Discipline.STRICT:
+                    for off in list(self._dirty_offsets()):
+                        if self._flush_if_dirty(off):
+                            forced_flushes += 1
+                # Weak: condition 1/2 — ownership suffices; the sync itself
+                # is an atomic RMW on its own block.
+                rmw = ReadModifyWrite(
+                    self.sys, self.proc, p_op.offset, lambda old: {0: 1}
+                ).start()
+                self.sys.run_until(lambda: rmw.done)
+        return RunResult(
+            cycles=self.sys.slot - start,
+            memory_ops=self.sys.stats_memory_ops - mem_ops_before,
+            writebacks_at_sync=forced_flushes,
+        )
+
+
+def store_burst_program(n_stores: int, sync_offset: int = 63) -> List[ProgramOp]:
+    """N stores to distinct blocks, then one synchronization access —
+    the §2.2.3 pattern where weak consistency's pipelining pays."""
+    if n_stores <= 0:
+        raise ValueError("n_stores must be positive")
+    ops = [ProgramOp(OpKind.STORE, i) for i in range(n_stores)]
+    ops.append(ProgramOp(OpKind.SYNC, sync_offset))
+    return ops
+
+
+def compare_disciplines(
+    n_stores: int = 8, n_procs: int = 4, proc: int = 0
+) -> Tuple[RunResult, RunResult]:
+    """(weak, strict) results for the same store-burst program on fresh
+    machines — weak must be faster with fewer memory operations."""
+    weak_sys = CacheSystem(n_procs)
+    weak = ConsistencyDriver(weak_sys, proc).run(
+        store_burst_program(n_stores), Discipline.WEAK
+    )
+    strict_sys = CacheSystem(n_procs)
+    strict = ConsistencyDriver(strict_sys, proc).run(
+        store_burst_program(n_stores), Discipline.STRICT
+    )
+    return weak, strict

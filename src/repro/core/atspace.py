@@ -1,0 +1,145 @@
+"""The address-time (AT) space and its partitioning (§3.1.1–3.1.2).
+
+A conventional interleaved memory maps *addresses* to data: ``d = M(a·b)``.
+The CFM adds time as a fourth dimension: ``d = M(a·t)`` — the bank is not
+named in the address but *defined by the time slot* in which the access
+occurs.  Partitioning the AT-space into mutually exclusive per-processor
+subsets (Fig 3.3) makes shared-memory access conflict-free by construction.
+
+:class:`ATSpace` is the pure mathematical object; the hardware realizations
+live in :mod:`repro.core.switch` and :mod:`repro.network.synchronous`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class ATSpace:
+    """An AT-space over ``n_banks`` banks with bank cycle ``c``.
+
+    One time period is ``n_banks`` slots; processor *p* at slot *t* may
+    access exactly bank ``(t + c·p) mod n_banks``.  ``n_banks // c``
+    processors are supported conflict-free.
+    """
+
+    n_banks: int
+    bank_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_banks <= 0:
+            raise ValueError(f"n_banks must be positive, got {self.n_banks}")
+        if self.bank_cycle <= 0:
+            raise ValueError(f"bank_cycle must be positive, got {self.bank_cycle}")
+        if self.n_banks % self.bank_cycle != 0:
+            raise ValueError(
+                f"n_banks ({self.n_banks}) must be a multiple of the bank "
+                f"cycle ({self.bank_cycle})"
+            )
+
+    @property
+    def period(self) -> int:
+        """Slots per time period."""
+        return self.n_banks
+
+    @property
+    def n_procs(self) -> int:
+        """Processors supported for conflict-free access: b / c."""
+        return self.n_banks // self.bank_cycle
+
+    def bank_at(self, proc: int, slot: int) -> int:
+        """The single bank processor ``proc`` may address at ``slot``."""
+        if not 0 <= proc < self.n_procs:
+            raise ValueError(f"proc {proc} out of range [0, {self.n_procs})")
+        return (slot + self.bank_cycle * proc) % self.n_banks
+
+    def proc_at(self, bank: int, slot: int) -> int:
+        """Inverse mapping: which processor's address path reaches ``bank``.
+
+        Returns the processor index if the bank is on some processor's path
+        at ``slot``, else raises (with c > 1 only every c-th bank receives a
+        new address each slot — the rest are mid-cycle)."""
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} out of range [0, {self.n_banks})")
+        diff = (bank - slot) % self.n_banks
+        if diff % self.bank_cycle != 0:
+            raise ValueError(
+                f"bank {bank} receives no new address at slot {slot} (mid bank cycle)"
+            )
+        return diff // self.bank_cycle
+
+    def partition(self, proc: int) -> FrozenSet[Tuple[int, int]]:
+        """Processor ``proc``'s AT-space subset: {(slot, bank)} over a period.
+
+        This is one shaded region of Fig 3.3."""
+        return frozenset((t, self.bank_at(proc, t)) for t in range(self.period))
+
+    def all_partitions(self) -> List[FrozenSet[Tuple[int, int]]]:
+        return [self.partition(p) for p in range(self.n_procs)]
+
+    def partitions_are_exclusive(self) -> bool:
+        """Check the conflict-freedom theorem: partitions never overlap."""
+        seen: Set[Tuple[int, int]] = set()
+        for p in range(self.n_procs):
+            part = self.partition(p)
+            if seen & part:
+                return False
+            seen |= part
+        return True
+
+    def slot_mapping(self, slot: int) -> Dict[int, int]:
+        """{proc: bank} address-path connections at ``slot`` (Table 3.1 row)."""
+        return {p: self.bank_at(p, slot) for p in range(self.n_procs)}
+
+    def connection_table(self, slots: int = 0) -> List[Dict[int, int]]:
+        """Address-path connection table, one dict per slot (Table 3.1)."""
+        slots = slots or self.period
+        return [self.slot_mapping(t) for t in range(slots)]
+
+    def block_schedule(self, proc: int, start_slot: int) -> List[Tuple[int, int]]:
+        """Bank visiting order of a block access started at ``start_slot``.
+
+        A block access needs *no alignment stall* (§3.1.1): it starts at
+        whatever bank the current slot defines and wraps around all banks.
+        Returns ``[(slot, bank), ...]`` of length ``n_banks``."""
+        return [
+            (start_slot + k, self.bank_at(proc, start_slot + k))
+            for k in range(self.n_banks)
+        ]
+
+    def block_access_time(self) -> int:
+        """β = b + c − 1: the final bank's word drains c−1 extra cycles."""
+        return self.n_banks + self.bank_cycle - 1
+
+    def accessible_fraction(self) -> float:
+        """Fraction of the AT-space usable by one processor (Fig 3.1).
+
+        A single processor sees one bank per slot: 1/b of the space; all
+        n = b/c processors together use n/b = 1/c of the space (the rest is
+        bank-cycle pipelining occupancy)."""
+        return 1.0 / self.n_banks
+
+    def utilized_fraction(self) -> float:
+        """Fraction of AT-space covered by all processors together."""
+        return self.n_procs / self.n_banks
+
+
+def verify_busy_intervals(space: ATSpace, slots: int) -> bool:
+    """Check that bank busy intervals never overlap for c > 1 (§3.1.3).
+
+    Bank *k* holds each accepted address for *c* cycles; because distinct
+    processors reach bank *k* at slots that differ by multiples of *c*, the
+    busy windows tile without overlap.  This function brute-forces the claim
+    over ``slots`` slots assuming every processor addresses its path bank
+    every slot (the worst case).
+    """
+    busy_until = [-1] * space.n_banks
+    for t in range(slots):
+        for p in range(space.n_procs):
+            k = space.bank_at(p, t)
+            if busy_until[k] >= t:
+                return False
+            busy_until[k] = t + space.bank_cycle - 1
+    return True

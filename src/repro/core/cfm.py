@@ -1,0 +1,328 @@
+"""The slot-accurate CFM memory engine (§3.1).
+
+Model
+-----
+One module with *b* interleaved banks serves ``n = b/c`` processors.  Time
+advances in slots (= CPU cycles).  At slot *t* the address path of processor
+*p* is connected to exactly bank ``(t + c·p) mod b`` (Fig 3.5, Table 3.1).
+A *block access* simply follows the path: it performs one word per slot,
+starting at whatever bank the issue slot defines ("a block access can start
+at any time slot", §3.1.1) and wrapping around all *b* banks; the final word
+drains the bank pipeline for another ``c − 1`` cycles, so the access
+completes ``β = b + c − 1`` slots after issue.
+
+Conflict-freedom is *checked*, not assumed: :meth:`CFMemory.tick` raises
+:class:`ConflictError` if two accesses ever address the same bank in the
+same slot (the property tests show it never fires).
+
+Access control hook
+-------------------
+The raw CFM has a data-consistency hazard for same-block concurrent
+accesses (Fig 4.1).  The engine therefore consults an
+:class:`AccessController` at every bank visit; the controller may let the
+word proceed, abort the access, restart it from the current bank (the read
+rule of §4.1.2), or abort it for re-issue by its owner (retry).  The default
+:class:`PermissiveController` does nothing — deliberately reproducing the
+Fig 4.1 corruption — while :class:`repro.tracking.access_control.
+AddressTrackingController` implements the Chapter 4 rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.block import Block, Word
+from repro.core.config import CFMConfig
+
+
+class AccessKind(enum.Enum):
+    """Direction/role of a block access.
+
+    READ/WRITE are the ordinary operations of Chapter 3–4;
+    READ_INVALIDATE/WRITE_BACK are the cache-protocol primitives of
+    Chapter 5 (read/write direction respectively); SWAP_READ/SWAP_WRITE are
+    the two phases of the atomic swap of §4.2.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    READ_INVALIDATE = "read_invalidate"
+    WRITE_BACK = "write_back"
+    SWAP_READ = "swap_read"
+    SWAP_WRITE = "swap_write"
+
+    @property
+    def is_write(self) -> bool:
+        """Does this access store into the banks?"""
+        return self in (AccessKind.WRITE, AccessKind.WRITE_BACK, AccessKind.SWAP_WRITE)
+
+    @property
+    def is_read(self) -> bool:
+        return not self.is_write
+
+
+class AccessState(enum.Enum):
+    """Lifecycle of a block access in the engine."""
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+
+
+class ControlAction(enum.Enum):
+    """What the access controller tells the engine to do at a bank visit."""
+
+    PROCEED = "proceed"
+    ABORT = "abort"  # drop the access entirely (write loses, §4.1.2)
+    RESTART = "restart"  # restart collection from the current bank (reads)
+    RETRY = "retry"  # abort now; the issuer re-issues from scratch
+
+
+class ConflictError(RuntimeError):
+    """Two accesses addressed the same bank in the same slot."""
+
+
+@dataclass
+class BlockAccess:
+    """One in-flight block access."""
+
+    access_id: int
+    proc: int
+    kind: AccessKind
+    offset: int
+    issue_slot: int
+    data: Optional[Block] = None  # bank-indexed words, writes only
+    version: Optional[str] = None  # version tag stamped on written words
+    tag: str = ""  # free-form label for traces/tests
+    on_finish: Optional[Callable[["BlockAccess"], None]] = None
+
+    state: AccessState = AccessState.ACTIVE
+    words_done: int = 0
+    first_bank: int = -1  # bank where the (possibly restarted) access began
+    start_slot: int = -1  # slot of the current collection attempt
+    restarts: int = 0
+    final_action: Optional[ControlAction] = None  # ABORT vs RETRY, when aborted
+    complete_slot: Optional[int] = None
+    result_words: Dict[int, Word] = field(default_factory=dict)
+    banks_written: List[int] = field(default_factory=list)
+
+    @property
+    def result(self) -> Block:
+        """The collected block (bank-indexed).  Valid once COMPLETED."""
+        if self.state is not AccessState.COMPLETED or not self.kind.is_read:
+            raise ValueError("result only available on a completed read access")
+        n = len(self.result_words)
+        return Block(tuple(self.result_words[k] for k in range(n)))
+
+    @property
+    def latency(self) -> int:
+        """Slots from issue to data-complete, β for an undisturbed access."""
+        if self.complete_slot is None:
+            raise ValueError("access has not completed")
+        return self.complete_slot - self.issue_slot + 1
+
+    def visited_bank_zero(self) -> bool:
+        """Has this access already updated/visited physical bank 0?
+
+        Used by the write-priority anchor of §4.1.2 ("whichever simultaneous
+        same-address write operation accesses memory bank 0 first will have
+        the highest priority")."""
+        return 0 in self.banks_written or 0 in self.result_words
+
+
+class AccessController:
+    """Hook interface consulted by the engine (see module docstring)."""
+
+    def on_slot(self, mem: "CFMemory", slot: int) -> None:
+        """Called once at the top of every slot (ATTs shift here)."""
+
+    def on_bank(
+        self, mem: "CFMemory", access: BlockAccess, bank: int, slot: int
+    ) -> ControlAction:
+        """Called when ``access``'s path reaches ``bank`` at ``slot``."""
+        return ControlAction.PROCEED
+
+    def on_start(self, mem: "CFMemory", access: BlockAccess, slot: int) -> None:
+        """Called when an access performs its first word (incl. restarts)."""
+
+
+class PermissiveController(AccessController):
+    """No access control at all — exhibits the Fig 4.1 inconsistency."""
+
+
+class CFMemory:
+    """A conflict-free memory module and its access engine."""
+
+    def __init__(
+        self,
+        config: CFMConfig,
+        controller: Optional[AccessController] = None,
+        check_conflicts: bool = True,
+    ) -> None:
+        if config.n_modules != 1:
+            raise ValueError(
+                "CFMemory models a single conflict-free module; compose "
+                "modules with repro.network.partial for partially "
+                "conflict-free systems"
+            )
+        self.cfg = config
+        self.controller = controller or PermissiveController()
+        self.check_conflicts = check_conflicts
+        self.slot = 0
+        self._next_id = 0
+        self.banks: List[Dict[int, Word]] = [dict() for _ in range(config.n_banks)]
+        self.active: List[BlockAccess] = []
+        self.completed: List[BlockAccess] = []
+        self.aborted: List[BlockAccess] = []
+
+    # -- memory content ----------------------------------------------------
+
+    @property
+    def n_banks(self) -> int:
+        return self.cfg.n_banks
+
+    def read_word(self, bank: int, offset: int) -> Word:
+        return self.banks[bank].get(offset, Word(0, "init"))
+
+    def write_word(self, bank: int, offset: int, word: Word) -> None:
+        self.banks[bank][offset] = word
+
+    def peek_block(self, offset: int) -> Block:
+        """Directly inspect a block's current contents (no timing)."""
+        return Block(tuple(self.read_word(k, offset) for k in range(self.n_banks)))
+
+    def poke_block(self, offset: int, block: Block) -> None:
+        """Directly install a block (test/bench setup, no timing)."""
+        if len(block) != self.n_banks:
+            raise ValueError(f"block must have {self.n_banks} words, got {len(block)}")
+        for k, w in enumerate(block.words):
+            self.write_word(k, offset, w)
+
+    # -- issuing -----------------------------------------------------------
+
+    def issue(
+        self,
+        proc: int,
+        kind: AccessKind,
+        offset: int,
+        data: Optional[Block] = None,
+        version: Optional[str] = None,
+        tag: str = "",
+        on_finish: Optional[Callable[[BlockAccess], None]] = None,
+    ) -> BlockAccess:
+        """Issue a block access for ``proc`` starting at the *next* tick.
+
+        A processor may have only one outstanding access (it has exactly one
+        AT-space partition)."""
+        if not 0 <= proc < self.cfg.n_procs:
+            raise ValueError(f"proc {proc} out of range [0, {self.cfg.n_procs})")
+        if any(a.proc == proc for a in self.active):
+            raise ValueError(f"processor {proc} already has an outstanding access")
+        if kind.is_write:
+            if data is None:
+                raise ValueError("write access requires data")
+            if len(data) != self.n_banks:
+                raise ValueError(
+                    f"write data must have {self.n_banks} words, got {len(data)}"
+                )
+        acc = BlockAccess(
+            access_id=self._next_id,
+            proc=proc,
+            kind=kind,
+            offset=offset,
+            issue_slot=self.slot,
+            data=data,
+            version=version if version is not None else f"w{self._next_id}",
+            tag=tag,
+            on_finish=on_finish,
+        )
+        self._next_id += 1
+        self.active.append(acc)
+        return acc
+
+    # -- engine ------------------------------------------------------------
+
+    def _finish(self, acc: BlockAccess, state: AccessState, slot: int) -> None:
+        acc.state = state
+        self.active.remove(acc)
+        if state is AccessState.COMPLETED:
+            acc.complete_slot = slot + self.cfg.bank_cycle - 1
+            self.completed.append(acc)
+        else:
+            self.aborted.append(acc)
+        if acc.on_finish is not None:
+            acc.on_finish(acc)
+
+    def tick(self) -> None:
+        """Advance one slot: every active access performs one word."""
+        slot = self.slot
+        self.controller.on_slot(self, slot)
+        banks_used: Dict[int, int] = {}
+        # Processor order is the deterministic arbitration order; with the
+        # AT-space schedule it is provably irrelevant (no shared banks).
+        for acc in sorted(list(self.active), key=lambda a: a.proc):
+            if acc.state is not AccessState.ACTIVE:
+                continue
+            bank = self.cfg.bank_for(acc.proc, slot)
+            if self.check_conflicts:
+                other = banks_used.get(bank)
+                if other is not None:
+                    raise ConflictError(
+                        f"bank {bank} addressed by procs {other} and {acc.proc} "
+                        f"at slot {slot} — AT-space violated"
+                    )
+                banks_used[bank] = acc.proc
+            if acc.words_done == 0:
+                acc.first_bank = bank
+                acc.start_slot = slot
+                self.controller.on_start(self, acc, slot)
+            action = self.controller.on_bank(self, acc, bank, slot)
+            if action is ControlAction.ABORT:
+                acc.final_action = ControlAction.ABORT
+                self._finish(acc, AccessState.ABORTED, slot)
+                continue
+            if action is ControlAction.RETRY:
+                acc.restarts += 1
+                acc.final_action = ControlAction.RETRY
+                self._finish(acc, AccessState.ABORTED, slot)
+                continue
+            if action is ControlAction.RESTART:
+                # Restart "from the current memory bank" (§4.1.2): discard
+                # the words collected so far; this bank becomes word 0.
+                acc.restarts += 1
+                acc.words_done = 0
+                acc.result_words.clear()
+                acc.banks_written.clear()
+                acc.first_bank = bank
+                acc.start_slot = slot
+                self.controller.on_start(self, acc, slot)
+            # Perform the word.
+            if acc.kind.is_write:
+                assert acc.data is not None
+                self.write_word(bank, acc.offset, Word(acc.data[bank].value, acc.version))
+                acc.banks_written.append(bank)
+            else:
+                acc.result_words[bank] = self.read_word(bank, acc.offset)
+            acc.words_done += 1
+            if acc.words_done == self.n_banks:
+                self._finish(acc, AccessState.COMPLETED, slot)
+        self.slot += 1
+
+    def run(self, slots: int) -> None:
+        for _ in range(slots):
+            self.tick()
+
+    def run_until_idle(self, max_slots: int = 100_000) -> int:
+        """Tick until no access is active; returns slots elapsed."""
+        start = self.slot
+        while self.active:
+            if self.slot - start > max_slots:
+                raise RuntimeError(f"accesses still active after {max_slots} slots")
+            self.tick()
+        return self.slot - start
+
+    def drain(self, extra: int = 0) -> None:
+        """Run until idle plus the pipeline-drain cycles."""
+        self.run_until_idle()
+        self.run(extra or (self.cfg.bank_cycle - 1))

@@ -1,0 +1,180 @@
+"""CFM configuration algebra (§3.1.4).
+
+Single source of truth for the paper's notation (Table 3.2):
+
+====  =========================================================
+n     number of processors
+b     number of memory banks
+m     number of memory modules
+ℓ     block (and cache line) size, in bits          ``ℓ = b·w``
+w     memory word width, in bits
+c     memory bank cycle, in CPU cycles
+β     block access time, in CPU cycles              ``β = b + c − 1``
+====  =========================================================
+
+For full conflict-freedom the bank count must be *c* times the processor
+count (``b = c·n``), so ``n = b/c = ℓ/(c·w)``.  :func:`tradeoff_table`
+regenerates Table 3.3 for any (ℓ, c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class CFMConfig:
+    """A validated CFM configuration.
+
+    Parameters follow the paper's notation; everything else is derived.
+    ``n_modules`` > 1 describes the *partially* conflict-free organization
+    of §3.2.2 (banks grouped into modules with smaller blocks); the fully
+    conflict-free machine has a single module containing all banks.
+    """
+
+    n_procs: int
+    word_width: int = 32
+    bank_cycle: int = 1
+    n_modules: int = 1
+    n_banks: int = field(default=0)  # 0 → derived as c·n
+
+    def __post_init__(self) -> None:
+        if self.n_procs <= 0:
+            raise ValueError(f"n_procs must be positive, got {self.n_procs}")
+        if self.word_width <= 0:
+            raise ValueError(f"word_width must be positive, got {self.word_width}")
+        if self.bank_cycle <= 0:
+            raise ValueError(f"bank_cycle must be positive, got {self.bank_cycle}")
+        if self.n_modules <= 0:
+            raise ValueError(f"n_modules must be positive, got {self.n_modules}")
+        if self.n_banks == 0:
+            object.__setattr__(self, "n_banks", self.bank_cycle * self.n_procs)
+        if self.n_banks % self.n_modules != 0:
+            raise ValueError(
+                f"{self.n_banks} banks cannot be split into {self.n_modules} modules"
+            )
+        if self.banks_per_module % self.bank_cycle != 0:
+            raise ValueError(
+                "banks per module must be a multiple of the bank cycle "
+                f"(got {self.banks_per_module} banks, cycle {self.bank_cycle})"
+            )
+
+    # -- derived quantities (Table 3.2) -------------------------------------
+
+    @property
+    def banks_per_module(self) -> int:
+        """Banks in one conflict-free module (b when fully conflict-free)."""
+        return self.n_banks // self.n_modules
+
+    @property
+    def block_words(self) -> int:
+        """Words per block: one word from each bank of the module."""
+        return self.banks_per_module
+
+    @property
+    def block_size_bits(self) -> int:
+        """ℓ = b·w — block (and cache line) size in bits."""
+        return self.block_words * self.word_width
+
+    @property
+    def block_size_bytes(self) -> int:
+        bits = self.block_size_bits
+        if bits % 8 != 0:
+            raise ValueError(f"block of {bits} bits is not byte-aligned")
+        return bits // 8
+
+    @property
+    def block_access_time(self) -> int:
+        """β = b + c − 1 CPU cycles per block access (per module)."""
+        return self.banks_per_module + self.bank_cycle - 1
+
+    @property
+    def period(self) -> int:
+        """Slots in one AT-space time period: the bank count of a module."""
+        return self.banks_per_module
+
+    @property
+    def procs_per_module_slot(self) -> int:
+        """Processors one module supports conflict-free: b/c per module."""
+        return self.banks_per_module // self.bank_cycle
+
+    @property
+    def n_clusters(self) -> int:
+        """Conflict-free clusters in the partially conflict-free system.
+
+        §3.4.2: n processors / (b/c per module) clusters; equals m when the
+        machine is fully populated (n·c = banks)."""
+        per = self.procs_per_module_slot
+        if self.n_procs % per != 0:
+            raise ValueError(
+                f"{self.n_procs} processors do not evenly form clusters of {per}"
+            )
+        return self.n_procs // per
+
+    @property
+    def fully_conflict_free(self) -> bool:
+        """True when one module serves every processor (n = b/c, m = 1)."""
+        return self.n_modules == 1 and self.n_procs == self.procs_per_module_slot
+
+    def bank_for(self, proc: int, slot: int) -> int:
+        """AT-space mapping: bank addressed by ``proc`` at ``slot``.
+
+        The generalization of Fig 3.3 / Table 3.1: at time slot *t*,
+        processor *p* is connected to bank ``(t + c·p) mod b`` of its module.
+        """
+        if not 0 <= proc < self.procs_per_module_slot:
+            raise ValueError(
+                f"proc {proc} out of range for a module serving "
+                f"{self.procs_per_module_slot} processors"
+            )
+        return (slot + self.bank_cycle * proc) % self.banks_per_module
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        kind = "fully" if self.fully_conflict_free else "partially"
+        return (
+            f"CFM[{kind} conflict-free: n={self.n_procs}, b={self.n_banks}, "
+            f"m={self.n_modules}, w={self.word_width}b, c={self.bank_cycle}, "
+            f"block={self.block_words} words ({self.block_size_bits} bits), "
+            f"beta={self.block_access_time}]"
+        )
+
+
+@dataclass(frozen=True)
+class TradeoffRow:
+    """One row of Table 3.3."""
+
+    n_banks: int
+    word_width: int
+    memory_latency: int
+    n_procs: int
+
+
+def tradeoff_table(block_size_bits: int = 256, bank_cycle: int = 2) -> List[TradeoffRow]:
+    """Regenerate Table 3.3: the bank-count / word-width / latency tradeoff.
+
+    For a fixed block size ℓ and bank cycle c, halving the bank count doubles
+    the word width, reduces latency β = b + c − 1, and halves the processors
+    n = b/c supported conflict-free.  Rows are emitted largest-bank first,
+    matching the paper, down to the narrowest machine with n ≥ 1.
+    """
+    if block_size_bits <= 0:
+        raise ValueError("block_size_bits must be positive")
+    if bank_cycle <= 0:
+        raise ValueError("bank_cycle must be positive")
+    rows: List[TradeoffRow] = []
+    banks = block_size_bits
+    while banks >= bank_cycle:
+        word = block_size_bits // banks
+        if word * banks == block_size_bits and banks % bank_cycle == 0:
+            rows.append(
+                TradeoffRow(
+                    n_banks=banks,
+                    word_width=word,
+                    memory_latency=banks + bank_cycle - 1,
+                    n_procs=banks // bank_cycle,
+                )
+            )
+        banks //= 2
+    return rows

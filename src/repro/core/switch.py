@@ -1,0 +1,123 @@
+"""The synchronous switch box (Fig 3.4).
+
+An N×N crossbar with *no* address decoding and *no* routing setup: its
+connection state is a pure function of the system clock.  At time slot *t*
+input port *i* is connected to output port ``(t + i) mod N``.  Every N slots
+it completes one deterministic time period (states b–e of Fig 3.4 for N=4).
+
+The switch is the building block both of the single-module CFM (Fig 3.2)
+and, composed in columns of 2×2 boxes, of the synchronous omega networks of
+§3.2 (see :mod:`repro.network.synchronous`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class SynchronousSwitchBox:
+    """Clock-driven N×N switch: input i → output (t + i) mod N at slot t."""
+
+    def __init__(self, n_ports: int):
+        if n_ports <= 0:
+            raise ValueError(f"n_ports must be positive, got {n_ports}")
+        self.n_ports = n_ports
+
+    def state(self, slot: int) -> int:
+        """The rotation state (0..N−1) active at ``slot``."""
+        return slot % self.n_ports
+
+    def output_for(self, input_port: int, slot: int) -> int:
+        """Output port connected to ``input_port`` at ``slot``."""
+        if not 0 <= input_port < self.n_ports:
+            raise ValueError(f"input port {input_port} out of range")
+        return (slot + input_port) % self.n_ports
+
+    def input_for(self, output_port: int, slot: int) -> int:
+        """Input port connected to ``output_port`` at ``slot``."""
+        if not 0 <= output_port < self.n_ports:
+            raise ValueError(f"output port {output_port} out of range")
+        return (output_port - slot) % self.n_ports
+
+    def mapping(self, slot: int) -> Dict[int, int]:
+        """Full {input: output} connection state at ``slot``."""
+        return {i: self.output_for(i, slot) for i in range(self.n_ports)}
+
+    def is_permutation(self, slot: int) -> bool:
+        """Every state must connect all inputs to distinct outputs."""
+        outs = set(self.mapping(slot).values())
+        return len(outs) == self.n_ports
+
+    def period_states(self) -> List[Dict[int, int]]:
+        """The N connection states of one time period (Fig 3.4 b–e)."""
+        return [self.mapping(t) for t in range(self.n_ports)]
+
+    def route(self, payloads: Dict[int, object], slot: int) -> Dict[int, object]:
+        """Move payloads from input ports to output ports in one slot.
+
+        There is no contention by construction — each slot's mapping is a
+        permutation, so two payloads can never collide on an output."""
+        out: Dict[int, object] = {}
+        for i, payload in payloads.items():
+            out[self.output_for(i, slot)] = payload
+        return out
+
+
+class Demultiplexer:
+    """The 1-to-c clock-driven demultiplexer of Fig 3.5 (§3.1.3).
+
+    With bank cycle c > 1 the machine has c·n banks behind n switch outputs;
+    a column of 1-to-c demultiplexers fans each switch output to c banks so
+    that the combined schedule realizes bank ``(t + c·p) mod (c·n)``.
+
+    Composition check: switch output for p at slot t is ``(t + p) mod n``
+    over an n-port switch advanced every c slots... the paper instead states
+    the end-to-end property, so the demux is specified directly from it:
+    switch output j at slot t feeds bank ``(t + c·j) mod (c·n)`` minus the
+    contribution already applied by the switch.  We model the *composition*
+    (processor → bank) rather than splitting the two stages artificially.
+    """
+
+    def __init__(self, fan_out: int):
+        if fan_out <= 0:
+            raise ValueError(f"fan_out must be positive, got {fan_out}")
+        self.fan_out = fan_out
+
+    def select(self, slot: int) -> int:
+        """Which of the c legs is active at ``slot``."""
+        return slot % self.fan_out
+
+
+def processor_bank_path(n_procs: int, bank_cycle: int, proc: int, slot: int) -> int:
+    """End-to-end address-path connection of Fig 3.5 / Table 3.1.
+
+    At slot t, processor p connects through the synchronous switch and the
+    demultiplexer column to bank ``(t + c·p) mod (c·n)``.
+    """
+    if not 0 <= proc < n_procs:
+        raise ValueError(f"proc {proc} out of range [0, {n_procs})")
+    return (slot + bank_cycle * proc) % (bank_cycle * n_procs)
+
+
+def address_path_table(n_procs: int, bank_cycle: int) -> List[Dict[int, int]]:
+    """Regenerate Table 3.1: {bank: proc} per slot over one period."""
+    n_banks = bank_cycle * n_procs
+    table: List[Dict[int, int]] = []
+    for t in range(n_banks):
+        row: Dict[int, int] = {}
+        for p in range(n_procs):
+            row[processor_bank_path(n_procs, bank_cycle, p, t)] = p
+        table.append(row)
+    return table
+
+
+def data_path_table(n_procs: int, bank_cycle: int) -> List[Dict[int, int]]:
+    """Data-path connections: 'similar but shifted by one time slot' (§3.1.3)."""
+    n_banks = bank_cycle * n_procs
+    table: List[Dict[int, int]] = []
+    for t in range(n_banks):
+        row: Dict[int, int] = {}
+        for p in range(n_procs):
+            row[(t - 1 + bank_cycle * p) % n_banks] = p
+        table.append(row)
+    return table

@@ -1,0 +1,110 @@
+"""Multi-cluster CFM topologies (§3.3).
+
+"The multiple-cluster connection scheme can be used to extend the CFM
+architecture for constructing multiprocessors with various scales,
+connectivity, and topologies.  These include hypercube, 2-D mesh, etc."
+
+:class:`TopologyClusterSystem` specializes the two-cluster system of
+Fig 3.12 to an arbitrary interconnection graph: each remote access routes
+over the shortest path, paying ``hops × link_latency`` per direction, and
+is still served through the destination cluster's free AT-space slot.
+Topology builders for the paper's named cases are provided; the diameter
+comparison is what the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.clusters import ClusterSystem
+from repro.core.config import CFMConfig
+
+
+def ring_topology(n: int) -> "nx.Graph":
+    """A ring of n clusters."""
+    if n < 2:
+        raise ValueError("a ring needs at least 2 clusters")
+    return nx.cycle_graph(n)
+
+
+def mesh_topology(rows: int, cols: int) -> "nx.Graph":
+    """2-D mesh, nodes relabelled 0..rows·cols−1 row-major."""
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dimensions must be positive")
+    g = nx.grid_2d_graph(rows, cols)
+    return nx.relabel_nodes(g, {(r, c): r * cols + c for r, c in g.nodes})
+
+
+def hypercube_topology(dim: int) -> "nx.Graph":
+    """A dim-dimensional hypercube of 2^dim clusters."""
+    if dim < 1:
+        raise ValueError("hypercube dimension must be >= 1")
+    return nx.hypercube_graph(dim) if dim > 1 else nx.path_graph(2)
+
+
+def fully_connected_topology(n: int) -> "nx.Graph":
+    """Every cluster directly linked to every other."""
+    if n < 2:
+        raise ValueError("need at least 2 clusters")
+    return nx.complete_graph(n)
+
+
+def _normalize(graph: "nx.Graph") -> "nx.Graph":
+    """Relabel arbitrary node identities (e.g. hypercube bit-tuples) to
+    0..n−1."""
+    return nx.convert_node_labels_to_integers(graph, ordering="sorted")
+
+
+class TopologyClusterSystem(ClusterSystem):
+    """Conflict-free clusters joined by an explicit interconnection graph."""
+
+    def __init__(
+        self,
+        configs: List[CFMConfig],
+        local_procs: List[int],
+        graph: "nx.Graph",
+        link_latency: int = 4,
+        link_bandwidth: int = 4,
+    ):
+        graph = _normalize(graph)
+        if graph.number_of_nodes() != len(configs):
+            raise ValueError(
+                f"topology has {graph.number_of_nodes()} nodes but "
+                f"{len(configs)} clusters were given"
+            )
+        if not nx.is_connected(graph):
+            raise ValueError("the cluster topology must be connected")
+        super().__init__(configs, local_procs, link_latency=link_latency,
+                         link_bandwidth=link_bandwidth)
+        self.graph = graph
+        self._hops: Dict[Tuple[int, int], int] = {}
+        for src, lengths in nx.all_pairs_shortest_path_length(graph):
+            for dst, h in lengths.items():
+                self._hops[(src, dst)] = h
+
+    def hops(self, src: int, dst: int) -> int:
+        return self._hops[(src, dst)]
+
+    def diameter(self) -> int:
+        return max(self._hops.values())
+
+    def message_delay(self, src: int, dst: int) -> int:
+        return max(1, self.hops(src, dst) * self.link_latency)
+
+
+def build_uniform_system(
+    graph: "nx.Graph",
+    procs_per_cluster: int = 3,
+    partitions: int = 4,
+    link_latency: int = 4,
+) -> TopologyClusterSystem:
+    """All-identical clusters over ``graph`` (one free slot each when
+    ``procs_per_cluster < partitions``)."""
+    graph = _normalize(graph)
+    n = graph.number_of_nodes()
+    cfgs = [CFMConfig(n_procs=partitions, bank_cycle=1) for _ in range(n)]
+    return TopologyClusterSystem(
+        cfgs, [procs_per_cluster] * n, graph, link_latency=link_latency
+    )

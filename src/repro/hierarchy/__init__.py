@@ -1,0 +1,41 @@
+"""§5.4: hierarchical CFM architectures and their scalable cache protocol.
+
+* :mod:`repro.hierarchy.controller` — network controllers: pseudo-processors
+  that serve second-level cache misses with the event priorities of
+  Table 5.4.
+* :mod:`repro.hierarchy.hierarchical` — a transaction-level two-level CFM
+  (clusters of processors + second-level cache banks + global memory banks)
+  running the recursively applied write-back protocol; enforces the legal
+  L1/L2 state combinations of Table 5.3.
+* :mod:`repro.hierarchy.latency` — the read-latency models behind
+  Tables 5.5 (CFM vs DASH) and 5.6 (CFM vs KSR1), plus the logarithmic
+  worst-case-miss growth claim.
+"""
+
+from repro.hierarchy.controller import ControllerEvent, EventType, NetworkController
+from repro.hierarchy.hierarchical import HierarchicalCFM, IllegalStateCombination
+from repro.hierarchy.slot_accurate import HierOp, SlotAccurateHierarchy
+from repro.hierarchy.latency import (
+    DASH_READ_LATENCY,
+    KSR1_READ_LATENCY,
+    HierarchicalLatencyModel,
+    table_5_5,
+    table_5_6,
+    worst_case_miss_latency,
+)
+
+__all__ = [
+    "NetworkController",
+    "ControllerEvent",
+    "EventType",
+    "HierarchicalCFM",
+    "IllegalStateCombination",
+    "HierarchicalLatencyModel",
+    "DASH_READ_LATENCY",
+    "KSR1_READ_LATENCY",
+    "table_5_5",
+    "table_5_6",
+    "worst_case_miss_latency",
+    "SlotAccurateHierarchy",
+    "HierOp",
+]

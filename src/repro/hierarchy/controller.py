@@ -1,0 +1,136 @@
+"""Network controllers and their event priorities (§5.4.1, Table 5.4).
+
+Each conflict-free cluster has a network controller: a pseudo-processor
+that handles all second-level cache misses, fetching and flushing L2 lines
+through the global synchronous network (using free AT-space slots or slots
+stolen from the cluster's processors).  A controller can receive several
+kinds of requests at once; it must serve them in a fixed priority order so
+no deadlock can occur:
+
+====  ================================================================
+  1   write-back
+  2   invalidation from the higher-level network controller
+  3   read-invalidate operation from the associated cluster
+  4   read
+====  ================================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class EventType(enum.Enum):
+    """Request types a network controller queues, Table 5.4 order."""
+
+    WRITE_BACK = 1
+    INVALIDATION_FROM_ABOVE = 2
+    READ_INVALIDATE = 3
+    READ = 4
+
+    @property
+    def priority(self) -> int:
+        return self.value
+
+
+@dataclass(order=True)
+class ControllerEvent:
+    sort_key: tuple = field(init=False, repr=False)
+    event_type: EventType = field(compare=False)
+    offset: int = field(compare=False)
+    requester: int = field(compare=False, default=-1)
+    seq: int = field(compare=False, default=0)
+    payload: object = field(compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.sort_key = (self.event_type.priority, self.seq)
+
+
+class NetworkController:
+    """Priority queue of coherence events for one cluster (Table 5.4).
+
+    Events of equal priority are served FIFO; across priorities, a
+    write-back always goes first (unless disabled inside a synchronization
+    operation — the caller simply doesn't enqueue it then), and an
+    invalidation from above beats any request from below, guaranteeing a
+    single exclusive owner system-wide."""
+
+    def __init__(self, cluster_id: int, service_slots: int = 1):
+        if service_slots < 1:
+            raise ValueError("service_slots must be >= 1")
+        self.cluster_id = cluster_id
+        # §5.4.3: assigning a controller more than one free AT-space
+        # partition lets it serve more operations concurrently.
+        self.service_slots = service_slots
+        self._heap: List[ControllerEvent] = []
+        self._seq = itertools.count()
+        self.served: List[ControllerEvent] = []
+
+    def enqueue(
+        self,
+        event_type: EventType,
+        offset: int,
+        requester: int = -1,
+        payload: object = None,
+    ) -> ControllerEvent:
+        ev = ControllerEvent(
+            event_type=event_type,
+            offset=offset,
+            requester=requester,
+            seq=next(self._seq),
+            payload=payload,
+        )
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek(self) -> Optional[ControllerEvent]:
+        """The event :meth:`pop` would serve next, without serving it."""
+        return self._heap[0] if self._heap else None
+
+    def record(self, event_type: EventType, offset: int,
+               requester: int = -1) -> ControllerEvent:
+        """Log an event served *in passing* without touching the queue.
+
+        Coherence actions performed synchronously during a bank visit
+        (e.g. an invalidation-from-above) never sit in the queue; this
+        keeps them visible in the served log for the Table 5.4 analyses."""
+        ev = ControllerEvent(
+            event_type=event_type, offset=offset, requester=requester,
+            seq=next(self._seq),
+        )
+        self.served.append(ev)
+        return ev
+
+    def pop(self) -> Optional[ControllerEvent]:
+        """Serve the highest-priority event, or None when idle."""
+        if not self._heap:
+            return None
+        ev = heapq.heappop(self._heap)
+        self.served.append(ev)
+        return ev
+
+    def serve_round(self) -> List[ControllerEvent]:
+        """One service round: up to ``service_slots`` events."""
+        out = []
+        for _ in range(self.service_slots):
+            ev = self.pop()
+            if ev is None:
+                break
+            out.append(ev)
+        return out
+
+    def drain(self) -> List[ControllerEvent]:
+        """Serve everything; returns events in service order."""
+        out = []
+        while self._heap:
+            ev = self.pop()
+            assert ev is not None
+            out.append(ev)
+        return out

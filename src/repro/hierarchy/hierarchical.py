@@ -1,0 +1,264 @@
+"""A transaction-level two-level hierarchical CFM (§5.4.1–5.4.2, Fig 5.6).
+
+Clusters of processors share a second-level cache (the cluster's memory
+banks, re-labelled "cache banks"); network controllers couple each cluster
+to the global memory banks exactly as processors couple to cache banks
+inside a cluster — the protocol recurses.
+
+This model is transaction-level: coherence actions are applied atomically
+per CPU request, with latency charged from
+:class:`repro.hierarchy.latency.HierarchicalLatencyModel` and controller
+work routed through the Table 5.4 priority queues.  (The slot-accurate
+intra-cluster behaviour is already covered by :mod:`repro.cache.protocol`;
+what's new at this level is the L1/L2 state coupling of Table 5.3 and the
+inter-cluster choreography.)
+
+The Table 5.3 invariant — a first-level line can be valid only under a
+valid-or-dirty second-level line, and dirty only under a dirty one — is
+checked after every transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cache.state import CacheLineState as S
+from repro.hierarchy.controller import EventType, NetworkController
+from repro.hierarchy.latency import HierarchicalLatencyModel
+
+
+class IllegalStateCombination(AssertionError):
+    """A (L1, L2) state pair outside Table 5.3."""
+
+
+_LEGAL: Set[Tuple[S, S]] = {
+    (S.INVALID, S.INVALID),
+    (S.INVALID, S.VALID),
+    (S.INVALID, S.DIRTY),
+    (S.VALID, S.VALID),
+    (S.VALID, S.DIRTY),
+    (S.DIRTY, S.DIRTY),
+}
+
+
+def legal_state_combination(l1: S, l2: S) -> bool:
+    """Table 5.3 membership test."""
+    return (l1, l2) in _LEGAL
+
+
+@dataclass
+class TransactionStats:
+    reads: int = 0
+    writes: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    global_clean: int = 0
+    global_dirty: int = 0
+    total_cycles: int = 0
+
+
+class HierarchicalCFM:
+    """Two-level CFM: k clusters × m processors over global memory."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        procs_per_cluster: int,
+        latency: Optional[HierarchicalLatencyModel] = None,
+    ):
+        if n_clusters <= 0 or procs_per_cluster <= 0:
+            raise ValueError("cluster counts must be positive")
+        self.n_clusters = n_clusters
+        self.procs_per_cluster = procs_per_cluster
+        self.n_procs = n_clusters * procs_per_cluster
+        self.latency = latency or HierarchicalLatencyModel(
+            beta_local=procs_per_cluster * 2 + 1,
+            beta_global=n_clusters * 2 + 1,
+        )
+        # l1[proc][offset] / l2[cluster][offset]; absent = INVALID.
+        self.l1: List[Dict[int, S]] = [dict() for _ in range(self.n_procs)]
+        self.l2: List[Dict[int, S]] = [dict() for _ in range(n_clusters)]
+        self.controllers = [NetworkController(c) for c in range(n_clusters)]
+        self.stats = TransactionStats()
+
+    # -- topology -----------------------------------------------------------
+
+    def cluster_of(self, proc: int) -> int:
+        if not 0 <= proc < self.n_procs:
+            raise ValueError(f"proc {proc} out of range")
+        return proc // self.procs_per_cluster
+
+    def cluster_members(self, cluster: int) -> List[int]:
+        base = cluster * self.procs_per_cluster
+        return list(range(base, base + self.procs_per_cluster))
+
+    # -- state helpers --------------------------------------------------------
+
+    def _l1(self, proc: int, offset: int) -> S:
+        return self.l1[proc].get(offset, S.INVALID)
+
+    def _l2(self, cluster: int, offset: int) -> S:
+        return self.l2[cluster].get(offset, S.INVALID)
+
+    def _set_l1(self, proc: int, offset: int, state: S) -> None:
+        if state is S.INVALID:
+            self.l1[proc].pop(offset, None)
+        else:
+            self.l1[proc][offset] = state
+
+    def _set_l2(self, cluster: int, offset: int, state: S) -> None:
+        if state is S.INVALID:
+            self.l2[cluster].pop(offset, None)
+        else:
+            self.l2[cluster][offset] = state
+
+    def check_invariants(self, offset: Optional[int] = None) -> None:
+        """Table 5.3 per line + single-dirty at each level."""
+        offsets = (
+            {offset}
+            if offset is not None
+            else {o for d in self.l1 for o in d} | {o for d in self.l2 for o in d}
+        )
+        for off in offsets:
+            dirty_l2 = [c for c in range(self.n_clusters) if self._l2(c, off) is S.DIRTY]
+            if len(dirty_l2) > 1:
+                raise IllegalStateCombination(f"block {off}: dirty L2 in {dirty_l2}")
+            for p in range(self.n_procs):
+                combo = (self._l1(p, off), self._l2(self.cluster_of(p), off))
+                if combo not in _LEGAL:
+                    raise IllegalStateCombination(
+                        f"block {off}, proc {p}: L1={combo[0].value} "
+                        f"under L2={combo[1].value}"
+                    )
+            dirty_l1 = [p for p in range(self.n_procs) if self._l1(p, off) is S.DIRTY]
+            if len(dirty_l1) > 1:
+                raise IllegalStateCombination(f"block {off}: dirty L1 in {dirty_l1}")
+
+    # -- coherence steps ---------------------------------------------------------
+
+    def _writeback_l1(self, owner: int, offset: int) -> int:
+        """First-level write-back: owner's L1 dirty copy → cluster L2."""
+        assert self._l1(owner, offset) is S.DIRTY
+        cl = self.cluster_of(owner)
+        self.controllers[cl].record(EventType.WRITE_BACK, offset, owner)
+        self._set_l1(owner, offset, S.VALID)
+        return self.latency.beta_local
+
+    def _writeback_l2(self, cluster: int, offset: int) -> int:
+        """Second-level write-back: cluster's dirty L2 line → global memory."""
+        assert self._l2(cluster, offset) is S.DIRTY
+        self.controllers[cluster].record(EventType.WRITE_BACK, offset)
+        # Any dirty L1 under it must flush first (recursive protocol).
+        for p in self.cluster_members(cluster):
+            if self._l1(p, offset) is S.DIRTY:
+                raise IllegalStateCombination(
+                    "L2 write-back with an unflushed dirty L1 below it"
+                )
+        self._set_l2(cluster, offset, S.VALID)
+        return self.latency.beta_global
+
+    def _flush_remote_dirty(self, offset: int, except_cluster: int) -> int:
+        """Resolve a remote dirty chain: L1 write-back, then L2 write-back."""
+        cycles = 0
+        for c in range(self.n_clusters):
+            if c == except_cluster or self._l2(c, offset) is not S.DIRTY:
+                continue
+            for p in self.cluster_members(c):
+                if self._l1(p, offset) is S.DIRTY:
+                    cycles += self._writeback_l1(p, offset)
+            cycles += self._writeback_l2(c, offset)
+        return cycles
+
+    def _invalidate_cluster(self, cluster: int, offset: int,
+                            except_proc: Optional[int] = None) -> None:
+        """Invalidation from above: drop every copy inside ``cluster``."""
+        self.controllers[cluster].record(EventType.INVALIDATION_FROM_ABOVE, offset)
+        for p in self.cluster_members(cluster):
+            if p != except_proc:
+                self._set_l1(p, offset, S.INVALID)
+        self._set_l2(cluster, offset, S.INVALID)
+
+    # -- transactions ----------------------------------------------------------------
+
+    def read(self, proc: int, offset: int) -> int:
+        """A CPU load; returns its latency in cycles."""
+        self.stats.reads += 1
+        cl = self.cluster_of(proc)
+        cycles = 0
+        if self._l1(proc, offset) is not S.INVALID:
+            self.stats.l1_hits += 1
+            cycles = 1
+        elif self._l2(cl, offset) is not S.INVALID:
+            # L2 hit; a dirty peer L1 inside the cluster must flush first.
+            self.stats.l2_hits += 1
+            for p in self.cluster_members(cl):
+                if self._l1(p, offset) is S.DIRTY:
+                    cycles += self._writeback_l1(p, offset)
+            cycles += self.latency.beta_local
+            self._set_l1(proc, offset, S.VALID)
+        else:
+            dirty_elsewhere = any(
+                self._l2(c, offset) is S.DIRTY for c in range(self.n_clusters)
+            )
+            self.controllers[cl].record(EventType.READ, offset, proc)
+            if dirty_elsewhere:
+                # The flush accounts for one (β_L + β_G) write-back chain;
+                # the rest of the dirty-remote path (miss, triggering fetch,
+                # re-issued fetch, refills) makes the total exactly the
+                # latency model's dirty_remote = 4β_L + 3β_G (Table 5.5).
+                self.stats.global_dirty += 1
+                cycles += self._flush_remote_dirty(offset, cl)
+                cycles += (
+                    self.latency.dirty_remote
+                    - self.latency.beta_local
+                    - self.latency.beta_global
+                )
+            else:
+                self.stats.global_clean += 1
+                cycles += self.latency.global_memory
+            self._set_l2(cl, offset, S.VALID)
+            self._set_l1(proc, offset, S.VALID)
+        self.stats.total_cycles += cycles
+        self.check_invariants(offset)
+        return cycles
+
+    def write(self, proc: int, offset: int) -> int:
+        """A CPU store; returns its latency in cycles."""
+        self.stats.writes += 1
+        cl = self.cluster_of(proc)
+        cycles = 0
+        l1 = self._l1(proc, offset)
+        l2 = self._l2(cl, offset)
+        if l1 is S.DIRTY:
+            self.stats.l1_hits += 1
+            cycles = 1
+        elif l2 is S.DIRTY:
+            # The cluster already owns the block globally: an intra-cluster
+            # read-invalidate suffices (§5.4.2 write hit, L2 dirty).
+            self.controllers[cl].record(EventType.READ_INVALIDATE, offset, proc)
+            for p in self.cluster_members(cl):
+                if p == proc:
+                    continue
+                if self._l1(p, offset) is S.DIRTY:
+                    cycles += self._writeback_l1(p, offset)
+                self._set_l1(p, offset, S.INVALID)
+            cycles += self.latency.beta_local
+            self._set_l1(proc, offset, S.DIRTY)
+        else:
+            # Need global exclusivity: flush any remote dirty chain, then
+            # invalidate every other cluster top-down.
+            cycles += self._flush_remote_dirty(offset, cl)
+            self.controllers[cl].record(EventType.READ_INVALIDATE, offset, proc)
+            for c in range(self.n_clusters):
+                if c != cl and self._l2(c, offset) is not S.INVALID:
+                    self._invalidate_cluster(c, offset)
+            for p in self.cluster_members(cl):
+                if p != proc:
+                    self._set_l1(p, offset, S.INVALID)
+            cycles += self.latency.global_memory
+            self._set_l2(cl, offset, S.DIRTY)
+            self._set_l1(proc, offset, S.DIRTY)
+        self.stats.total_cycles += cycles
+        self.check_invariants(offset)
+        return cycles

@@ -1,0 +1,155 @@
+"""Read-latency models for hierarchical CFM architectures (§5.4.4).
+
+The two-level CFM's read latencies compose from the cluster-level block
+access time ``β_L`` and the global-level block access time ``β_G``:
+
+* **local cluster** (L1 miss, L2 hit): one cluster block access, ``β_L``;
+* **global memory** (L2 miss, block clean): the read that misses (``β_L``),
+  the network controller's global fetch (``β_G``), and the local refill
+  (``β_L``) — ``2·β_L + β_G``;
+* **dirty remote**: additionally the remote processor's first-level
+  write-back (``β_L``), the remote controller's second-level write-back
+  (``β_G``), and the re-issued global fetch (``β_G``) —
+  ``4·β_L + 3·β_G``.
+
+With the Table 5.5 configuration (16 processors in 4 clusters, 16-byte
+lines, bank cycle 2: β_L = β_G = 9) this yields 9 / 27 / 63 cycles, and
+with the Table 5.6 configuration (1024 processors in 32 clusters, 128-byte
+lines: β_L = β_G = 65) it yields 65 / 195 — exactly the paper's numbers.
+The DASH and KSR1 columns are the published constants the paper compares
+against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Table 5.5 comparison column (DASH, 16 procs / 4 clusters / 16 B lines).
+DASH_READ_LATENCY: Dict[str, int] = {
+    "local_cluster": 29,
+    "global_memory": 100,
+    "dirty_remote": 130,
+}
+
+#: Table 5.6 comparison column (KSR1, 1024 procs / 32 rings / 128 B lines).
+KSR1_READ_LATENCY: Dict[str, int] = {
+    "local_cluster": 175,
+    "global_memory": 600,
+}
+
+
+@dataclass(frozen=True)
+class HierarchicalLatencyModel:
+    """Two-level CFM read latencies from (β_L, β_G)."""
+
+    beta_local: int
+    beta_global: int
+
+    def __post_init__(self) -> None:
+        if self.beta_local <= 0 or self.beta_global <= 0:
+            raise ValueError("block access times must be positive")
+
+    @classmethod
+    def from_config(
+        cls,
+        n_procs: int,
+        n_clusters: int,
+        line_bytes: int,
+        word_bytes: int = 1,
+        bank_cycle: int = 2,
+    ) -> "HierarchicalLatencyModel":
+        """Derive (β_L, β_G) from a machine description.
+
+        Cluster level: ``c × procs-per-cluster`` cache banks, so
+        ``β_L = c·(n/k) + c − 1``; the line must equal one bank word per
+        bank.  Global level: one network controller per cluster acts as a
+        pseudo-processor, so ``β_G = c·k + c − 1``."""
+        if n_procs % n_clusters != 0:
+            raise ValueError("processors must divide evenly into clusters")
+        per = n_procs // n_clusters
+        banks_l = bank_cycle * per
+        banks_g = bank_cycle * n_clusters
+        expected_line = banks_l * word_bytes
+        if line_bytes != expected_line:
+            raise ValueError(
+                f"line of {line_bytes} B inconsistent with {banks_l} banks of "
+                f"{word_bytes} B words (need {expected_line} B)"
+            )
+        return cls(
+            beta_local=banks_l + bank_cycle - 1,
+            beta_global=banks_g + bank_cycle - 1,
+        )
+
+    @property
+    def local_cluster(self) -> int:
+        """L1 miss served by the local second-level cache."""
+        return self.beta_local
+
+    @property
+    def global_memory(self) -> int:
+        """L2 miss, clean block: miss + controller fetch + refill."""
+        return 2 * self.beta_local + self.beta_global
+
+    @property
+    def dirty_remote(self) -> int:
+        """L2 miss with a dirty copy in a remote cluster: two triggered
+        write-backs (L1 then L2) before the re-issued fetch."""
+        return 4 * self.beta_local + 3 * self.beta_global
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "local_cluster": self.local_cluster,
+            "global_memory": self.global_memory,
+            "dirty_remote": self.dirty_remote,
+        }
+
+
+def table_5_5() -> List[Tuple[str, int, int]]:
+    """Regenerate Table 5.5: (access, CFM cycles, DASH cycles)."""
+    model = HierarchicalLatencyModel.from_config(
+        n_procs=16, n_clusters=4, line_bytes=16, word_bytes=2, bank_cycle=2
+    )
+    cfm = model.as_dict()
+    return [
+        ("Retrieve from local cluster", cfm["local_cluster"],
+         DASH_READ_LATENCY["local_cluster"]),
+        ("Retrieve from global memory (remote cluster)", cfm["global_memory"],
+         DASH_READ_LATENCY["global_memory"]),
+        ("Retrieve from dirty remote", cfm["dirty_remote"],
+         DASH_READ_LATENCY["dirty_remote"]),
+    ]
+
+
+def table_5_6() -> List[Tuple[str, int, int]]:
+    """Regenerate Table 5.6: (access, CFM cycles, KSR1 cycles)."""
+    model = HierarchicalLatencyModel.from_config(
+        n_procs=1024, n_clusters=32, line_bytes=128, word_bytes=2, bank_cycle=2
+    )
+    cfm = model.as_dict()
+    return [
+        ("Retrieve from local cluster", cfm["local_cluster"],
+         KSR1_READ_LATENCY["local_cluster"]),
+        ("Retrieve from global memory (remote cluster)", cfm["global_memory"],
+         KSR1_READ_LATENCY["global_memory"]),
+    ]
+
+
+def worst_case_miss_latency(
+    n_procs: int, cluster_size: int, beta_per_level: int
+) -> Tuple[int, int]:
+    """(levels, cycles) of the worst-case miss in a recursive hierarchy.
+
+    §5.4.3: "the memory access latency of the worst cache miss situation
+    increases logarithmically with the total number of processors."  With
+    clusters of ``cluster_size`` at every level, a machine of n processors
+    needs ``ceil(log_cluster_size(n))`` levels; the worst miss walks down
+    and back up each level once (dirty-remote at the top)."""
+    if n_procs <= 0 or cluster_size <= 1 or beta_per_level <= 0:
+        raise ValueError("invalid hierarchy parameters")
+    levels = max(1, math.ceil(math.log(n_procs) / math.log(cluster_size)))
+    # Down the hierarchy (miss at each level), triggered write-backs back up,
+    # and refills back down: a constant number of β per level.
+    cycles = levels * 7 * beta_per_level
+    return levels, cycles

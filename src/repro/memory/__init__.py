@@ -1,0 +1,40 @@
+"""Conventional-memory baselines the paper compares against.
+
+* :mod:`repro.memory.interleaved` — module-level retry simulators for
+  conventional interleaved memory (§3.4.1) and the partially conflict-free
+  organization (§3.4.2); these produce the *measured* counterparts of the
+  analytic efficiency curves in Figs 3.13–3.15.
+* :mod:`repro.memory.hotspot` — a buffered multistage network with finite
+  switch queues, exhibiting the hot-spot tree-saturation effect of Fig 2.1
+  that motivates the whole design.
+"""
+
+from repro.memory.combining import (
+    CombiningOmegaNetwork,
+    CombiningResult,
+    FetchAddRequest,
+)
+from repro.memory.hotspot import BufferedMINSimulator, TreeSaturationReport
+from repro.memory.interleaved import (
+    ConventionalMemorySimulator,
+    PartialCFMemorySimulator,
+    RetryMemorySimulator,
+)
+from repro.memory.orthogonal import OMPConfig, OrthogonalMemory
+from repro.memory.randmap import MappingPolicy, map_address, module_conflicts
+
+__all__ = [
+    "MappingPolicy",
+    "map_address",
+    "module_conflicts",
+    "RetryMemorySimulator",
+    "ConventionalMemorySimulator",
+    "PartialCFMemorySimulator",
+    "BufferedMINSimulator",
+    "TreeSaturationReport",
+    "CombiningOmegaNetwork",
+    "CombiningResult",
+    "FetchAddRequest",
+    "OMPConfig",
+    "OrthogonalMemory",
+]

@@ -1,0 +1,140 @@
+"""Combining networks: the NYU Ultracomputer / IBM RP3 approach (§2.1.1).
+
+Fetch-and-add requests to the *same memory location* that meet at a switch
+are combined into one; the switch holds the decombining information and
+splits the reply on the way back.  The paper's critique, which this model
+quantifies: "Combining ... can be applied only among operations that
+access the same memory location.  This restriction limits the usage of the
+combining technique" — requests to *different* locations in one module, or
+same-location requests arriving at different times, still conflict.
+
+The model pushes one batch of fetch-and-add requests through an omega
+network a stage at a time; at each switch, same-destination-*address*
+requests in the same slot merge.  Outputs: memory accesses actually issued
+and the serialization cost at the hot module, versus the no-combining
+case and versus the CFM (where a block-wide atomic covers the whole batch,
+§4.2/§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.omega import OmegaNetwork, perfect_shuffle
+
+
+@dataclass(frozen=True)
+class FetchAddRequest:
+    """One fetch-and-add: (module, offset) address plus an increment."""
+
+    src: int
+    module: int
+    offset: int
+    increment: int = 1
+
+
+@dataclass
+class CombiningResult:
+    requests: int
+    memory_accesses: int  # after combining
+    combinations: int  # merges performed inside the network
+    hot_serialization: int  # max accesses any single module serves
+
+    @property
+    def combining_ratio(self) -> float:
+        if self.requests == 0:
+            return 1.0
+        return self.memory_accesses / self.requests
+
+
+class CombiningOmegaNetwork:
+    """An omega network whose switches combine same-address fetch-and-adds."""
+
+    def __init__(self, n_ports: int):
+        self.net = OmegaNetwork(n_ports)
+        self.n = n_ports
+        self.k = self.net.n_stages
+
+    def _out_wire(self, stage: int, in_wire: int, module: int) -> int:
+        shuffled = perfect_shuffle(in_wire, self.n)
+        switch = shuffled >> 1
+        out_port = (module >> (self.k - 1 - stage)) & 1
+        return (switch << 1) | out_port
+
+    def push_batch(self, requests: Sequence[FetchAddRequest]) -> CombiningResult:
+        """Route one synchronized batch, combining at every stage.
+
+        Requests that land on the same wire after a stage and share the
+        exact (module, offset) address merge into one (their increments
+        add); different addresses on one wire stay distinct and will
+        serialize at the module."""
+        for r in requests:
+            if not 0 <= r.module < self.n:
+                raise ValueError(f"module {r.module} out of range")
+        # wire -> list of (module, offset, combined_increment, fan_in)
+        packets: Dict[int, List[Tuple[int, int, int, int]]] = {
+            r.src: [] for r in requests
+        }
+        for r in requests:
+            packets.setdefault(r.src, []).append(
+                (r.module, r.offset, r.increment, 1)
+            )
+        combinations = 0
+        for stage in range(self.k):
+            nxt: Dict[int, List[Tuple[int, int, int, int]]] = {}
+            for wire, pkts in packets.items():
+                for module, offset, inc, fan in pkts:
+                    out = self._out_wire(stage, wire, module)
+                    nxt.setdefault(out, []).append((module, offset, inc, fan))
+            # Combine same-address packets per wire.
+            for wire, pkts in nxt.items():
+                merged: Dict[Tuple[int, int], Tuple[int, int]] = {}
+                for module, offset, inc, fan in pkts:
+                    key = (module, offset)
+                    if key in merged:
+                        old_inc, old_fan = merged[key]
+                        merged[key] = (old_inc + inc, old_fan + fan)
+                        combinations += 1
+                    else:
+                        merged[key] = (inc, fan)
+                nxt[wire] = [
+                    (m, o, inc, fan) for (m, o), (inc, fan) in merged.items()
+                ]
+            packets = nxt
+        per_module: Dict[int, int] = {}
+        total = 0
+        for pkts in packets.values():
+            for module, _offset, _inc, _fan in pkts:
+                per_module[module] = per_module.get(module, 0) + 1
+                total += 1
+        return CombiningResult(
+            requests=len(requests),
+            memory_accesses=total,
+            combinations=combinations,
+            hot_serialization=max(per_module.values()) if per_module else 0,
+        )
+
+
+def no_combining_accesses(requests: Sequence[FetchAddRequest]) -> CombiningResult:
+    """The same batch without combining: every request reaches memory."""
+    per_module: Dict[int, int] = {}
+    for r in requests:
+        per_module[r.module] = per_module.get(r.module, 0) + 1
+    return CombiningResult(
+        requests=len(requests),
+        memory_accesses=len(requests),
+        combinations=0,
+        hot_serialization=max(per_module.values()) if per_module else 0,
+    )
+
+
+def same_location_batch(n: int, module: int = 0, offset: int = 0) -> List[FetchAddRequest]:
+    """The combining best case: everyone hits one counter (a barrier)."""
+    return [FetchAddRequest(src=i, module=module, offset=offset) for i in range(n)]
+
+
+def same_module_different_offsets(n: int, module: int = 0) -> List[FetchAddRequest]:
+    """The paper's critique case: one module, n distinct locations —
+    combining cannot help and the module serializes everything."""
+    return [FetchAddRequest(src=i, module=module, offset=i) for i in range(n)]

@@ -1,0 +1,249 @@
+"""Module-level retry simulators for conventional and partially
+conflict-free memory systems (§3.4.1–3.4.2).
+
+The paper's analytic model: each processor generates block accesses at rate
+*r* per CPU cycle; an access finding its target module busy retries after an
+average of ``g = β/2`` cycles; the efficiency is ``E = β / M`` where *M* is
+the expected time to complete an access once it reaches the head of the
+processor's queue.  These simulators measure exactly that quantity so the
+measured curves can be laid over the closed forms of
+:mod:`repro.analysis.efficiency` (Figs 3.13–3.15).
+
+Contention granularity is pluggable through :meth:`RetryMemorySimulator.
+resource_for`: conventional memory contends per *module*; the partially
+conflict-free system contends per *(module, AT-division)* — members of one
+conflict-free cluster never collide.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.partial import PartialCFSystem
+from repro.sim.rng import SeedLike, derive_rng
+from repro.sim.stats import Histogram, RunSummary
+
+
+@dataclass
+class _ProcState:
+    queue_len: int = 0  # accesses waiting behind the active one
+    active_module: Optional[int] = None
+    service_start: int = -1  # cycle the access reached the head
+    next_attempt: int = -1  # cycle of the next (re)try
+    completion_at: int = -1  # when the granted access finishes (-1: ungranted)
+    retries: int = 0
+
+
+class RetryMemorySimulator:
+    """Cycle-stepped blocked/retry memory contention simulator."""
+
+    def __init__(
+        self,
+        n_procs: int,
+        n_modules: int,
+        rate: float,
+        beta: int,
+        seed: SeedLike = 0,
+        retry_mean: Optional[float] = None,
+    ) -> None:
+        if n_procs <= 0 or n_modules <= 0:
+            raise ValueError("n_procs and n_modules must be positive")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.n_procs = n_procs
+        self.n_modules = n_modules
+        self.rate = rate
+        self.beta = beta
+        # Paper's model: a failed access waits an average of g = β/2 cycles.
+        self.retry_mean = retry_mean if retry_mean is not None else beta / 2.0
+        self.rng = derive_rng(seed, type(self).__name__, n_procs, n_modules, rate, beta)
+
+    # -- contention policy (overridden by subclasses) ------------------------
+
+    def resource_for(self, proc: int, module: int) -> Hashable:
+        """The contention unit an access occupies."""
+        raise NotImplementedError
+
+    def choose_module(self, proc: int) -> int:
+        """Target module for a new access (uniform by default)."""
+        return int(self.rng.integers(0, self.n_modules))
+
+    # -- engine --------------------------------------------------------------
+
+    def run(self, cycles: int) -> RunSummary:
+        procs = [_ProcState() for _ in range(self.n_procs)]
+        busy_until: Dict[Hashable, int] = {}
+        summary = RunSummary()
+        # Pre-draw arrivals, vectorized (hot-loop guide idiom).
+        arrivals = self.rng.random((cycles, self.n_procs)) < self.rate
+        def retry_backoff() -> int:
+            # Uniform in [1, 2g−1]: mean ≈ g = β/2, the paper's retry wait.
+            return 1 + int(
+                self.rng.integers(0, max(1, int(2 * self.retry_mean - 1)))
+            )
+        def start_access(st: _ProcState, p: int, now: int) -> None:
+            st.active_module = self.choose_module(p)
+            st.service_start = now
+            st.next_attempt = now
+            st.completion_at = -1
+            st.retries = 0
+
+        for now in range(cycles):
+            for p in range(self.n_procs):
+                st = procs[p]
+                # 1. Finish a granted access; pull the next one off the queue.
+                if st.active_module is not None and st.completion_at == now:
+                    summary.completed += 1
+                    summary.retries += st.retries
+                    summary.latencies.add(now - st.service_start)
+                    st.active_module = None
+                    st.completion_at = -1
+                    if st.queue_len > 0:
+                        st.queue_len -= 1
+                        start_access(st, p, now)
+                # 2. New arrival: start it, or queue it behind the active one.
+                if arrivals[now, p]:
+                    if st.active_module is None:
+                        start_access(st, p, now)
+                    else:
+                        st.queue_len += 1
+                # 3. (Re)try an ungranted access.
+                if (
+                    st.active_module is None
+                    or st.completion_at >= 0
+                    or st.next_attempt != now
+                ):
+                    continue
+                res = self.resource_for(p, st.active_module)
+                if busy_until.get(res, -1) >= now:
+                    # Conflict: abort, retry after an average of β/2 cycles.
+                    summary.conflicts += 1
+                    st.retries += 1
+                    st.next_attempt = now + retry_backoff()
+                    continue
+                # Granted: occupy the resource for a full block access.
+                busy_until[res] = now + self.beta - 1
+                st.completion_at = now + self.beta
+        summary.cycles = cycles
+        return summary
+
+    def measure_efficiency(self, cycles: int) -> float:
+        """Measured E = β / mean service time (0.0 if nothing completed)."""
+        summary = self.run(cycles)
+        if summary.completed == 0:
+            return 0.0
+        return summary.efficiency(self.beta)
+
+    def run_trace(self, trace) -> RunSummary:
+        """Replay a recorded :class:`repro.sim.trace.Trace`.
+
+        Same engine as :meth:`run`, but arrivals (and their target modules)
+        come from the trace — so two architectures can be compared on the
+        literally identical access sequence.  Each processor still serves
+        one access at a time; excess arrivals queue behind it."""
+        if trace.header.n_procs != self.n_procs:
+            raise ValueError(
+                f"trace has {trace.header.n_procs} processors, "
+                f"simulator has {self.n_procs}"
+            )
+        procs = [_ProcState() for _ in range(self.n_procs)]
+        queues: List[Deque[int]] = [deque() for _ in range(self.n_procs)]
+        busy_until: Dict[Hashable, int] = {}
+        summary = RunSummary()
+        def retry_backoff() -> int:
+            return 1 + int(
+                self.rng.integers(0, max(1, int(2 * self.retry_mean - 1)))
+            )
+
+        def start_access(st: _ProcState, p: int, module: int, now: int) -> None:
+            st.active_module = module
+            st.service_start = now
+            st.next_attempt = now
+            st.completion_at = -1
+            st.retries = 0
+
+        for now, batch in enumerate(trace.per_cycle()):
+            for ev in batch:
+                queues[ev.proc].append(ev.module)
+            for p in range(self.n_procs):
+                st = procs[p]
+                if st.active_module is not None and st.completion_at == now:
+                    summary.completed += 1
+                    summary.retries += st.retries
+                    summary.latencies.add(now - st.service_start)
+                    st.active_module = None
+                    st.completion_at = -1
+                if st.active_module is None and queues[p]:
+                    start_access(st, p, queues[p].popleft(), now)
+                if (
+                    st.active_module is None
+                    or st.completion_at >= 0
+                    or st.next_attempt != now
+                ):
+                    continue
+                res = self.resource_for(p, st.active_module)
+                if busy_until.get(res, -1) >= now:
+                    summary.conflicts += 1
+                    st.retries += 1
+                    st.next_attempt = now + retry_backoff()
+                    continue
+                busy_until[res] = now + self.beta - 1
+                st.completion_at = now + self.beta
+        summary.cycles = trace.header.cycles
+        return summary
+
+
+class ConventionalMemorySimulator(RetryMemorySimulator):
+    """Conventional interleaved memory: one contention unit per module."""
+
+    def resource_for(self, proc: int, module: int) -> Hashable:
+        return module
+
+
+class PartialCFMemorySimulator(RetryMemorySimulator):
+    """Partially conflict-free memory: contention per (module, AT-division),
+    with the locality-λ access pattern of §3.4.2."""
+
+    def __init__(
+        self,
+        system: PartialCFSystem,
+        rate: float,
+        locality: float = 0.0,
+        seed: SeedLike = 0,
+        retry_mean: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            n_procs=system.n_procs,
+            n_modules=system.n_modules,
+            rate=rate,
+            beta=system.beta,
+            seed=seed,
+            retry_mean=retry_mean,
+        )
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError(f"locality must be in [0, 1], got {locality}")
+        self.system = system
+        self.locality = locality
+
+    def resource_for(self, proc: int, module: int) -> Hashable:
+        return self.system.resource_key(proc, module)
+
+    def choose_module(self, proc: int) -> int:
+        local = self.system.local_module(proc)
+        if self.n_modules == 1 or self.rng.random() < self.locality:
+            return local
+        other = int(self.rng.integers(0, self.n_modules - 1))
+        return other + 1 if other >= local else other
+
+
+def fully_conflict_free_efficiency() -> float:
+    """The fully conflict-free system's efficiency is 1.0 by construction
+    (§3.4.1: 'the efficiency of memory accesses can roughly be thought of
+    as 100%')."""
+    return 1.0

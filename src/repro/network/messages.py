@@ -1,0 +1,105 @@
+"""Memory-access message headers and network overhead (Figs 3.9/3.10, §3.4.3).
+
+In a circuit-switching omega network every request message must carry the
+memory-module number (consumed by the switch columns as routing bits) plus
+the offset.  In a *synchronous* omega network the bank is defined by the
+system clock, so the header carries **only the offset**; a partially
+synchronous network carries module + offset (the clock selects the bank).
+Smaller headers mean less network occupancy per access — quantified here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class MessageHeader:
+    """A memory-request header: named fields with bit widths."""
+
+    fields: Dict[str, int]
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.fields.values())
+
+    def field_names(self) -> List[str]:
+        return list(self.fields.keys())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+
+def _bits_for(count: int) -> int:
+    """Bits needed to name ``count`` distinct things (0 for a single one)."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return max(0, math.ceil(math.log2(count)))
+
+
+def circuit_switching_header(
+    n_modules: int, offset_bits: int, n_banks_per_module: int = 1
+) -> MessageHeader:
+    """Fig 3.9a: module number (routing) + offset (+ bank if interleaved)."""
+    fields: Dict[str, int] = {}
+    mod_bits = _bits_for(n_modules)
+    if mod_bits:
+        fields["module"] = mod_bits
+    fields["offset"] = offset_bits
+    bank_bits = _bits_for(n_banks_per_module)
+    if bank_bits:
+        fields["bank"] = bank_bits
+    return MessageHeader(fields)
+
+
+def synchronous_header(offset_bits: int) -> MessageHeader:
+    """Fig 3.9b: the synchronous omega needs only the offset — the bank is
+    selected by the system clock."""
+    return MessageHeader({"offset": offset_bits})
+
+
+def partially_synchronous_header(n_modules: int, offset_bits: int) -> MessageHeader:
+    """Fig 3.10: module number (circuit columns) + offset; the bank number
+    is selected by the clock and never transmitted."""
+    fields: Dict[str, int] = {}
+    mod_bits = _bits_for(n_modules)
+    if mod_bits:
+        fields["module"] = mod_bits
+    fields["offset"] = offset_bits
+    return MessageHeader(fields)
+
+
+def header_overhead_ratio(header: MessageHeader, payload_bits: int) -> float:
+    """Header bits as a fraction of the whole message."""
+    if payload_bits < 0:
+        raise ValueError("payload_bits must be >= 0")
+    total = header.total_bits + payload_bits
+    if total == 0:
+        return 0.0
+    return header.total_bits / total
+
+
+def header_savings(
+    n_modules: int, offset_bits: int, n_banks_per_module: int
+) -> int:
+    """Bits saved per request by clock-driven bank selection (§3.4.3)."""
+    circuit = circuit_switching_header(
+        n_modules * n_banks_per_module, offset_bits, 1
+    )
+    partial = partially_synchronous_header(n_modules, offset_bits)
+    return circuit.total_bits - partial.total_bits
+
+
+def address_space_bits(address_space_bytes: int, block_bytes: int) -> int:
+    """Offset width needed to address a shared space of the given size.
+
+    §3.4.3 notes the CFM handles >4 GB shared spaces without the special
+    address transformation the BBN TC2000 needs: the offset field is just
+    sized to the space (no CPU address-width coupling)."""
+    if address_space_bytes <= 0 or block_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    if address_space_bytes % block_bytes != 0:
+        raise ValueError("address space must be a whole number of blocks")
+    return _bits_for(address_space_bytes // block_bytes)

@@ -1,0 +1,157 @@
+"""The omega multistage interconnection network (Fig 3.7).
+
+An N×N omega network (N = 2^k) is k columns of N/2 two-by-two switches,
+each column preceded by a perfect-shuffle wiring.  A circuit-switched path
+from source *s* to destination *d* is set by consuming *d*'s bits MSB-first,
+one per column (0 = upper output, 1 = lower output).
+
+:class:`OmegaNetwork` computes paths, switch settings, and — the property
+the CFM exploits — whether a *set* of simultaneous paths is conflict-free
+(no two paths demanding different settings of one switch, equivalently no
+output-port collision).  Lawrie (1975) showed the uniform-shift
+permutations ``i → (i + t) mod N`` are all conflict-free; the synchronous
+omega network of §3.2.1 is built on exactly that fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+STRAIGHT = 0
+INTERCHANGE = 1
+
+
+class RoutingConflict(RuntimeError):
+    """Two circuit-switched paths demanded incompatible switch settings."""
+
+
+def perfect_shuffle(wire: int, n: int) -> int:
+    """Perfect shuffle: rotate the log2(n)-bit wire index left by one."""
+    k = n.bit_length() - 1
+    if 1 << k != n:
+        raise ValueError(f"n must be a power of two, got {n}")
+    if not 0 <= wire < n:
+        raise ValueError(f"wire {wire} out of range [0, {n})")
+    msb = (wire >> (k - 1)) & 1
+    return ((wire << 1) & (n - 1)) | msb
+
+
+def inverse_shuffle(wire: int, n: int) -> int:
+    """Inverse perfect shuffle: rotate right by one."""
+    k = n.bit_length() - 1
+    if 1 << k != n:
+        raise ValueError(f"n must be a power of two, got {n}")
+    lsb = wire & 1
+    return (wire >> 1) | (lsb << (k - 1))
+
+
+@dataclass(frozen=True)
+class PathHop:
+    """One switch traversal of a circuit-switched path."""
+
+    stage: int
+    switch: int
+    in_port: int
+    out_port: int
+
+    @property
+    def setting(self) -> int:
+        """STRAIGHT if the hop keeps its side, INTERCHANGE if it crosses."""
+        return STRAIGHT if self.in_port == self.out_port else INTERCHANGE
+
+
+class OmegaNetwork:
+    """An N×N omega network, N a power of two."""
+
+    def __init__(self, n_ports: int):
+        k = n_ports.bit_length() - 1
+        if 1 << k != n_ports or n_ports < 2:
+            raise ValueError(f"n_ports must be a power of two >= 2, got {n_ports}")
+        self.n_ports = n_ports
+        self.n_stages = k
+        self.switches_per_stage = n_ports // 2
+
+    def route_path(self, src: int, dst: int) -> List[PathHop]:
+        """The unique path from ``src`` to ``dst`` (destination-bit routing)."""
+        if not 0 <= src < self.n_ports:
+            raise ValueError(f"src {src} out of range")
+        if not 0 <= dst < self.n_ports:
+            raise ValueError(f"dst {dst} out of range")
+        hops: List[PathHop] = []
+        cur = src
+        for stage in range(self.n_stages):
+            cur = perfect_shuffle(cur, self.n_ports)
+            switch, in_port = cur >> 1, cur & 1
+            out_port = (dst >> (self.n_stages - 1 - stage)) & 1
+            hops.append(PathHop(stage, switch, in_port, out_port))
+            cur = (switch << 1) | out_port
+        assert cur == dst, "destination-bit routing must land on dst"
+        return hops
+
+    def settings_for(self, pairs: Sequence[Tuple[int, int]]) -> List[List[Optional[int]]]:
+        """Switch settings realizing all (src, dst) pairs simultaneously.
+
+        Returns ``settings[stage][switch]`` ∈ {STRAIGHT, INTERCHANGE, None
+        (unused)}.  Raises :class:`RoutingConflict` if the pairs are not
+        simultaneously realizable — i.e. some switch would need both
+        settings, or an output port is claimed twice.
+        """
+        settings: List[List[Optional[int]]] = [
+            [None] * self.switches_per_stage for _ in range(self.n_stages)
+        ]
+        out_claimed: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        for src, dst in pairs:
+            for hop in self.route_path(src, dst):
+                key = (hop.stage, hop.switch, hop.out_port)
+                prev = out_claimed.get(key)
+                if prev is not None and prev != (src, dst):
+                    raise RoutingConflict(
+                        f"output port {hop.out_port} of switch {hop.switch} "
+                        f"stage {hop.stage} claimed by both {prev} and {(src, dst)}"
+                    )
+                out_claimed[key] = (src, dst)
+                current = settings[hop.stage][hop.switch]
+                if current is not None and current != hop.setting:
+                    raise RoutingConflict(
+                        f"switch {hop.switch} stage {hop.stage} needs both "
+                        "STRAIGHT and INTERCHANGE"
+                    )
+                settings[hop.stage][hop.switch] = hop.setting
+        return settings
+
+    def is_conflict_free(self, pairs: Sequence[Tuple[int, int]]) -> bool:
+        """True iff all pairs are simultaneously circuit-switchable."""
+        try:
+            self.settings_for(pairs)
+        except RoutingConflict:
+            return False
+        return True
+
+    def permutation_settings(self, perm: Sequence[int]) -> List[List[int]]:
+        """Settings realizing a full permutation (every switch used)."""
+        if sorted(perm) != list(range(self.n_ports)):
+            raise ValueError("perm must be a permutation of the ports")
+        settings = self.settings_for([(i, perm[i]) for i in range(self.n_ports)])
+        out: List[List[int]] = []
+        for stage in settings:
+            if any(s is None for s in stage):
+                raise RoutingConflict("permutation left a switch unused — impossible")
+            out.append([int(s) for s in stage])  # type: ignore[arg-type]
+        return out
+
+    def count_blocked(self, pairs: Sequence[Tuple[int, int]]) -> int:
+        """Greedy circuit-switching: how many of ``pairs`` get blocked.
+
+        Models the BBN-style behaviour where a request finding a busy
+        switch output is aborted and retried later (§2.1.2); earlier pairs
+        in the sequence win.
+        """
+        granted: List[Tuple[int, int]] = []
+        blocked = 0
+        for pair in pairs:
+            if self.is_conflict_free(granted + [pair]):
+                granted.append(pair)
+            else:
+                blocked += 1
+        return blocked

@@ -1,0 +1,39 @@
+"""Uniform table/series formatting shared by the CLI and the benchmark
+harness, so regenerated paper tables print identically everywhere."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Render a titled, aligned text table."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, r)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out = [f"\n--- {title} ---", line, "-" * len(line)]
+    for r in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def emit_table(title: str, headers: Sequence[str],
+               rows: Iterable[Sequence]) -> None:
+    """Print a titled, aligned text table."""
+    print(format_table(title, headers, rows))
+
+
+def emit_series(title: str, x_name: str, xs: Sequence[float],
+                series: dict, every: int = 10) -> None:
+    """Print a figure's curves as a decimated table of points."""
+    headers = [x_name] + list(series.keys())
+    rows = []
+    idx = list(range(0, len(xs), every))
+    if idx and idx[-1] != len(xs) - 1:
+        idx.append(len(xs) - 1)
+    for i in idx:
+        rows.append([f"{xs[i]:.3f}"] + [f"{series[k][i]:.3f}" for k in series])
+    emit_table(title, headers, rows)

@@ -1,0 +1,48 @@
+"""Simulation kernel: cycle/event engines, cooperative processes, RNG, stats.
+
+This subpackage is the substrate every simulator in the reproduction runs on:
+
+* :mod:`repro.sim.engine` — a deterministic discrete-event engine and a
+  slot-stepped clock (one slot = one CPU cycle, the granularity of the paper).
+* :mod:`repro.sim.procs` — cooperative generator-based processes with a
+  deterministic round-robin scheduler; used by the lock simulations and the
+  resource-binding runtime (Chapter 6).
+* :mod:`repro.sim.rng` — seeded, stream-splittable randomness so every
+  experiment is reproducible.
+* :mod:`repro.sim.stats` — counters, online mean/variance, histograms and
+  utilization tracking used by the benchmark harness.
+* :mod:`repro.sim.workload` — synthetic workload generators standing in for
+  the paper's assumed access patterns (uniform rate *r*, hot-spot, locality λ).
+"""
+
+from repro.sim.engine import Engine, Event, SlotClock
+from repro.sim.procs import Delay, Halt, Process, Scheduler, SchedulerDeadlock
+from repro.sim.rng import derive_rng, make_rng
+from repro.sim.stats import Histogram, RunningStats, TallyCounter, Utilization
+from repro.sim.workload import (
+    AccessEvent,
+    HotSpotWorkload,
+    LocalityWorkload,
+    UniformWorkload,
+)
+
+__all__ = [
+    "Engine",
+    "Event",
+    "SlotClock",
+    "Process",
+    "Scheduler",
+    "SchedulerDeadlock",
+    "Delay",
+    "Halt",
+    "make_rng",
+    "derive_rng",
+    "TallyCounter",
+    "RunningStats",
+    "Histogram",
+    "Utilization",
+    "AccessEvent",
+    "UniformWorkload",
+    "HotSpotWorkload",
+    "LocalityWorkload",
+]

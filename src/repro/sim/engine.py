@@ -1,0 +1,158 @@
+"""Discrete-event engine and slot clock.
+
+The paper reasons about the CFM at the granularity of *time slots* ("a time
+slot is usually the length of a CPU cycle", §3.1.1).  Two complementary
+drivers are provided:
+
+* :class:`SlotClock` — a bare counter advanced one slot at a time; components
+  register ``tick`` callbacks that fire every slot in registration order.
+  This is what the cycle-level memory simulators use: everything in the CFM
+  is clock-driven, so a synchronous tick model is the faithful one.
+
+* :class:`Engine` — a classic event-heap discrete-event simulator for the
+  baselines that are *not* synchronous (buffered MINs with queueing,
+  circuit-switching retries), where events land at irregular times.
+
+Both are fully deterministic: ties in the event heap break on insertion
+order, and tick callbacks run in registration order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is ``(time, seq)`` so that simultaneous events fire in the
+    order they were scheduled — determinism matters more than realism here.
+    """
+
+    time: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine.
+
+    >>> eng = Engine()
+    >>> out = []
+    >>> _ = eng.schedule(5, lambda: out.append("a"))
+    >>> _ = eng.schedule(3, lambda: out.append("b"))
+    >>> eng.run()
+    >>> out
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self.now: int = 0
+        self._running = False
+
+    def schedule(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at absolute ``time`` (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        ev = Event(time=time, seq=next(self._seq), fn=fn)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when nothing is left."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run events until the heap drains or ``now`` would pass ``until``."""
+        self._running = True
+        try:
+            while self._heap:
+                nxt = self.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self.now = until
+                    break
+                self.step()
+            else:
+                if until is not None:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of live events still scheduled."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+
+class SlotClock:
+    """Synchronous slot counter with ordered tick callbacks.
+
+    The CFM hardware is driven entirely by the system clock (§3.2.1: "all
+    the switches are synchronous, correct connection states for all switches
+    can be set simultaneously for each time slot").  Components subscribe a
+    ``tick(slot)`` callable; every :meth:`advance` fires them in registration
+    order at the *new* slot value.
+    """
+
+    def __init__(self, period: Optional[int] = None) -> None:
+        if period is not None and period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self.slot: int = 0
+        self._subscribers: List[Callable[[int], None]] = []
+
+    @property
+    def phase(self) -> int:
+        """Slot number within the current time period (``slot mod period``)."""
+        if self.period is None:
+            return self.slot
+        return self.slot % self.period
+
+    def subscribe(self, fn: Callable[[int], None]) -> None:
+        """Register a tick callback fired on every :meth:`advance`."""
+        self._subscribers.append(fn)
+
+    def advance(self, slots: int = 1) -> int:
+        """Advance the clock ``slots`` slots, firing subscribers each slot."""
+        if slots < 0:
+            raise ValueError(f"slots must be >= 0, got {slots}")
+        for _ in range(slots):
+            self.slot += 1
+            for fn in self._subscribers:
+                fn(self.slot)
+        return self.slot
+
+    def reset(self) -> None:
+        """Rewind to slot 0 (subscribers are kept)."""
+        self.slot = 0

@@ -1,0 +1,137 @@
+"""Memory-access trace record/replay.
+
+Workload generators produce synthetic streams; traces make them *portable*:
+record once, replay into any simulator (conventional, partially
+conflict-free, slot-accurate multi-module) so architecture comparisons use
+literally identical access sequences — the strongest form of common random
+numbers.
+
+The format is JSON-lines with a one-line header, so traces diff cleanly
+and survive hand editing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, TextIO, Union
+
+from repro.sim.workload import AccessEvent
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    n_procs: int
+    n_modules: int
+    cycles: int
+    description: str = ""
+    version: int = FORMAT_VERSION
+
+
+class Trace:
+    """An ordered access trace with its machine-shape header."""
+
+    def __init__(self, header: TraceHeader, events: Sequence[AccessEvent]):
+        self.header = header
+        self.events = list(events)
+        self._validate()
+
+    def _validate(self) -> None:
+        h = self.header
+        if h.n_procs <= 0 or h.n_modules <= 0 or h.cycles < 0:
+            raise ValueError("invalid trace header")
+        last_cycle = -1
+        for ev in self.events:
+            if not 0 <= ev.proc < h.n_procs:
+                raise ValueError(f"event proc {ev.proc} outside header range")
+            if not 0 <= ev.module < h.n_modules:
+                raise ValueError(f"event module {ev.module} outside header range")
+            if ev.cycle < last_cycle:
+                raise ValueError("trace events must be cycle-ordered")
+            if ev.cycle >= h.cycles:
+                raise ValueError(f"event at cycle {ev.cycle} beyond header cycles")
+            last_cycle = ev.cycle
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[AccessEvent]:
+        return iter(self.events)
+
+    # -- serialization ------------------------------------------------------
+
+    def dump(self, fp: TextIO) -> None:
+        fp.write(json.dumps(asdict(self.header)) + "\n")
+        for ev in self.events:
+            fp.write(
+                json.dumps(
+                    [ev.cycle, ev.proc, ev.module, ev.offset, int(ev.is_write)]
+                )
+                + "\n"
+            )
+
+    def dumps(self) -> str:
+        buf = io.StringIO()
+        self.dump(buf)
+        return buf.getvalue()
+
+    def save(self, path: Union[str, Path]) -> None:
+        with open(path, "w", encoding="utf-8") as fp:
+            self.dump(fp)
+
+    @classmethod
+    def load_from(cls, fp: TextIO) -> "Trace":
+        header_line = fp.readline()
+        if not header_line.strip():
+            raise ValueError("empty trace")
+        raw = json.loads(header_line)
+        if raw.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace version {raw.get('version')}")
+        header = TraceHeader(**raw)
+        events: List[AccessEvent] = []
+        for line in fp:
+            if not line.strip():
+                continue
+            cycle, proc, module, offset, is_write = json.loads(line)
+            events.append(
+                AccessEvent(cycle=cycle, proc=proc, module=module,
+                            offset=offset, is_write=bool(is_write))
+            )
+        return cls(header, events)
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        return cls.load_from(io.StringIO(text))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.load_from(fp)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def record(cls, workload, cycles: int, description: str = "") -> "Trace":
+        """Materialize a workload generator into a trace."""
+        events = workload.generate(cycles)
+        header = TraceHeader(
+            n_procs=workload.n_procs,
+            n_modules=workload.n_modules,
+            cycles=cycles,
+            description=description,
+        )
+        return cls(header, events)
+
+    def per_cycle(self) -> Iterator[List[AccessEvent]]:
+        """Yield the (possibly empty) event batch of every cycle in order."""
+        idx = 0
+        for cycle in range(self.header.cycles):
+            batch: List[AccessEvent] = []
+            while idx < len(self.events) and self.events[idx].cycle == cycle:
+                batch.append(self.events[idx])
+                idx += 1
+            yield batch

@@ -1,0 +1,33 @@
+"""Chapter 4: data consistency and atomic operations via address tracking.
+
+* :mod:`repro.tracking.att` — the Address Tracking Table: a per-bank
+  (m−1)-entry associative queue recording which block offsets recently
+  *started* a write at this bank (Fig 4.2).
+* :mod:`repro.tracking.access_control` — the abort/restart rules layered on
+  the CFM engine (§4.1.2, Figs 4.3–4.5), in both priority modes: the basic
+  latest-issued-wins mode of §4.1 and the first-issued-wins mode required
+  once atomic swaps exist (§4.2.1, Fig 4.6).
+* :mod:`repro.tracking.atomic` — atomic swap and read-modify-write built
+  from a read phase chained into a write phase, plus the re-issue driver.
+* :mod:`repro.tracking.locks` — busy-waiting lock/unlock on atomic swap
+  with no hot-spot traffic (§4.2.2).
+"""
+
+from repro.tracking.access_control import AddressTrackingController, PriorityMode
+from repro.tracking.att import AddressTrackingTable, ATTEntry
+from repro.tracking.atomic import CFMDriver, SwapOperation, WriteOperation, ReadOperation
+from repro.tracking.locks import SpinLockSystem
+from repro.tracking.passive import PassiveWakeupLockSystem
+
+__all__ = [
+    "PassiveWakeupLockSystem",
+    "AddressTrackingTable",
+    "ATTEntry",
+    "AddressTrackingController",
+    "PriorityMode",
+    "CFMDriver",
+    "SwapOperation",
+    "WriteOperation",
+    "ReadOperation",
+    "SpinLockSystem",
+]

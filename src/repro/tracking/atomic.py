@@ -1,0 +1,288 @@
+"""Atomic operations on the address-tracked CFM (§4.2).
+
+The atomic swap exchanges a processor register (here: a block of values)
+with a memory block.  It is "composed of a read phase and a write phase
+executing ... sequentially and atomically on the same block": the read
+phase collects the old block, the write phase begins on the very next slot
+("the read and write accesses of the atomic operation can proceed
+continuously without extra delay"), and the address-tracking rules of
+:class:`repro.tracking.access_control.AddressTrackingController` in
+FIRST_WINS mode restart the whole swap whenever another write interleaves —
+so every completed swap is equivalent to some serial execution (Fig 4.6).
+
+Read-modify-write is the same machine with the new value computed from the
+old block during the pipelined turnaround; swap, test-and-set and
+fetch-and-add are special cases.
+
+:class:`CFMDriver` supplies the re-issue plumbing the hardware would do
+implicitly: operations aborted with RETRY are re-issued after a
+configurable delay.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.block import Block
+from repro.core.cfm import (
+    AccessKind,
+    AccessState,
+    BlockAccess,
+    CFMemory,
+    ControlAction,
+)
+
+
+class OpStatus(enum.Enum):
+    """Lifecycle of a driver-managed operation."""
+    PENDING = "pending"
+    ACTIVE = "active"
+    DONE = "done"
+    ABORTED = "aborted"  # final abort (lost a write-write race, §4.1 style)
+
+
+class CFMDriver:
+    """Ticks a :class:`CFMemory` and re-issues deferred operations."""
+
+    def __init__(self, mem: CFMemory):
+        self.mem = mem
+        self._deferred: List[Tuple[int, Callable[[], None]]] = []
+
+    @property
+    def slot(self) -> int:
+        return self.mem.slot
+
+    def defer(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` just before the tick ``delay`` slots from now."""
+        if delay < 1:
+            raise ValueError("delay must be >= 1")
+        self._deferred.append((self.mem.slot + delay, fn))
+
+    def tick(self) -> None:
+        due = [f for (s, f) in self._deferred if s <= self.mem.slot]
+        self._deferred = [(s, f) for (s, f) in self._deferred if s > self.mem.slot]
+        for fn in due:
+            fn()
+        self.mem.tick()
+
+    def run(self, slots: int) -> None:
+        for _ in range(slots):
+            self.tick()
+
+    def run_until(self, done: Callable[[], bool], max_slots: int = 100_000) -> int:
+        start = self.mem.slot
+        while not done():
+            if self.mem.slot - start > max_slots:
+                raise RuntimeError(f"operations did not finish in {max_slots} slots")
+            self.tick()
+        return self.mem.slot - start
+
+
+class _Operation:
+    """Common bookkeeping for driver-managed operations."""
+
+    def __init__(self, driver: CFMDriver, proc: int, offset: int, retry_delay: int = 1):
+        self.driver = driver
+        self.proc = proc
+        self.offset = offset
+        self.retry_delay = retry_delay
+        self.status = OpStatus.PENDING
+        self.attempts = 0
+        self.issue_slot: Optional[int] = None
+        self.done_slot: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status in (OpStatus.DONE, OpStatus.ABORTED)
+
+    @property
+    def total_latency(self) -> int:
+        if self.issue_slot is None or self.done_slot is None:
+            raise ValueError("operation has not completed")
+        return self.done_slot - self.issue_slot + 1
+
+    def _retryable(self, acc: BlockAccess) -> bool:
+        return (
+            acc.state is AccessState.ABORTED
+            and acc.final_action is ControlAction.RETRY
+        )
+
+
+class ReadOperation(_Operation):
+    """A plain block read; restarts are internal to the engine (§4.1.2)."""
+
+    def __init__(self, driver: CFMDriver, proc: int, offset: int, retry_delay: int = 1):
+        super().__init__(driver, proc, offset, retry_delay)
+        self.result: Optional[Block] = None
+
+    def start(self) -> "ReadOperation":
+        self.status = OpStatus.ACTIVE
+        self.attempts += 1
+        if self.issue_slot is None:
+            self.issue_slot = self.driver.slot
+        self.driver.mem.issue(
+            self.proc, AccessKind.READ, self.offset, on_finish=self._finished
+        )
+        return self
+
+    def _finished(self, acc: BlockAccess) -> None:
+        if acc.state is AccessState.COMPLETED:
+            self.result = acc.result
+            self.status = OpStatus.DONE
+            self.done_slot = acc.complete_slot
+        elif self._retryable(acc):
+            self.driver.defer(self.retry_delay, self.start)
+        else:
+            self.status = OpStatus.ABORTED
+            self.done_slot = self.driver.slot
+
+
+class WriteOperation(_Operation):
+    """A plain block write under address-tracking control.
+
+    May finally ABORT (it lost to a competing same-address write whose data
+    supersedes it — §4.1.2's intended semantics) or be re-issued when the
+    controller demanded a RETRY (it raced a swap, Fig 4.6d)."""
+
+    def __init__(
+        self,
+        driver: CFMDriver,
+        proc: int,
+        offset: int,
+        values: Sequence[int],
+        version: Optional[str] = None,
+        retry_delay: int = 1,
+    ):
+        super().__init__(driver, proc, offset, retry_delay)
+        self.values = list(values)
+        self.version = version
+
+    def start(self) -> "WriteOperation":
+        self.status = OpStatus.ACTIVE
+        self.attempts += 1
+        if self.issue_slot is None:
+            self.issue_slot = self.driver.slot
+        self.driver.mem.issue(
+            self.proc,
+            AccessKind.WRITE,
+            self.offset,
+            data=Block.of_values(self.values, self.version),
+            version=self.version,
+            on_finish=self._finished,
+        )
+        return self
+
+    def _finished(self, acc: BlockAccess) -> None:
+        if acc.state is AccessState.COMPLETED:
+            self.status = OpStatus.DONE
+            self.done_slot = acc.complete_slot
+        elif self._retryable(acc):
+            self.driver.defer(self.retry_delay, self.start)
+        else:
+            self.status = OpStatus.ABORTED
+            self.done_slot = self.driver.slot
+
+
+NewValues = Union[Sequence[int], Callable[[Block], Sequence[int]]]
+
+
+class SwapOperation(_Operation):
+    """Atomic swap / read-modify-write (§4.2.1).
+
+    ``new_values`` may be a literal word list (swap) or a function of the
+    old block (read-modify-write — computed during the pipelined
+    turnaround, costing no extra slot).  The whole operation restarts from
+    its read phase whenever either phase detects a competing write."""
+
+    def __init__(
+        self,
+        driver: CFMDriver,
+        proc: int,
+        offset: int,
+        new_values: NewValues,
+        version: Optional[str] = None,
+        retry_delay: int = 1,
+    ):
+        super().__init__(driver, proc, offset, retry_delay)
+        self.new_values = new_values
+        self.version = version
+        self.old_block: Optional[Block] = None
+        self.full_restarts = 0
+
+    def start(self) -> "SwapOperation":
+        self.status = OpStatus.ACTIVE
+        self.attempts += 1
+        if self.issue_slot is None:
+            self.issue_slot = self.driver.slot
+        self.driver.mem.issue(
+            self.proc, AccessKind.SWAP_READ, self.offset, on_finish=self._read_done
+        )
+        return self
+
+    def _restart(self) -> None:
+        self.full_restarts += 1
+        self.old_block = None
+        self.driver.defer(self.retry_delay, self.start)
+
+    def _read_done(self, acc: BlockAccess) -> None:
+        if acc.state is AccessState.ABORTED:
+            self._restart()
+            return
+        self.old_block = acc.result
+        values = (
+            list(self.new_values(self.old_block))
+            if callable(self.new_values)
+            else list(self.new_values)
+        )
+        if len(values) != self.driver.mem.n_banks:
+            raise ValueError(
+                f"swap needs {self.driver.mem.n_banks} words, got {len(values)}"
+            )
+        # Write phase issues immediately; it begins on the next slot — the
+        # "continuous, no extra delay" pipelining of §4.2.1.
+        self.driver.mem.issue(
+            self.proc,
+            AccessKind.SWAP_WRITE,
+            self.offset,
+            data=Block.of_values(values, self.version),
+            version=self.version,
+            on_finish=self._write_done,
+        )
+
+    def _write_done(self, acc: BlockAccess) -> None:
+        if acc.state is AccessState.ABORTED:
+            self._restart()
+            return
+        self.status = OpStatus.DONE
+        self.done_slot = acc.complete_slot
+
+
+def swap(
+    driver: CFMDriver, proc: int, offset: int, new_values: Sequence[int],
+    version: Optional[str] = None,
+) -> SwapOperation:
+    """Convenience: start an atomic swap."""
+    return SwapOperation(driver, proc, offset, new_values, version).start()
+
+
+def fetch_and_add(
+    driver: CFMDriver, proc: int, offset: int, delta: int, version: Optional[str] = None
+) -> SwapOperation:
+    """Atomic fetch-and-add on every word of the block (RMW special case)."""
+    return SwapOperation(
+        driver, proc, offset,
+        lambda old: [w.value + delta for w in old.words],
+        version,
+    ).start()
+
+
+def test_and_set(
+    driver: CFMDriver, proc: int, offset: int, version: Optional[str] = None
+) -> SwapOperation:
+    """Atomic test-and-set: store all-ones, old value tells if it was free."""
+    return SwapOperation(
+        driver, proc, offset,
+        lambda old: [1] * len(old.words),
+        version,
+    ).start()

@@ -1,0 +1,98 @@
+"""The Address Tracking Table (§4.1.2, Fig 4.2).
+
+One ATT sits beside each memory bank: an ``(m−1) × a`` associative memory
+(m banks, a-bit offsets) behaving as a queue that shifts one position per
+time slot.  A write operation inserts its block offset at the head of the
+ATT of the *first* bank it touches; every other bank visit inserts a blank.
+Non-blank entries therefore record "a write of block X started at this bank
+*age* slots ago" for ages 1..m−1 — exactly the window in which another
+access to block X can interleave dangerously.
+
+Because ages are what the control rules consume, we store entries with
+their insertion slot and compute ages on demand instead of physically
+shifting — same semantics, O(1) per slot.  Comparison against the ATT is
+free in the hardware (associative match concurrent with address decode,
+§4.1.2), so no latency is charged for lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.cfm import AccessKind
+
+
+@dataclass(frozen=True)
+class ATTEntry:
+    """One non-blank ATT entry: a write that started at this bank."""
+
+    offset: int
+    op_id: int
+    kind: AccessKind
+    insert_slot: int
+
+    def age(self, slot: int) -> int:
+        return slot - self.insert_slot
+
+
+class AddressTrackingTable:
+    """ATT for a single bank, with age-window associative lookup."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: List[ATTEntry] = []
+
+    def insert(self, offset: int, op_id: int, kind: AccessKind, slot: int) -> None:
+        """Record an operation starting at this bank in ``slot``.
+
+        In Chapter 4 only write-direction operations insert offsets; the
+        Chapter 5 cache protocol additionally inserts read-invalidate
+        operations (§5.2.4).  Plain reads and non-first banks insert
+        blanks, which we simply don't store."""
+        if kind is AccessKind.READ:
+            raise ValueError("plain reads never insert into an ATT")
+        self._entries.append(ATTEntry(offset, op_id, kind, slot))
+
+    def prune(self, slot: int) -> None:
+        """Drop entries that have shifted off the end (age > capacity)."""
+        self._entries = [e for e in self._entries if e.age(slot) <= self.capacity]
+
+    def lookup(
+        self,
+        offset: int,
+        slot: int,
+        min_age: int = 1,
+        max_age: Optional[int] = None,
+        exclude_op: Optional[int] = None,
+    ) -> List[ATTEntry]:
+        """Entries matching ``offset`` whose age lies in [min_age, max_age].
+
+        ``max_age=None`` means "up to the full queue depth" — the read rule
+        compares against *all* entries.  Age 0 (inserted this very slot)
+        can only be the op's own insertion, so ``min_age`` is at least 1 by
+        convention; ``exclude_op`` guards against self-matching anyway.
+        """
+        if min_age < 0:
+            raise ValueError("min_age must be >= 0")
+        hi = self.capacity if max_age is None else max_age
+        out: List[ATTEntry] = []
+        for e in self._entries:
+            if e.offset != offset:
+                continue
+            if exclude_op is not None and e.op_id == exclude_op:
+                continue
+            a = e.age(slot)
+            if min_age <= a <= hi:
+                out.append(e)
+        return out
+
+    def entries_at(self, slot: int) -> List[ATTEntry]:
+        """Live entries ordered head-first (youngest age first)."""
+        live = [e for e in self._entries if 0 <= e.age(slot) <= self.capacity]
+        return sorted(live, key=lambda e: e.age(slot))
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,115 @@
+"""Passive-wakeup locking (§4.2.2) — the busy-waiting alternative.
+
+"The second protocol forces the process waiting for a lock to sleep until
+the process holding the lock wakes it up when unlocking ... it has higher
+latency and is unsuitable for fine grain parallel computation."
+
+The CFM makes busy-waiting free (no hot spot), so the comparison the
+paper implies is: lock-transfer latency of a sleep queue (wakeup +
+context-switch overhead per handoff) versus the ~3β busy-wait transfer of
+§5.3.2.  :class:`PassiveWakeupLockSystem` runs the sleep-queue protocol on
+the cooperative scheduler with explicit overhead parameters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Generator, List, Optional
+
+from repro.sim.procs import Delay, Process, Scheduler, Syscall
+
+
+@dataclass
+class AcquireLock(Syscall):
+    name: str = "lock"
+
+
+@dataclass
+class ReleaseLock(Syscall):
+    name: str = "lock"
+
+
+@dataclass
+class PassiveAcquisition:
+    proc: int
+    requested: int
+    acquired: int
+    released: int
+
+    @property
+    def wait(self) -> int:
+        return self.acquired - self.requested
+
+
+class PassiveWakeupLockSystem:
+    """Sleep-queue lock with explicit wakeup and context-switch costs."""
+
+    def __init__(self, n_procs: int, cs_cycles: int = 10,
+                 wakeup_latency: int = 50, context_switch: int = 20):
+        if wakeup_latency < 0 or context_switch < 0:
+            raise ValueError("overheads must be >= 0")
+        self.n_procs = n_procs
+        self.cs_cycles = cs_cycles
+        self.wakeup_latency = wakeup_latency
+        self.context_switch = context_switch
+        self.sched = Scheduler()
+        self.sched.handle(AcquireLock, self._acquire)
+        self.sched.handle(ReleaseLock, self._release)
+        self._holder: Optional[Process] = None
+        self._queue: Deque[Process] = deque()
+        self._requested: Dict[int, int] = {}
+        self.acquisitions: List[PassiveAcquisition] = []
+        self._acquired_at: Dict[int, int] = {}
+
+    def _acquire(self, sched: Scheduler, proc: Process, call: AcquireLock) -> Any:
+        self._requested.setdefault(proc.pid, sched.cycle)
+        if self._holder is None:
+            self._holder = proc
+            self._acquired_at[proc.pid] = sched.cycle
+            return None
+        # Sleep: the process is descheduled (context switch charged on wake).
+        self._queue.append(proc)
+        return sched.block(proc, on="passive-lock")
+
+    def _release(self, sched: Scheduler, proc: Process, call: ReleaseLock) -> Any:
+        if self._holder is not proc:
+            raise ValueError("release by non-holder")
+        self.acquisitions.append(
+            PassiveAcquisition(
+                proc=proc.pid,
+                requested=self._requested.pop(proc.pid),
+                acquired=self._acquired_at.pop(proc.pid),
+                released=sched.cycle,
+            )
+        )
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._holder = nxt
+            handoff = self.wakeup_latency + self.context_switch
+            self._acquired_at[nxt.pid] = sched.cycle + handoff
+            sched.unblock(nxt, None, delay=max(1, handoff))
+        else:
+            self._holder = None
+        return None
+
+    def run(self) -> List[PassiveAcquisition]:
+        def client() -> Generator[Syscall, Any, None]:
+            yield AcquireLock()
+            yield Delay(self.cs_cycles)
+            yield ReleaseLock()
+
+        for _ in range(self.n_procs):
+            self.sched.spawn(client())
+        self.sched.run()
+        return self.acquisitions
+
+    def mean_transfer_gap(self) -> float:
+        """Mean cycles from one release to the next acquisition."""
+        ordered = sorted(self.acquisitions, key=lambda a: a.acquired)
+        gaps = [
+            b.acquired - a.released for a, b in zip(ordered, ordered[1:])
+        ]
+        if not gaps:
+            raise ValueError("need at least two acquisitions")
+        return sum(gaps) / len(gaps)

@@ -1,0 +1,66 @@
+"""Tests for effective-bandwidth analysis (§3.1, §3.4)."""
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    BandwidthPoint,
+    bandwidth_comparison,
+    effective_bandwidth,
+)
+from repro.core.config import CFMConfig
+
+
+class TestEffectiveBandwidth:
+    def test_peak_is_banks_over_cycle(self):
+        cfg = CFMConfig(n_procs=8, bank_cycle=2)
+        pt = effective_bandwidth(cfg, 0.01, 1.0)
+        assert pt.peak_words_per_cycle == 8.0  # 16 banks / 2 cycles
+
+    def test_scales_with_rate_until_peak(self):
+        cfg = CFMConfig(n_procs=8, bank_cycle=1)
+        low = effective_bandwidth(cfg, 0.01, 1.0)
+        high = effective_bandwidth(cfg, 0.02, 1.0)
+        assert high.effective_words_per_cycle == pytest.approx(
+            2 * low.effective_words_per_cycle
+        )
+
+    def test_demand_clipped_at_peak(self):
+        cfg = CFMConfig(n_procs=8, bank_cycle=1)
+        pt = effective_bandwidth(cfg, 1.0, 1.0)  # absurd offered load
+        assert pt.effective_words_per_cycle == pt.peak_words_per_cycle
+        assert pt.utilization == 1.0
+
+    def test_efficiency_discounts_linearly(self):
+        cfg = CFMConfig(n_procs=8, bank_cycle=1)
+        full = effective_bandwidth(cfg, 0.02, 1.0)
+        half = effective_bandwidth(cfg, 0.02, 0.5)
+        assert half.effective_words_per_cycle == pytest.approx(
+            full.effective_words_per_cycle / 2
+        )
+
+    def test_invalid_inputs(self):
+        cfg = CFMConfig(n_procs=4)
+        with pytest.raises(ValueError):
+            effective_bandwidth(cfg, -0.1, 1.0)
+        with pytest.raises(ValueError):
+            effective_bandwidth(cfg, 0.1, 1.5)
+
+
+class TestComparison:
+    def test_cfm_dominates_at_every_rate(self):
+        rows = bandwidth_comparison()
+        for row in rows:
+            assert (row["cfm_words_per_cycle"]
+                    >= row["conventional_words_per_cycle"])
+
+    def test_gap_widens_with_load(self):
+        """The §3.4 story in bandwidth terms: conflicts eat a growing
+        share of the conventional machine's delivered words."""
+        rows = bandwidth_comparison()
+        ratios = [
+            row["cfm_words_per_cycle"]
+            / max(1e-12, row["conventional_words_per_cycle"])
+            for row in rows
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 2.0  # >2x delivered bandwidth at r = 0.06

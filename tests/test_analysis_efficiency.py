@@ -1,0 +1,139 @@
+"""Tests for the closed-form efficiency models (§3.4, Figs 3.13–3.15)."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    conflict_probability,
+    conventional_efficiency,
+    expected_access_time,
+    expected_retries,
+    fig_3_13_data,
+    fig_3_14_data,
+    fig_3_15_data,
+    fully_conflict_free_efficiency,
+    partial_cf_conflict_probability,
+    partial_cf_efficiency,
+    partial_cf_p1,
+    partial_cf_p2,
+)
+
+
+class TestConventionalModel:
+    def test_conflict_probability_formula(self):
+        # P(r) = (n−1)·r·β / m
+        assert conflict_probability(0.02, 8, 8, 17) == pytest.approx(
+            7 * 0.02 * 17 / 8
+        )
+
+    def test_zero_rate_perfect_efficiency(self):
+        assert conventional_efficiency(0.0, 8, 8, 17) == 1.0
+
+    def test_efficiency_closed_form(self):
+        p = conflict_probability(0.02, 8, 8, 17)
+        e = conventional_efficiency(0.02, 8, 8, 17)
+        assert e == pytest.approx((2 - 2 * p) / (2 - p))
+
+    def test_expected_retries(self):
+        assert expected_retries(0.5) == pytest.approx(1.0)
+        assert expected_retries(0.0) == 0.0
+
+    def test_expected_access_time_consistent_with_efficiency(self):
+        """E = β / M must hold by construction."""
+        p = 0.3
+        beta = 17
+        assert beta / expected_access_time(p, beta) == pytest.approx(
+            (2 - 2 * p) / (2 - p)
+        )
+
+    def test_efficiency_monotone_decreasing_in_rate(self):
+        es = [conventional_efficiency(r, 8, 8, 17) for r in (0.0, 0.02, 0.04, 0.06)]
+        assert es == sorted(es, reverse=True)
+
+    def test_saturation_clamps_to_zero(self):
+        assert conventional_efficiency(10.0, 8, 8, 17) == 0.0
+
+    def test_single_processor_never_conflicts(self):
+        assert conventional_efficiency(0.05, 1, 8, 17) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            conflict_probability(-0.1, 8, 8, 17)
+        with pytest.raises(ValueError):
+            conventional_efficiency(0.1, 0, 8, 17)
+        with pytest.raises(ValueError):
+            expected_retries(1.0)
+
+
+class TestPartialCFModel:
+    def test_p_formula(self):
+        # P(r,λ) = ((−mλ² + 2λ + m − 2)/(m − 1)) r β
+        m, lam, r, beta = 8, 0.7, 0.03, 17
+        expected = (-m * lam**2 + 2 * lam + m - 2) / (m - 1) * r * beta
+        assert partial_cf_conflict_probability(r, lam, m, beta) == pytest.approx(
+            expected
+        )
+
+    def test_p_combines_p1_p2(self):
+        """P = λ·P1 + (1−λ)·P2, the §3.4.2 derivation."""
+        m, lam, r, beta = 8, 0.6, 0.02, 17
+        p1 = partial_cf_p1(r, lam, beta)
+        p2 = partial_cf_p2(r, lam, m, beta)
+        assert partial_cf_conflict_probability(r, lam, m, beta) == pytest.approx(
+            lam * p1 + (1 - lam) * p2
+        )
+
+    def test_full_locality_is_conflict_free(self):
+        assert partial_cf_conflict_probability(0.05, 1.0, 8, 17) == pytest.approx(0.0)
+        assert partial_cf_efficiency(0.05, 1.0, 8, 17) == 1.0
+
+    def test_efficiency_monotone_in_locality(self):
+        es = [partial_cf_efficiency(0.04, lam, 8, 17) for lam in (0.3, 0.5, 0.7, 0.9)]
+        assert es == sorted(es)
+
+    def test_needs_at_least_two_modules(self):
+        with pytest.raises(ValueError):
+            partial_cf_efficiency(0.04, 0.5, 1, 17)
+
+    def test_locality_bounds(self):
+        with pytest.raises(ValueError):
+            partial_cf_efficiency(0.04, 1.5, 8, 17)
+
+
+class TestFigureData:
+    def test_fig_3_13_conflict_free_is_flat_one(self):
+        data = fig_3_13_data()
+        assert all(v == 1.0 for v in data["conflict_free"])
+
+    def test_fig_3_13_conventional_decreasing(self):
+        data = fig_3_13_data()
+        conv = data["conventional"]
+        assert conv[0] == 1.0
+        assert all(a >= b for a, b in zip(conv, conv[1:]))
+        # At the right edge the conventional memory is far below the CFM.
+        assert conv[-1] < 0.35
+
+    def test_fig_3_14_ordering(self):
+        """Higher λ curves dominate; all beat the conventional comparator
+        at high rates (the paper's visual claim)."""
+        data = fig_3_14_data()
+        last = -1
+        for lam in (0.5, 0.7, 0.8, 0.9):
+            curve = data[f"lambda={lam}"]
+            assert curve[-1] > last
+            last = curve[-1]
+        assert data["lambda=0.5"][-1] > data["conventional"][-1]
+
+    def test_fig_3_15_same_shape_larger_machine(self):
+        data = fig_3_15_data()
+        assert "lambda=0.9" in data
+        assert data["lambda=0.9"][-1] > data["conventional"][-1]
+
+    def test_rate_axis(self):
+        data = fig_3_13_data(r_max=0.06, points=61)
+        assert data["rate"][0] == 0.0
+        assert data["rate"][-1] == pytest.approx(0.06)
+        assert len(data["rate"]) == 61
+
+
+def test_fully_conflict_free_constant():
+    assert fully_conflict_free_efficiency(0.05) == 1.0

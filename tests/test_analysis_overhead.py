@@ -1,0 +1,58 @@
+"""Tests for the network-overhead comparison (§3.4.3)."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    large_address_space_offset_bits,
+    network_overhead_comparison,
+    setup_delay_total,
+)
+
+
+class TestComparison:
+    def test_three_designs_reported(self):
+        rows = network_overhead_comparison()
+        assert len(rows) == 3
+        names = [r.design for r in rows]
+        assert any("CFM" in n for n in names)
+
+    def test_cfm_has_zero_setup_and_smallest_header(self):
+        rows = network_overhead_comparison()
+        cfm = next(r for r in rows if "CFM" in r.design)
+        circuit = next(r for r in rows if "circuit" in r.design)
+        assert cfm.setup_delay_per_stage == 0
+        assert cfm.header_bits < circuit.header_bits
+        assert not cfm.needs_flow_control
+        assert not cfm.needs_conflict_resolution
+
+    def test_circuit_switching_needs_everything(self):
+        circuit = next(
+            r for r in network_overhead_comparison() if "circuit" in r.design
+        )
+        assert circuit.needs_flow_control
+        assert circuit.needs_conflict_resolution
+
+    def test_partial_between_the_two(self):
+        rows = network_overhead_comparison()
+        cfm = next(r for r in rows if "CFM" in r.design)
+        part = next(r for r in rows if "partially" in r.design)
+        circ = next(r for r in rows if "circuit" in r.design)
+        assert cfm.header_bits <= part.header_bits <= circ.header_bits
+
+
+class TestHelpers:
+    def test_setup_delay_total(self):
+        assert setup_delay_total(6, 1) == 6
+        assert setup_delay_total(6, 0) == 0
+        with pytest.raises(ValueError):
+            setup_delay_total(-1, 1)
+
+    def test_large_space_offset_bits(self):
+        """§3.4.3: >4 GB shared space = wider offset, nothing else."""
+        b32 = large_address_space_offset_bits(4 * 2**30, 32)
+        b38 = large_address_space_offset_bits(256 * 2**30, 32)
+        assert b38 == b32 + 6
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            large_address_space_offset_bits(100, 32)

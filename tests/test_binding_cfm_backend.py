@@ -1,0 +1,107 @@
+"""Tests for resource binding on the CFM cache protocol (§6.5.1)."""
+
+import pytest
+
+from repro.binding.cfm_backend import (
+    BindStep,
+    CFMBindingSystem,
+    region_to_pattern,
+)
+from repro.binding.region import Region
+
+
+class TestRegionToPattern:
+    def test_contiguous_region(self):
+        pat = region_to_pattern(Region("a")[2:5], 8)
+        assert pat == [0, 0, 1, 1, 1, 0, 0, 0]
+
+    def test_strided_region(self):
+        pat = region_to_pattern(Region("a")[0:8:4], 8)
+        assert pat == [1, 0, 0, 0, 1, 0, 0, 0]
+
+    def test_elems_per_component(self):
+        # Elements 4..7 with 4 elements per component → component 1 only.
+        pat = region_to_pattern(Region("a")[4:8], 4, elems_per_component=4)
+        assert pat == [0, 1, 0, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            region_to_pattern(Region("a")[0:20], 8)
+
+    def test_empty_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            region_to_pattern(Region("a"), 8)
+
+
+class TestCFMBindingSystem:
+    def test_single_client_completes(self):
+        sys_ = CFMBindingSystem(4)
+        sys_.add_program(0, [BindStep((1, 1, 0, 0), work_cycles=3)])
+        recs = sys_.run()
+        assert len(recs) == 1
+        assert recs[0].attempts == 1  # uncontended: first TAS wins
+
+    def test_overlapping_binds_exclude(self):
+        sys_ = CFMBindingSystem(8)
+        a = tuple([1, 1, 0, 0, 0, 0, 0, 0])
+        b = tuple([0, 1, 1, 0, 0, 0, 0, 0])
+        sys_.add_program(0, [BindStep(a, 6)])
+        sys_.add_program(4, [BindStep(b, 6)])
+        recs = sys_.run()
+        assert len(recs) == 2
+        assert sys_.exclusion_held()
+        sys_.cache.check_coherence_invariant()
+
+    def test_disjoint_binds_overlap_in_time(self):
+        sys_ = CFMBindingSystem(8)
+        sys_.add_program(0, [BindStep(tuple([1, 1, 0, 0, 0, 0, 0, 0]), 40)])
+        sys_.add_program(4, [BindStep(tuple([0, 0, 0, 0, 1, 1, 0, 0]), 40)])
+        recs = sys_.run()
+        a, b = sorted(recs, key=lambda r: r.acquired_slot)
+        assert b.acquired_slot < a.released_slot
+
+    def test_lock_bits_clean_after_run(self):
+        sys_ = CFMBindingSystem(8)
+        for p in range(0, 8, 2):
+            pat = [0] * 8
+            pat[p] = pat[(p + 1) % 8] = 1
+            sys_.add_program(p, [BindStep(tuple(pat), 4)] * 2)
+        sys_.run()
+        final = sys_.cache.mem.peek_block(0).values
+        assert all(v == 0 for v in final)  # every unlock released its bits
+
+    def test_dining_philosophers_on_the_cfm(self):
+        """Chapter 6's paradigm on Chapter 5's hardware, end to end."""
+        n = 8  # 8 processors, 8 chopstick components
+        sys_ = CFMBindingSystem(n)
+        for i in range(n // 2):  # 4 philosophers on an 8-bank machine
+            left, right = 2 * i, (2 * i + 2) % n
+            pat = [0] * n
+            pat[left] = pat[right] = 1
+            sys_.add_program(2 * i, [BindStep(tuple(pat), 5)] * 2)
+        recs = sys_.run()
+        assert len(recs) == 8  # every philosopher ate twice
+        assert sys_.exclusion_held()
+        sys_.cache.check_coherence_invariant()
+
+    def test_region_program_compiles_and_runs(self):
+        sys_ = CFMBindingSystem(4)
+        sys_.add_region_program(0, [Region("a")[0:2]], work_cycles=3)
+        sys_.add_region_program(2, [Region("a")[1:3]], work_cycles=3)
+        recs = sys_.run()
+        assert len(recs) == 2
+        assert sys_.exclusion_held()
+
+    def test_pattern_width_validated(self):
+        sys_ = CFMBindingSystem(4)
+        with pytest.raises(ValueError):
+            sys_.add_program(0, [BindStep((1, 0))])
+
+    def test_waits_bounded_under_contention(self):
+        sys_ = CFMBindingSystem(8)
+        shared = tuple([1, 1, 1, 1, 0, 0, 0, 0])
+        for p in (0, 2, 4, 6):
+            sys_.add_program(p, [BindStep(shared, 5)])
+        recs = sys_.run()
+        assert len(recs) == 4
+        assert sys_.exclusion_held()

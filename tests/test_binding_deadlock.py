@@ -1,0 +1,38 @@
+"""Tests for wait-for-graph deadlock detection."""
+
+from repro.binding.deadlock import (
+    build_wait_for_graph,
+    find_deadlock_cycle,
+    would_deadlock,
+)
+
+
+class TestCycleDetection:
+    def test_acyclic_chain(self):
+        assert find_deadlock_cycle([(0, 1), (1, 2), (2, 3)]) is None
+
+    def test_two_cycle(self):
+        cycle = find_deadlock_cycle([(0, 1), (1, 0)])
+        assert set(cycle) == {0, 1}
+
+    def test_long_cycle(self):
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        cycle = find_deadlock_cycle(edges)
+        assert set(cycle) == {0, 1, 2, 3, 4}
+
+    def test_self_edges_ignored(self):
+        assert find_deadlock_cycle([(0, 0)]) is None
+
+    def test_would_deadlock_incremental(self):
+        existing = [(0, 1), (1, 2)]
+        assert would_deadlock(existing, [(2, 3)]) is None
+        assert would_deadlock(existing, [(2, 0)]) is not None
+
+    def test_graph_nodes(self):
+        g = build_wait_for_graph([(0, 1), (2, 1)])
+        assert set(g.nodes) == {0, 1, 2}
+        assert g.has_edge(2, 1)
+
+    def test_diamond_is_not_deadlock(self):
+        # Two waiters on one holder: no cycle.
+        assert find_deadlock_cycle([(0, 2), (1, 2)]) is None

@@ -1,0 +1,271 @@
+"""Tests for the distributed-memory binding implementation (§6.5.2)."""
+
+import pytest
+
+from repro.binding.distributed import (
+    DistributedBindingRuntime,
+    RemoteBind,
+    RemoteUnbind,
+)
+from repro.binding.region import AccessType, Region
+from repro.sim.procs import Delay
+
+
+def make(n_nodes=4, hop=4):
+    # Deterministic homes: variable name's last char as node index.
+    return DistributedBindingRuntime(
+        n_nodes, hop_latency=hop, home_of=lambda var: int(var[-1]) % n_nodes
+    )
+
+
+class TestRemoteBinding:
+    def test_bind_pays_round_trip(self):
+        rt = make(hop=5)
+        log = []
+
+        def client():
+            d = yield RemoteBind(Region("x0")[0:4], AccessType.RW)
+            log.append(rt.sched.cycle)
+            yield RemoteUnbind(d)
+
+        rt.spawn(client())
+        rt.run()
+        assert log[0] >= 2 * 5  # request + grant reply
+
+    def test_conflicting_remote_binds_serialize(self):
+        rt = make()
+        order = []
+
+        def client(name, delay):
+            def gen():
+                yield Delay(delay)
+                d = yield RemoteBind(Region("x0")[0:4], AccessType.RW)
+                order.append((name, "bind", rt.sched.cycle))
+                yield Delay(3)
+                yield RemoteUnbind(d)
+                order.append((name, "unbind", rt.sched.cycle))
+
+            return gen()
+
+        rt.spawn(client("a", 0))
+        rt.spawn(client("b", 1))
+        rt.run()
+        ev = {(n, e): c for n, e, c in order}
+        assert ev[("b", "bind")] > ev[("a", "unbind")]
+
+    def test_ro_binds_coexist(self):
+        rt = make()
+        binds = []
+
+        def reader(delay):
+            def gen():
+                yield Delay(delay)
+                d = yield RemoteBind(Region("x0")[0:4], AccessType.RO)
+                binds.append(rt.sched.cycle)
+                yield Delay(5)
+                yield RemoteUnbind(d)
+
+            return gen()
+
+        rt.spawn(reader(0))
+        rt.spawn(reader(0))
+        rt.run()
+        assert abs(binds[0] - binds[1]) <= 1
+
+    def test_variables_on_different_servers_independent(self):
+        rt = make()
+        binds = []
+
+        def client(var):
+            def gen():
+                d = yield RemoteBind(Region(var)[0:4], AccessType.RW)
+                binds.append((var, rt.sched.cycle))
+                yield Delay(5)
+                yield RemoteUnbind(d)
+
+            return gen()
+
+        rt.spawn(client("x0"))
+        rt.spawn(client("x1"))
+        rt.run()
+        cycles = [c for _v, c in binds]
+        assert abs(cycles[0] - cycles[1]) <= 1
+
+    def test_nonblocking_denial(self):
+        rt = make()
+        results = []
+
+        def holder():
+            d = yield RemoteBind(Region("x0")[0:4], AccessType.RW)
+            yield Delay(10)
+            yield RemoteUnbind(d)
+
+        def prober():
+            yield Delay(9)  # after the holder's grant arrived
+            got = yield RemoteBind(
+                Region("x0")[0:4], AccessType.RW, blocking=False
+            )
+            results.append(got)
+
+        rt.spawn(holder())
+        rt.spawn(prober())
+        rt.run()
+        assert results == [None]
+        assert rt.traffic.denials == 1
+
+
+class TestTrafficAccounting:
+    def test_rw_bind_ships_data_both_ways(self):
+        """§6.5.2: grant carries the region out; rw unbind ships it back."""
+        rt = make()
+
+        def client():
+            d = yield RemoteBind(Region("x0")[0:8], AccessType.RW)
+            yield RemoteUnbind(d)
+
+        rt.spawn(client())
+        rt.run()
+        assert rt.traffic.data_messages == 2
+        assert rt.traffic.words_shipped == 16  # 8 out + 8 back
+
+    def test_ro_bind_ships_data_one_way(self):
+        rt = make()
+
+        def client():
+            d = yield RemoteBind(Region("x0")[0:8], AccessType.RO)
+            yield RemoteUnbind(d)
+
+        rt.spawn(client())
+        rt.run()
+        assert rt.traffic.data_messages == 1
+        assert rt.traffic.words_shipped == 8
+
+    def test_message_totals(self):
+        rt = make()
+
+        def client():
+            d = yield RemoteBind(Region("x0")[0:4], AccessType.RW)
+            yield RemoteUnbind(d)
+
+        rt.spawn(client())
+        rt.run()
+        # 1 bind request + 1 grant + 1 unbind message (+2 data messages).
+        assert rt.traffic.requests == 2
+        assert rt.traffic.grants == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DistributedBindingRuntime(0)
+        with pytest.raises(ValueError):
+            DistributedBindingRuntime(4, hop_latency=0)
+
+
+class TestDataConsistency:
+    """§6.5.2: 'data consistency is maintained by the resource binding
+    paradigm through message-passing' — with release-consistency movement:
+    writes ship home at unbind, reads ship out at bind."""
+
+    def test_write_visible_after_unbind(self):
+        rt = make()
+        seen = []
+
+        def writer():
+            d = yield RemoteBind(Region("x0")[0:4], AccessType.RW)
+            d.write(2, 99)
+            yield RemoteUnbind(d)
+
+        def reader():
+            yield Delay(30)  # after the writer's unbind
+            d = yield RemoteBind(Region("x0")[0:4], AccessType.RO)
+            seen.append(d.read(2))
+            yield RemoteUnbind(d)
+
+        rt.spawn(writer())
+        rt.spawn(reader())
+        rt.run()
+        assert seen == [99]
+        assert rt.peek("x0", 2) == 99
+
+    def test_serialized_rw_binders_see_each_others_writes(self):
+        rt = make()
+        history = []
+
+        def incrementer(tag):
+            def gen():
+                d = yield RemoteBind(Region("x0")[0:1], AccessType.RW)
+                v = d.read(0)
+                d.write(0, v + 1)
+                history.append((tag, v))
+                yield RemoteUnbind(d)
+
+            return gen()
+
+        for t in range(3):
+            rt.spawn(incrementer(t))
+        rt.run()
+        assert rt.peek("x0", 0) == 3
+        assert sorted(v for _t, v in history) == [0, 1, 2]
+
+    def test_ro_bind_cannot_write(self):
+        rt = make()
+        errors = []
+
+        def reader():
+            d = yield RemoteBind(Region("x0")[0:4], AccessType.RO)
+            try:
+                d.write(0, 1)
+            except PermissionError:
+                errors.append("blocked")
+            yield RemoteUnbind(d)
+
+        rt.spawn(reader())
+        rt.run()
+        assert errors == ["blocked"]
+        assert rt.peek("x0", 0) == 0
+
+    def test_out_of_region_access_rejected(self):
+        rt = make()
+        errors = []
+
+        def client():
+            d = yield RemoteBind(Region("x0")[0:4], AccessType.RW)
+            try:
+                d.read(9)
+            except KeyError:
+                errors.append("read")
+            try:
+                d.write(9, 1)
+            except KeyError:
+                errors.append("write")
+            yield RemoteUnbind(d)
+
+        rt.spawn(client())
+        rt.run()
+        assert errors == ["read", "write"]
+
+    def test_writes_invisible_until_release(self):
+        """A concurrent ro binder of a *different* element sees the old
+        value until the writer's unbind ships the region home."""
+        rt = make()
+        seen = []
+
+        def writer():
+            d = yield RemoteBind(Region("x0")[0:2], AccessType.RW)
+            d.write(0, 42)
+            yield Delay(20)  # hold the bind: the write is still local
+            yield RemoteUnbind(d)
+
+        def early_peek():
+            yield Delay(15)  # while the writer still holds its bind
+            seen.append(("early", rt.peek("x0", 0)))
+
+        def late_peek():
+            yield Delay(60)
+            seen.append(("late", rt.peek("x0", 0)))
+
+        rt.spawn(writer())
+        rt.spawn(early_peek())
+        rt.spawn(late_peek())
+        rt.run()
+        assert ("early", 0) in seen  # not yet released
+        assert ("late", 42) in seen  # released at unbind

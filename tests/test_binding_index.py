@@ -1,0 +1,99 @@
+"""Tests for the hierarchical active-binding index (§6.5.1)."""
+
+import pytest
+
+from repro.binding.index import ActiveBindingIndex, FlatBindingList
+from repro.binding.region import AccessType, Region
+from repro.sim.rng import make_rng
+
+
+def random_region(rng, n_vars=3, span=256):
+    var = f"v{int(rng.integers(0, n_vars))}"
+    start = int(rng.integers(0, span - 1))
+    width = int(rng.integers(1, 16))
+    return Region(var)[start : min(span, start + width)]
+
+
+class TestCorrectness:
+    def test_add_find_remove(self):
+        idx = ActiveBindingIndex()
+        idx.add(1, 10, Region("a")[0:8], AccessType.RW)
+        hits = idx.find_conflicts(Region("a")[4:12], AccessType.RW)
+        assert [h.bind_id for h in hits] == [1]
+        idx.remove(1)
+        assert idx.find_conflicts(Region("a")[4:12], AccessType.RW) == []
+
+    def test_exclude_pid(self):
+        idx = ActiveBindingIndex()
+        idx.add(1, 10, Region("a")[0:8], AccessType.RW)
+        assert idx.find_conflicts(Region("a")[0:8], AccessType.RW,
+                                  exclude_pid=10) == []
+
+    def test_whole_variable_binds_always_checked(self):
+        idx = ActiveBindingIndex()
+        idx.add(1, 10, Region("a"), AccessType.RW)  # no index range
+        hits = idx.find_conflicts(Region("a")[100:101], AccessType.RW)
+        assert [h.bind_id for h in hits] == [1]
+
+    def test_whole_variable_query_sees_everything(self):
+        idx = ActiveBindingIndex()
+        idx.add(1, 10, Region("a")[200:208], AccessType.RW)
+        hits = idx.find_conflicts(Region("a"), AccessType.RW)
+        assert [h.bind_id for h in hits] == [1]
+
+    def test_different_variables_never_probed(self):
+        idx = ActiveBindingIndex()
+        idx.add(1, 10, Region("a")[0:8], AccessType.RW)
+        assert idx.find_conflicts(Region("b")[0:8], AccessType.RW) == []
+        assert idx.probes == 0  # not even compared
+
+    def test_duplicate_and_missing_ids_rejected(self):
+        idx = ActiveBindingIndex()
+        idx.add(1, 10, Region("a")[0:8], AccessType.RW)
+        with pytest.raises(ValueError):
+            idx.add(1, 10, Region("a")[0:8], AccessType.RW)
+        with pytest.raises(ValueError):
+            idx.remove(2)
+
+    def test_agrees_with_flat_list_on_random_workload(self):
+        """The index is an optimization: results identical to the flat list."""
+        rng = make_rng(5)
+        idx = ActiveBindingIndex(bin_width=16)
+        flat = FlatBindingList()
+        live = {}
+        for i in range(300):
+            if live and rng.random() < 0.3:
+                bid = int(rng.choice(list(live)))
+                idx.remove(bid)
+                flat.remove(bid)
+                del live[bid]
+                continue
+            region = random_region(rng)
+            access = AccessType.RW if rng.random() < 0.5 else AccessType.RO
+            a = {x.bind_id for x in idx.find_conflicts(region, access)}
+            b = {x.bind_id for x in flat.find_conflicts(region, access)}
+            assert a == b
+            idx.add(i, i % 7, region, access)
+            flat.add(i, i % 7, region, access)
+            live[i] = True
+
+
+class TestProbeReduction:
+    def test_index_probes_fewer_than_flat(self):
+        """§6.5.1's point: the hierarchy relaxes 'compare with all'."""
+        rng = make_rng(9)
+        idx = ActiveBindingIndex(bin_width=16)
+        flat = FlatBindingList()
+        for i in range(200):
+            region = random_region(rng, n_vars=4, span=1024)
+            idx.add(i, i, region, AccessType.RW)
+            flat.add(i, i, region, AccessType.RW)
+        for _ in range(100):
+            q = random_region(rng, n_vars=4, span=1024)
+            idx.find_conflicts(q, AccessType.RW)
+            flat.find_conflicts(q, AccessType.RW)
+        assert idx.probes < flat.probes / 5  # an order-of-magnitude saving
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            ActiveBindingIndex(bin_width=0)

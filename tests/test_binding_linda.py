@@ -1,0 +1,131 @@
+"""Tests for the Linda tuple-space baseline (§6.1.3)."""
+
+import pytest
+
+from repro.binding.linda import ANY, Eval, In, Out, Rd, TupleSpace, matches
+from repro.sim.procs import Delay, SchedulerDeadlock
+
+
+class TestMatching:
+    def test_literal_match(self):
+        assert matches(("x", 5), ("x", 5))
+        assert not matches(("x", 5), ("x", 6))
+
+    def test_wildcard(self):
+        assert matches(("x", ANY), ("x", 99))
+
+    def test_type_pattern(self):
+        assert matches(("x", int), ("x", 5))
+        assert not matches(("x", int), ("x", "five"))
+
+    def test_arity_must_match(self):
+        assert not matches(("x",), ("x", 5))
+
+
+class TestPrimitives:
+    def test_out_then_in(self):
+        ts = TupleSpace()
+        got = []
+
+        def producer():
+            yield Out(("msg", 42))
+
+        def consumer():
+            t = yield In(("msg", ANY))
+            got.append(t)
+
+        ts.spawn(producer())
+        ts.spawn(consumer())
+        ts.run()
+        assert got == [("msg", 42)]
+        assert ts.space == []  # in removed the tuple
+
+    def test_rd_leaves_tuple(self):
+        ts = TupleSpace()
+        got = []
+
+        def producer():
+            yield Out(("msg", 1))
+
+        def reader():
+            t = yield Rd(("msg", ANY))
+            got.append(t)
+
+        ts.spawn(producer())
+        ts.spawn(reader())
+        ts.run()
+        assert got == [("msg", 1)]
+        assert ts.space == [("msg", 1)]
+
+    def test_in_blocks_until_out(self):
+        ts = TupleSpace()
+        log = []
+
+        def consumer():
+            t = yield In(("late", ANY))
+            log.append(("got", ts.sched.cycle))
+
+        def producer():
+            yield Delay(5)
+            yield Out(("late", 1))
+            log.append(("put", ts.sched.cycle))
+
+        ts.spawn(consumer())
+        ts.spawn(producer())
+        ts.run()
+        events = dict(log)
+        assert events["got"] >= events["put"]
+
+    def test_eval_spawns_process(self):
+        ts = TupleSpace()
+        got = []
+
+        def child():
+            yield Out(("child-did", 1))
+
+        def parent():
+            yield Eval(lambda: child())
+            t = yield In(("child-did", ANY))
+            got.append(t)
+
+        ts.spawn(parent())
+        ts.run()
+        assert got == [("child-did", 1)]
+
+    def test_one_tuple_wakes_one_waiter(self):
+        ts = TupleSpace()
+        got = []
+
+        def consumer(tag):
+            def gen():
+                t = yield In(("job", ANY))
+                got.append((tag, t))
+
+            return gen()
+
+        def producer():
+            yield Out(("job", 1))
+
+        ts.spawn(consumer("a"))
+        ts.spawn(consumer("b"))
+        ts.spawn(producer())
+        with pytest.raises(SchedulerDeadlock):
+            ts.run()  # b stays blocked forever: only one tuple existed
+        assert len(got) == 1
+
+    def test_match_probe_accounting(self):
+        """§6.1.3's overhead: probes grow with tuple-space size."""
+        ts = TupleSpace()
+
+        def producer():
+            for i in range(20):
+                yield Out(("item", i))
+
+        def consumer():
+            t = yield In(("item", 19))  # worst case: last tuple
+            return t
+
+        ts.spawn(producer())
+        ts.spawn(consumer())
+        ts.run()
+        assert ts.match_probes >= 20

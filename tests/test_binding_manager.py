@@ -1,0 +1,236 @@
+"""Tests for the shared-memory binding runtime (§6.2, Fig 6.11)."""
+
+import pytest
+
+from repro.binding.manager import (
+    Bind,
+    BindingRuntime,
+    DeadlockDetected,
+    SetPermission,
+    Unbind,
+)
+from repro.binding.region import AccessType, Region
+from repro.sim.procs import Delay
+
+
+def simple_user(rt, log, name, region, access=AccessType.RW, hold=3):
+    def gen():
+        d = yield Bind(region, access)
+        log.append((name, "bind", rt.sched.cycle))
+        yield Delay(hold)
+        yield Unbind(d)
+        log.append((name, "unbind", rt.sched.cycle))
+
+    return gen()
+
+
+class TestDataBinding:
+    def test_conflicting_binds_serialize(self):
+        rt = BindingRuntime()
+        log = []
+        rt.spawn(simple_user(rt, log, "a", Region("x")[0:10]), "a")
+        rt.spawn(simple_user(rt, log, "b", Region("x")[5:15]), "b")
+        rt.run()
+        events = {(n, e): c for n, e, c in log}
+        assert events[("b", "bind")] >= events[("a", "unbind")]
+
+    def test_disjoint_binds_parallel(self):
+        rt = BindingRuntime()
+        log = []
+        rt.spawn(simple_user(rt, log, "a", Region("x")[0:5]), "a")
+        rt.spawn(simple_user(rt, log, "b", Region("x")[5:10]), "b")
+        rt.run()
+        events = {(n, e): c for n, e, c in log}
+        assert events[("b", "bind")] < events[("a", "unbind")]
+
+    def test_multiple_readers_parallel(self):
+        rt = BindingRuntime()
+        log = []
+        for name in ("r1", "r2", "r3"):
+            rt.spawn(
+                simple_user(rt, log, name, Region("x")[0:10], AccessType.RO), name
+            )
+        rt.run()
+        binds = [c for n, e, c in log if e == "bind"]
+        assert max(binds) - min(binds) <= 1  # all granted ~simultaneously
+
+    def test_writer_excludes_readers(self):
+        rt = BindingRuntime()
+        log = []
+        rt.spawn(simple_user(rt, log, "w", Region("x")[0:10], AccessType.RW), "w")
+        rt.spawn(simple_user(rt, log, "r", Region("x")[0:10], AccessType.RO), "r")
+        rt.run()
+        events = {(n, e): c for n, e, c in log}
+        assert events[("r", "bind")] >= events[("w", "unbind")]
+
+    def test_nonblocking_bind_returns_none_on_conflict(self):
+        rt = BindingRuntime()
+        results = []
+
+        def holder():
+            d = yield Bind(Region("x")[0:10], AccessType.RW)
+            yield Delay(5)
+            yield Unbind(d)
+
+        def prober():
+            yield Delay(1)
+            got = yield Bind(Region("x")[0:10], AccessType.RW, blocking=False)
+            results.append(got)
+
+        rt.spawn(holder())
+        rt.spawn(prober())
+        rt.run()
+        assert results == [None]
+        assert rt.stats_denials == 1
+
+    def test_nonblocking_bind_succeeds_when_free(self):
+        rt = BindingRuntime()
+        results = []
+
+        def prober():
+            got = yield Bind(Region("x")[0:10], AccessType.RW, blocking=False)
+            results.append(got)
+            yield Unbind(got)
+
+        rt.spawn(prober())
+        rt.run()
+        assert results[0] is not None
+
+    def test_fifo_queue_on_unbind(self):
+        rt = BindingRuntime()
+        order = []
+
+        def user(name, delay):
+            def gen():
+                yield Delay(delay)
+                d = yield Bind(Region("x")[0:10], AccessType.RW)
+                order.append(name)
+                yield Delay(2)
+                yield Unbind(d)
+
+            return gen()
+
+        rt.spawn(user("first", 0))
+        rt.spawn(user("second", 1))
+        rt.spawn(user("third", 2))
+        rt.run()
+        assert order == ["first", "second", "third"]
+
+    def test_own_binds_never_self_conflict(self):
+        rt = BindingRuntime()
+        done = []
+
+        def nester():
+            d1 = yield Bind(Region("x")[0:10], AccessType.RW)
+            d2 = yield Bind(Region("x")[0:5], AccessType.RW)
+            done.append(True)
+            yield Unbind(d2)
+            yield Unbind(d1)
+
+        rt.spawn(nester())
+        rt.run()
+        assert done == [True]
+
+    def test_atomic_multi_region_via_strides(self):
+        """The dining-philosophers trick: one bind covers several sticks."""
+        rt = BindingRuntime()
+        log = []
+        # {0, 4} in one bind vs {4} in another: they conflict.
+        rt.spawn(simple_user(rt, log, "a", Region("s")[0:5:4]), "a")
+        rt.spawn(simple_user(rt, log, "b", Region("s")[4:5]), "b")
+        rt.run()
+        events = {(n, e): c for n, e, c in log}
+        assert events[("b", "bind")] >= events[("a", "unbind")]
+
+
+class TestUnbindValidation:
+    def test_double_unbind_rejected(self):
+        rt = BindingRuntime()
+
+        def bad():
+            d = yield Bind(Region("x")[0:1], AccessType.RW)
+            yield Unbind(d)
+            yield Unbind(d)
+
+        rt.spawn(bad())
+        with pytest.raises(ValueError):
+            rt.run()
+
+    def test_foreign_unbind_rejected(self):
+        rt = BindingRuntime()
+        shared = {}
+
+        def owner():
+            shared["d"] = yield Bind(Region("x")[0:1], AccessType.RW)
+            yield Delay(10)
+            yield Unbind(shared["d"])
+
+        def thief():
+            yield Delay(2)
+            yield Unbind(shared["d"])
+
+        rt.spawn(owner())
+        rt.spawn(thief())
+        with pytest.raises(ValueError):
+            rt.run()
+
+
+class TestDeadlockDetection:
+    def test_two_process_cycle_detected(self):
+        rt = BindingRuntime()
+
+        def p(first, second):
+            def gen():
+                d1 = yield Bind(Region(first)[0:1], AccessType.RW)
+                yield Delay(3)
+                d2 = yield Bind(Region(second)[0:1], AccessType.RW)
+                yield Unbind(d2)
+                yield Unbind(d1)
+
+            return gen()
+
+        rt.spawn(p("x", "y"))
+        rt.spawn(p("y", "x"))
+        with pytest.raises(DeadlockDetected) as exc:
+            rt.run()
+        assert set(exc.value.cycle) == {0, 1}
+
+    def test_detection_can_be_disabled(self):
+        from repro.sim.procs import SchedulerDeadlock
+
+        rt = BindingRuntime(detect_deadlock=False)
+
+        def p(first, second):
+            def gen():
+                d1 = yield Bind(Region(first)[0:1], AccessType.RW)
+                yield Delay(3)
+                d2 = yield Bind(Region(second)[0:1], AccessType.RW)
+                yield Unbind(d2)
+                yield Unbind(d1)
+
+            return gen()
+
+        rt.spawn(p("x", "y"))
+        rt.spawn(p("y", "x"))
+        with pytest.raises(SchedulerDeadlock):
+            rt.run()
+
+    def test_no_false_positive_on_chain(self):
+        rt = BindingRuntime()
+        log = []
+        rt.spawn(simple_user(rt, log, "a", Region("x")[0:10], hold=2), "a")
+        rt.spawn(simple_user(rt, log, "b", Region("x")[0:10], hold=2), "b")
+        rt.spawn(simple_user(rt, log, "c", Region("x")[0:10], hold=2), "c")
+        rt.run()  # a chain is not a cycle
+        assert len([1 for _, e, _ in log if e == "unbind"]) == 3
+
+
+class TestStats:
+    def test_counters(self):
+        rt = BindingRuntime()
+        log = []
+        rt.spawn(simple_user(rt, log, "a", Region("x")[0:10]), "a")
+        rt.spawn(simple_user(rt, log, "b", Region("x")[0:10]), "b")
+        rt.run()
+        assert rt.stats_binds == 2
+        assert rt.stats_blocks == 1

@@ -1,0 +1,161 @@
+"""Tests for the plain message-passing baseline (§6.1.2)."""
+
+import pytest
+
+from repro.binding.message_passing import MessagePassingRuntime, Recv, Send
+from repro.sim.procs import Delay, SchedulerDeadlock
+
+
+class TestSendRecv:
+    def test_simple_exchange(self):
+        rt = MessagePassingRuntime()
+        got = []
+
+        def sender():
+            yield Send(1, "hello")
+
+        def receiver():
+            msg = yield Recv(src=0)
+            got.append(msg.data)
+
+        rt.spawn_rank(0, sender())
+        rt.spawn_rank(1, receiver())
+        rt.run()
+        assert got == ["hello"]
+
+    def test_recv_blocks_until_send(self):
+        rt = MessagePassingRuntime()
+        log = []
+
+        def receiver():
+            msg = yield Recv()
+            log.append(("got", rt.sched.cycle))
+
+        def sender():
+            yield Delay(5)
+            yield Send(0, 1)
+            log.append(("sent", rt.sched.cycle))
+
+        rt.spawn_rank(0, receiver())
+        rt.spawn_rank(1, sender())
+        rt.run()
+        events = dict(log)
+        assert events["got"] >= events["sent"]
+
+    def test_tag_filtering(self):
+        rt = MessagePassingRuntime()
+        got = []
+
+        def sender():
+            yield Send(1, "wrong", tag="a")
+            yield Send(1, "right", tag="b")
+
+        def receiver():
+            msg = yield Recv(tag="b")
+            got.append(msg.data)
+
+        rt.spawn_rank(0, sender())
+        rt.spawn_rank(1, receiver())
+        rt.run()
+        assert got == ["right"]
+
+    def test_fifo_per_channel(self):
+        rt = MessagePassingRuntime()
+        got = []
+
+        def sender():
+            for i in range(4):
+                yield Send(1, i)
+
+        def receiver():
+            for _ in range(4):
+                msg = yield Recv(src=0)
+                got.append(msg.data)
+
+        rt.spawn_rank(0, sender())
+        rt.spawn_rank(1, receiver())
+        rt.run()
+        assert got == [0, 1, 2, 3]
+
+    def test_wildcard_source(self):
+        rt = MessagePassingRuntime()
+        got = []
+
+        def sender(rank):
+            def gen():
+                yield Delay(rank)
+                yield Send(0, rank)
+
+            return gen()
+
+        def receiver():
+            for _ in range(2):
+                msg = yield Recv()
+                got.append(msg.src)
+
+        rt.spawn_rank(0, receiver())
+        rt.spawn_rank(1, sender(1))
+        rt.spawn_rank(2, sender(2))
+        rt.run()
+        assert sorted(got) == [1, 2]
+
+
+class TestFailureModes:
+    def test_mismatched_pair_deadlocks(self):
+        """§6.1.2's weakness: a missing send is an undetectable hang —
+        the scheduler-level deadlock is all you get."""
+        rt = MessagePassingRuntime()
+
+        def lonely():
+            yield Recv(src=1, tag="never")
+
+        def other():
+            yield Recv(src=0, tag="also-never")
+
+        rt.spawn_rank(0, lonely())
+        rt.spawn_rank(1, other())
+        with pytest.raises(SchedulerDeadlock):
+            rt.run()
+
+    def test_unknown_destination_rejected(self):
+        rt = MessagePassingRuntime()
+
+        def sender():
+            yield Send(9, "x")
+
+        rt.spawn_rank(0, sender())
+        with pytest.raises(ValueError):
+            rt.run()
+
+    def test_duplicate_rank_rejected(self):
+        rt = MessagePassingRuntime()
+        rt.spawn_rank(0, iter(()))
+        with pytest.raises(ValueError):
+            rt.spawn_rank(0, iter(()))
+
+
+class TestRingProgram:
+    def test_token_ring(self):
+        """A classic MP program: pass a token around a ring."""
+        rt = MessagePassingRuntime()
+        n = 5
+        path = []
+
+        def node(rank):
+            def gen():
+                if rank == 0:
+                    yield Send((rank + 1) % n, ["token"])
+                    msg = yield Recv(src=n - 1)
+                    path.append(rank)
+                else:
+                    msg = yield Recv(src=rank - 1)
+                    path.append(rank)
+                    yield Send((rank + 1) % n, msg.data)
+
+            return gen()
+
+        for r in range(n):
+            rt.spawn_rank(r, node(r))
+        rt.run()
+        assert path == [1, 2, 3, 4, 0]
+        assert rt.stats_sends == n

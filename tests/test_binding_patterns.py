@@ -1,0 +1,148 @@
+"""Tests for barrier and pipeline patterns (§6.4.3, Figs 6.9/6.10)."""
+
+import pytest
+
+from repro.binding.manager import BindingRuntime
+from repro.binding.patterns import barrier_team, make_pipeline
+from repro.binding.process import make_proc_array
+from repro.sim.procs import Delay
+
+
+class TestBarrier:
+    def test_rounds_strictly_separated(self):
+        """Fig 6.9: nobody starts round k+1 before everyone finished k."""
+        rt = BindingRuntime()
+        handles = make_proc_array("b", 5)
+        trace = []
+
+        def body(h, k):
+            trace.append(("work", h.index, k, rt.sched.cycle))
+            yield Delay(1 + 2 * h.index)  # deliberately uneven
+
+        rt.bfork(handles, barrier_team(handles, body, rounds=3))
+        rt.run()
+        starts = {}
+        for _tag, idx, k, cycle in trace:
+            starts.setdefault(k, []).append(cycle)
+        # Every round-k+1 start is after every round-k start + work.
+        assert max(starts[0]) < min(starts[1]) + 2 * 4 + 1
+        for k in (0, 1):
+            assert min(starts[k + 1]) > min(starts[k])
+
+    def test_all_processes_do_all_rounds(self):
+        rt = BindingRuntime()
+        handles = make_proc_array("b", 4)
+        count = {}
+
+        def body(h, k):
+            count[(h.index, k)] = True
+            yield Delay(1)
+
+        rt.bfork(handles, barrier_team(handles, body, rounds=2))
+        rt.run()
+        assert len(count) == 8
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            barrier_team([], lambda h, k: iter(()), rounds=0)
+
+
+class TestPipeline:
+    def test_fig_6_10_dependency_order(self):
+        """Stage s computes item i only after stage s−1 has (wavefront)."""
+        rt = BindingRuntime()
+        handles = make_proc_array("p", 4)
+        order = []
+        gens = make_pipeline(handles, 6, lambda s, i: order.append((s, i)))
+        for h, g in zip(handles, gens):
+            p = rt.spawn(g, f"stage{h.index}")
+            h.pid = p.pid
+        rt.run()
+        pos = {(s, i): k for k, (s, i) in enumerate(order)}
+        for s in range(1, 4):
+            for i in range(6):
+                assert pos[(s, i)] > pos[(s - 1, i)]
+
+    def test_items_processed_in_order_per_stage(self):
+        rt = BindingRuntime()
+        handles = make_proc_array("p", 3)
+        order = []
+        gens = make_pipeline(handles, 5, lambda s, i: order.append((s, i)))
+        for h, g in zip(handles, gens):
+            h.pid = rt.spawn(g).pid
+        rt.run()
+        for s in range(3):
+            items = [i for (st, i) in order if st == s]
+            assert items == sorted(items)
+
+    def test_stages_overlap_in_time(self):
+        """The point of pipelining: stage 1 starts before stage 0 ends."""
+        rt = BindingRuntime()
+        handles = make_proc_array("p", 2)
+        trace = []
+        gens = make_pipeline(
+            handles, 8, lambda s, i: trace.append((s, i, rt.sched.cycle))
+        )
+        for h, g in zip(handles, gens):
+            h.pid = rt.spawn(g).pid
+        rt.run()
+        s0_last = max(c for s, _i, c in trace if s == 0)
+        s1_first = min(c for s, _i, c in trace if s == 1)
+        assert s1_first < s0_last
+
+    def test_empty_pipeline_rejected(self):
+        from repro.binding.patterns import pipeline_stage
+        from repro.binding.process import ProcHandle
+
+        with pytest.raises(ValueError):
+            list(pipeline_stage(ProcHandle("p", 0), None, 0, lambda i: None))
+
+
+class TestWavefront:
+    def _run(self, rows, cols, steps):
+        from repro.binding.manager import BindingRuntime
+        from repro.binding.patterns import make_wavefront
+        from repro.binding.process import make_proc_array
+
+        rt = BindingRuntime()
+        flat = make_proc_array("w", rows * cols)
+        grid = [flat[r * cols:(r + 1) * cols] for r in range(rows)]
+        order = []
+        gens = make_wavefront(
+            grid, steps, lambda r, c, k: order.append((r, c, k))
+        )
+        i = 0
+        for r in range(rows):
+            for c in range(cols):
+                grid[r][c].pid = rt.spawn(gens[i], f"cell{r},{c}").pid
+                i += 1
+        rt.run()
+        return order
+
+    def test_2d_dependency_order(self):
+        """§6.4.3's 2-D pipelining: cell (r,c) at step k follows both its
+        north and west neighbours at step k."""
+        order = self._run(3, 3, 4)
+        pos = {(r, c, k): i for i, (r, c, k) in enumerate(order)}
+        for r in range(3):
+            for c in range(3):
+                for k in range(4):
+                    if r > 0:
+                        assert pos[(r, c, k)] > pos[(r - 1, c, k)]
+                    if c > 0:
+                        assert pos[(r, c, k)] > pos[(r, c - 1, k)]
+
+    def test_all_cells_do_all_steps(self):
+        order = self._run(2, 4, 3)
+        assert len(order) == 2 * 4 * 3
+        assert len(set(order)) == len(order)
+
+    def test_invalid_steps(self):
+        import pytest as _pytest
+
+        from repro.binding.patterns import wavefront_cell
+        from repro.binding.process import ProcHandle
+
+        with _pytest.raises(ValueError):
+            list(wavefront_cell(ProcHandle("w", 0), None, None, 0,
+                                lambda k: None))

@@ -1,0 +1,170 @@
+"""Tests for process binding: PROC, permission levels, bfork (§6.4)."""
+
+import pytest
+
+from repro.binding.manager import Bind, BindingRuntime, SetPermission
+from repro.binding.process import (
+    ProcHandle,
+    levels_range,
+    make_proc_array,
+    normalize_levels,
+)
+from repro.binding.region import AccessType
+from repro.sim.procs import Delay
+
+
+class TestLevels:
+    def test_normalize_single_int(self):
+        assert normalize_levels(3) == frozenset({3})
+
+    def test_normalize_iterable(self):
+        assert normalize_levels([1, 2, 2]) == frozenset({1, 2})
+
+    def test_levels_range_inclusive(self):
+        """The paper's 0:i notation covers both endpoints."""
+        assert levels_range(0, 3) == frozenset({0, 1, 2, 3})
+        with pytest.raises(ValueError):
+            levels_range(3, 1)
+
+
+class TestProcHandle:
+    def test_make_proc_array(self):
+        arr = make_proc_array("p", 4)
+        assert [h.index for h in arr] == [0, 1, 2, 3]
+        assert all(h.name == "p" for h in arr)
+        with pytest.raises(ValueError):
+            make_proc_array("p", 0)
+
+    def test_satisfies(self):
+        h = ProcHandle("p", 0)
+        h.permission = {0, 1, 2}
+        assert h.satisfies(frozenset({1, 2}))
+        assert not h.satisfies(frozenset({3}))
+
+
+class TestProcessBinding:
+    def test_bind_blocks_until_level_granted(self):
+        rt = BindingRuntime()
+        target = ProcHandle("t", 0)
+        log = []
+
+        def waiter():
+            yield Bind(target, AccessType.EX, blocking=True, level=5)
+            log.append(("woke", rt.sched.cycle))
+
+        def granter():
+            yield Delay(4)
+            yield SetPermission(target, 5)
+            log.append(("granted", rt.sched.cycle))
+
+        rt.spawn(waiter())
+        g = rt.spawn(granter())
+        target.pid = g.pid  # the granter owns the PROC
+        rt.run()
+        events = dict(log)
+        assert events["woke"] >= events["granted"]
+
+    def test_bind_immediate_when_already_granted(self):
+        rt = BindingRuntime()
+        target = ProcHandle("t", 0)
+        target.permission = {7}
+        done = []
+
+        def waiter():
+            yield Bind(target, AccessType.EX, blocking=True, level=7)
+            done.append(rt.sched.cycle)
+
+        rt.spawn(waiter())
+        rt.run()
+        assert done[0] <= 2
+
+    def test_nonblocking_process_bind(self):
+        rt = BindingRuntime()
+        target = ProcHandle("t", 0)
+        results = []
+
+        def prober():
+            got = yield Bind(target, AccessType.EX, blocking=False, level=1)
+            results.append(got)
+
+        rt.spawn(prober())
+        rt.run()
+        assert results == [False]  # not satisfied, did not block
+
+    def test_own_proc_bind_sets_permission(self):
+        """§6.4.2: binding your own PROC sets the permission status."""
+        rt = BindingRuntime()
+        handles = make_proc_array("p", 1)
+
+        def body(h):
+            yield Bind(h, AccessType.EX, level=levels_range(0, 3))
+
+        rt.bfork(handles, body)
+        rt.run()
+        assert handles[0].permission == {0, 1, 2, 3}
+
+    def test_multi_level_wait(self):
+        rt = BindingRuntime()
+        target = ProcHandle("t", 0)
+        log = []
+
+        def waiter():
+            yield Bind(target, AccessType.EX, level=[1, 2])
+            log.append(rt.sched.cycle)
+
+        def granter():
+            yield Delay(2)
+            yield SetPermission(target, 1)  # only half: waiter stays blocked
+            yield Delay(2)
+            yield SetPermission(target, 2)
+
+        rt.spawn(waiter())
+        g = rt.spawn(granter())
+        target.pid = g.pid
+        rt.run()
+        assert log[0] >= 5
+
+    def test_bfork_assigns_pids(self):
+        rt = BindingRuntime()
+        handles = make_proc_array("p", 3)
+
+        def body(h):
+            yield Delay(1)
+
+        procs = rt.bfork(handles, body)
+        assert [h.pid for h in handles] == [p.pid for p in procs]
+        rt.run()
+
+    def test_ex_required_for_proc_targets(self):
+        rt = BindingRuntime()
+        target = ProcHandle("t", 0)
+
+        def bad():
+            yield Bind(target, AccessType.RW, level=1)
+
+        rt.spawn(bad())
+        with pytest.raises(ValueError):
+            rt.run()
+
+    def test_level_required(self):
+        rt = BindingRuntime()
+        target = ProcHandle("t", 0)
+
+        def bad():
+            yield Bind(target, AccessType.EX)
+
+        rt.spawn(bad())
+        with pytest.raises(ValueError):
+            rt.run()
+
+    def test_replace_permission(self):
+        rt = BindingRuntime()
+        h = ProcHandle("t", 0)
+        h.permission = {1, 2}
+
+        def setter():
+            yield SetPermission(h, 9, replace=True)
+
+        rt.spawn(setter())
+        rt.run()
+        assert h.permission == {9}

@@ -1,0 +1,127 @@
+"""Tests for shared data regions and conflict detection (§6.2.2–6.3)."""
+
+import pytest
+
+from repro.binding.region import AccessType, DimRange, Region, regions_conflict
+
+
+class TestDimRange:
+    def test_membership(self):
+        r = DimRange(0, 10, 3)  # {0, 3, 6, 9}
+        assert 0 in r and 9 in r
+        assert 1 not in r and 10 not in r
+        assert r.count() == 4
+        assert r.last == 9
+
+    def test_single(self):
+        r = DimRange.single(5)
+        assert 5 in r
+        assert r.count() == 1
+
+    def test_contiguous_intersection(self):
+        assert DimRange(0, 10).intersects(DimRange(5, 15))
+        assert not DimRange(0, 5).intersects(DimRange(5, 10))
+
+    def test_strided_disjoint_even_odd(self):
+        """Fig 6.3c: sh[0:4:2] and sh[1:4:2] are exactly disjoint."""
+        assert not DimRange(0, 4, 2).intersects(DimRange(1, 4, 2))
+
+    def test_strided_intersection_found_by_crt(self):
+        a = DimRange(0, 30, 6)  # {0, 6, 12, 18, 24}
+        b = DimRange(3, 30, 9)  # {3, 12, 21}
+        assert a.intersects(b)  # common: 12
+
+    def test_strided_no_solution(self):
+        a = DimRange(0, 30, 6)  # ≡ 0 (mod 6)
+        b = DimRange(1, 30, 6)  # ≡ 1 (mod 6)
+        assert not a.intersects(b)
+
+    def test_window_excludes_congruent_solution(self):
+        a = DimRange(0, 10, 4)  # {0, 4, 8}
+        b = DimRange(12, 20, 4)  # {12, 16}
+        assert not a.intersects(b)  # congruent but out of window
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            DimRange(5, 5)
+        with pytest.raises(ValueError):
+            DimRange(0, 5, 0)
+
+
+class TestRegion:
+    def test_fluent_construction(self):
+        r = Region("sh")[1:3][2:4]
+        assert r.describe() == "sh[1:3][2:4]"
+
+    def test_field_selector(self):
+        """The sh[1:2][2:3].c[2] example of §6.3."""
+        r = Region("sh")[1:3][2:4].field("c")[2]
+        assert r.describe() == "sh[1:3][2:4].c[2]"
+
+    def test_step_in_describe(self):
+        r = Region("sh")[0:4:2]
+        assert r.describe() == "sh[0:4:2]"
+
+    def test_different_vars_never_overlap(self):
+        assert not Region("a")[0:10].overlaps(Region("b")[0:10])
+
+    def test_overlap_requires_all_dims(self):
+        a = Region("sh")[0:5][0:5]
+        b = Region("sh")[0:5][5:10]
+        assert not a.overlaps(b)
+        c = Region("sh")[2:7][2:7]
+        assert a.overlaps(c)
+
+    def test_prefix_covers_subtree(self):
+        """sh[1] overlaps sh[1].c[2] — the shorter chain is the whole row."""
+        whole = Region("sh")[1]
+        field = Region("sh")[1].field("c")[2]
+        assert whole.overlaps(field)
+        assert field.overlaps(whole)
+
+    def test_different_fields_disjoint(self):
+        a = Region("sh")[1].field("c")
+        b = Region("sh")[1].field("i")
+        assert not a.overlaps(b)
+
+    def test_whole_array_overlaps_any_element(self):
+        whole = Region("sh")
+        elem = Region("sh")[3][4]
+        assert whole.overlaps(elem)
+
+    def test_bad_index_type(self):
+        with pytest.raises(TypeError):
+            Region("sh")["oops"]
+        with pytest.raises(ValueError):
+            Region("sh")[1:]
+
+
+class TestConflicts:
+    def test_ro_ro_never_conflicts(self):
+        """Multiple-read: overlapping ro binds coexist (§6.2.2)."""
+        a = Region("sh")[0:10]
+        assert not regions_conflict(a, AccessType.RO, a, AccessType.RO)
+
+    def test_rw_anything_conflicts_on_overlap(self):
+        a = Region("sh")[0:10]
+        b = Region("sh")[5:15]
+        assert regions_conflict(a, AccessType.RW, b, AccessType.RO)
+        assert regions_conflict(a, AccessType.RO, b, AccessType.RW)
+        assert regions_conflict(a, AccessType.RW, b, AccessType.RW)
+
+    def test_disjoint_rw_no_conflict(self):
+        a = Region("sh")[0:5]
+        b = Region("sh")[5:10]
+        assert not regions_conflict(a, AccessType.RW, b, AccessType.RW)
+
+    def test_ex_never_conflicts_with_data(self):
+        a = Region("sh")[0:10]
+        assert not regions_conflict(a, AccessType.EX, a, AccessType.RW)
+
+    def test_fig_6_2_scenario(self):
+        """Fig 6.2: A (rw) and B (rw) conflict; B and C (ro vs ro) don't."""
+        A = Region("m")[0:4][0:4]
+        B = Region("m")[2:6][2:6]
+        C = Region("m")[4:8][4:8]
+        assert regions_conflict(A, AccessType.RW, B, AccessType.RW)
+        assert not regions_conflict(B, AccessType.RO, C, AccessType.RO)

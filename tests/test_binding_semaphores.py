@@ -1,0 +1,107 @@
+"""Tests for the locking-semaphore baseline (§6.1.1)."""
+
+import pytest
+
+from repro.binding.semaphores import Lock, SemaphoreRuntime, Unlock
+from repro.sim.procs import Delay
+
+
+class TestSemaphores:
+    def test_mutual_exclusion(self):
+        rt = SemaphoreRuntime()
+        trace = []
+
+        def user(name):
+            def gen():
+                yield Lock("s")
+                trace.append((name, "in", rt.sched.cycle))
+                yield Delay(4)
+                trace.append((name, "out", rt.sched.cycle))
+                yield Unlock("s")
+
+            return gen()
+
+        rt.spawn(user("a"))
+        rt.spawn(user("b"))
+        rt.run()
+        spans = {}
+        for name, ev, c in trace:
+            spans.setdefault(name, {})[ev] = c
+        assert (
+            spans["b"]["in"] >= spans["a"]["out"]
+            or spans["a"]["in"] >= spans["b"]["out"]
+        )
+
+    def test_fifo_handoff(self):
+        rt = SemaphoreRuntime()
+        order = []
+
+        def user(name, delay):
+            def gen():
+                yield Delay(delay)
+                yield Lock("s")
+                order.append(name)
+                yield Delay(3)
+                yield Unlock("s")
+
+            return gen()
+
+        rt.spawn(user("a", 0))
+        rt.spawn(user("b", 1))
+        rt.spawn(user("c", 2))
+        rt.run()
+        assert order == ["a", "b", "c"]
+
+    def test_independent_semaphores_parallel(self):
+        rt = SemaphoreRuntime()
+        log = []
+
+        def user(name, sem):
+            def gen():
+                yield Lock(sem)
+                log.append((name, rt.sched.cycle))
+                yield Delay(5)
+                yield Unlock(sem)
+
+            return gen()
+
+        rt.spawn(user("a", "s1"))
+        rt.spawn(user("b", "s2"))
+        rt.run()
+        cycles = [c for _n, c in log]
+        assert max(cycles) - min(cycles) <= 1
+
+    def test_relock_rejected(self):
+        rt = SemaphoreRuntime()
+
+        def bad():
+            yield Lock("s")
+            yield Lock("s")
+
+        rt.spawn(bad())
+        with pytest.raises(ValueError):
+            rt.run()
+
+    def test_unlock_by_nonholder_rejected(self):
+        rt = SemaphoreRuntime()
+
+        def bad():
+            yield Unlock("s")
+
+        rt.spawn(bad())
+        with pytest.raises(ValueError):
+            rt.run()
+
+    def test_stats(self):
+        rt = SemaphoreRuntime()
+
+        def user():
+            yield Lock("s")
+            yield Delay(2)
+            yield Unlock("s")
+
+        rt.spawn(user())
+        rt.spawn(user())
+        rt.run()
+        assert rt.stats_acquires == 2
+        assert rt.stats_waits == 1

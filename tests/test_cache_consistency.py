@@ -1,0 +1,102 @@
+"""Tests for weak-consistency conditions and the trace checker (§2.2)."""
+
+import pytest
+
+from repro.cache.consistency import (
+    AccessClass as A,
+    ConsistencyViolation,
+    TraceEvent,
+    WeakConsistencyChecker,
+    enforce_sequential_order,
+    enforce_weak_order,
+    pipelining_speedup,
+)
+
+
+def ev(proc, index, klass, issued, performed):
+    return TraceEvent(proc, index, klass, issued, performed)
+
+
+class TestChecker:
+    def test_valid_weak_trace_passes(self):
+        events = [
+            ev(0, 0, A.ORDINARY_LOAD, 0, 5),
+            ev(0, 1, A.ORDINARY_STORE, 1, 4),  # pipelined, out of order: fine
+            ev(0, 2, A.SYNC, 6, 10),  # after all ordinary performs
+            ev(0, 3, A.ORDINARY_LOAD, 11, 15),
+        ]
+        assert WeakConsistencyChecker(events).holds()
+
+    def test_sync_before_prior_ordinary_violates(self):
+        """Condition 2: ordinary ops must perform before a later sync."""
+        events = [
+            ev(0, 0, A.ORDINARY_STORE, 0, 20),
+            ev(0, 1, A.SYNC, 1, 5),
+        ]
+        checker = WeakConsistencyChecker(events)
+        assert not checker.holds()
+        with pytest.raises(ConsistencyViolation):
+            checker.check()
+
+    def test_ordinary_before_prior_sync_violates(self):
+        """Condition 3: syncs must perform before later ordinary ops."""
+        events = [
+            ev(0, 0, A.SYNC, 0, 20),
+            ev(0, 1, A.ORDINARY_LOAD, 1, 5),
+        ]
+        assert not WeakConsistencyChecker(events).holds()
+
+    def test_processors_checked_independently(self):
+        events = [
+            ev(0, 0, A.ORDINARY_STORE, 0, 100),
+            ev(1, 0, A.SYNC, 1, 5),  # different processor: no constraint
+        ]
+        assert WeakConsistencyChecker(events).holds()
+
+
+class TestScheduling:
+    def test_ordinary_accesses_pipeline(self):
+        sched = enforce_weak_order([(A.ORDINARY_LOAD, 10)] * 4)
+        issues = [s for s, _ in sched]
+        assert issues == [0, 1, 2, 3]  # one issue per slot, overlapping
+
+    def test_sync_waits_for_everything(self):
+        sched = enforce_weak_order(
+            [(A.ORDINARY_LOAD, 10), (A.ORDINARY_STORE, 10), (A.SYNC, 5)]
+        )
+        sync_issue = sched[2][0]
+        assert sync_issue >= max(p for _, p in sched[:2])
+
+    def test_post_sync_ops_wait_for_sync(self):
+        sched = enforce_weak_order([(A.SYNC, 5), (A.ORDINARY_LOAD, 10)])
+        assert sched[1][0] >= sched[0][1]
+
+    def test_weak_schedule_passes_checker(self):
+        program = [
+            (A.ORDINARY_LOAD, 8), (A.ORDINARY_STORE, 8), (A.SYNC, 4),
+            (A.ORDINARY_LOAD, 8), (A.ORDINARY_LOAD, 8), (A.SYNC, 4),
+        ]
+        sched = enforce_weak_order(program)
+        events = [
+            ev(0, i, klass, s, p)
+            for i, ((klass, _), (s, p)) in enumerate(zip(program, sched))
+        ]
+        assert WeakConsistencyChecker(events).holds()
+
+    def test_sequential_never_overlaps(self):
+        sched = enforce_sequential_order([(A.ORDINARY_LOAD, 10)] * 3)
+        for (s0, p0), (s1, _p1) in zip(sched, sched[1:]):
+            assert s1 >= p0
+
+    def test_pipelining_speedup_grows_with_run_length(self):
+        """§2.2.3: weak consistency's win comes from pipelining ordinary
+        accesses between sync points."""
+        short = [(A.ORDINARY_LOAD, 10)] * 2 + [(A.SYNC, 5)]
+        long = [(A.ORDINARY_LOAD, 10)] * 10 + [(A.SYNC, 5)]
+        assert pipelining_speedup(long) > pipelining_speedup(short) > 1.0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            enforce_weak_order([(A.SYNC, 0)])
+        with pytest.raises(ValueError):
+            enforce_sequential_order([(A.SYNC, -1)])

@@ -1,0 +1,95 @@
+"""Tests for the four §2.2 consistency-model schedulers."""
+
+import pytest
+
+from repro.cache.consistency import (
+    AccessClass as A,
+    compare_consistency_models,
+    completion_time,
+    enforce_processor_order,
+    enforce_release_order,
+    enforce_sequential_order,
+    enforce_weak_order,
+)
+
+LOAD, STORE, SYNC = A.ORDINARY_LOAD, A.ORDINARY_STORE, A.SYNC
+ACQ, REL = A.ACQUIRE, A.RELEASE
+
+CRITICAL_SECTION = [
+    (ACQ, 10),
+    (LOAD, 10), (LOAD, 10), (STORE, 10), (STORE, 10),
+    (REL, 10),
+    (LOAD, 10), (LOAD, 10),
+]
+
+MIXED = [(LOAD, 8), (STORE, 8), (LOAD, 8), (SYNC, 4), (STORE, 8), (LOAD, 8)]
+
+
+class TestProcessorConsistency:
+    def test_load_issues_before_store_performs(self):
+        """§2.2.2's headline: a load may perform before earlier stores."""
+        sched = enforce_processor_order([(STORE, 10), (LOAD, 10)])
+        store, load = sched
+        assert load[0] < store[1]  # load issued before the store performed
+
+    def test_store_waits_for_everything(self):
+        sched = enforce_processor_order([(LOAD, 10), (LOAD, 10), (STORE, 5)])
+        assert sched[2][0] >= max(p for _i, p in sched[:2])
+
+    def test_faster_than_sequential(self):
+        prog = [(LOAD, 10)] * 5 + [(STORE, 5)]
+        assert completion_time(enforce_processor_order(prog)) <= \
+            completion_time(enforce_sequential_order(prog))
+
+
+class TestReleaseConsistency:
+    def test_post_release_ops_do_not_wait(self):
+        """§2.2.4 advantage 1: ordinary accesses after a release proceed."""
+        sched = enforce_release_order([(STORE, 10), (REL, 10), (LOAD, 10)])
+        release, load = sched[1], sched[2]
+        assert load[0] < release[1]
+
+    def test_acquire_does_not_wait_for_ordinary(self):
+        """§2.2.4 advantage 2: an acquire needn't wait for earlier
+        ordinary accesses."""
+        sched = enforce_release_order([(STORE, 10), (ACQ, 10)])
+        store, acq = sched
+        assert acq[0] < store[1]
+
+    def test_ordinary_waits_for_acquire(self):
+        sched = enforce_release_order([(ACQ, 10), (LOAD, 5)])
+        assert sched[1][0] >= sched[0][1]
+
+    def test_release_waits_for_ordinary(self):
+        sched = enforce_release_order([(STORE, 10), (STORE, 10), (REL, 5)])
+        assert sched[2][0] >= max(p for _i, p in sched[:2])
+
+    def test_weak_sync_equals_acquire_plus_release(self):
+        """Under release consistency, a SYNC behaves like the stricter of
+        the two — never looser than weak consistency's sync."""
+        sched = enforce_release_order(MIXED)
+        weak = enforce_weak_order(MIXED)
+        assert completion_time(sched) <= completion_time(weak)
+
+
+class TestModelOrdering:
+    @pytest.mark.parametrize("program", [CRITICAL_SECTION, MIXED,
+                                         [(LOAD, 10)] * 8,
+                                         [(STORE, 6)] * 6 + [(SYNC, 4)]])
+    def test_relaxation_never_slows_down(self, program):
+        """The §2.2 hierarchy: each relaxation is at least as fast."""
+        t = compare_consistency_models(program)
+        assert t["sequential"] >= t["processor"] >= t["weak"] >= t["release"]
+
+    def test_critical_section_gains_are_real(self):
+        t = compare_consistency_models(CRITICAL_SECTION)
+        assert t["release"] < t["weak"] < t["sequential"]
+
+    def test_empty_program(self):
+        assert completion_time([]) == 0
+
+    def test_invalid_durations(self):
+        with pytest.raises(ValueError):
+            enforce_processor_order([(LOAD, 0)])
+        with pytest.raises(ValueError):
+            enforce_release_order([(ACQ, -1)])

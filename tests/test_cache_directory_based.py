@@ -1,0 +1,79 @@
+"""Tests for the full-map directory baseline (§5.1.2)."""
+
+import pytest
+
+from repro.cache.directory_based import (
+    FullMapDirectorySystem,
+    invalidation_message_cost,
+)
+
+
+class TestFullMapDirectory:
+    def test_read_miss_updates_presence(self):
+        sys_ = FullMapDirectorySystem(4)
+        sys_.read(0, 7)
+        sys_.read(2, 7)
+        assert sys_.directory[7].presence == {0, 2}
+        sys_.check_coherence_invariant()
+
+    def test_read_hit_free(self):
+        sys_ = FullMapDirectorySystem(4)
+        sys_.read(0, 7)
+        assert sys_.read(0, 7) == 0
+
+    def test_write_invalidates_sharers_with_acks(self):
+        """DASH-style: k sharers cost k invalidations + k acknowledgements."""
+        sys_ = FullMapDirectorySystem(8)
+        for p in range(5):
+            sys_.read(p, 3)
+        before = sys_.messages.invalidations
+        sys_.write(0, 3)
+        assert sys_.messages.invalidations - before == 4
+        assert sys_.messages.acknowledgements == 4
+        assert sys_.directory[3].presence == {0}
+        assert sys_.directory[3].dirty
+        sys_.check_coherence_invariant()
+
+    def test_write_to_remote_dirty_fetches_and_owns(self):
+        sys_ = FullMapDirectorySystem(4)
+        sys_.write(1, 3)
+        latency = sys_.write(2, 3)
+        assert latency > 0
+        assert sys_.directory[3].presence == {2}
+        assert sys_.caches[1].get(3) is None
+        sys_.check_coherence_invariant()
+
+    def test_dirty_write_hit_free(self):
+        sys_ = FullMapDirectorySystem(4)
+        sys_.write(1, 3)
+        assert sys_.write(1, 3) == 0
+
+    def test_read_of_dirty_block_flushes_owner(self):
+        sys_ = FullMapDirectorySystem(4)
+        sys_.write(1, 3)
+        sys_.read(0, 3)
+        assert not sys_.directory[3].dirty
+        assert sys_.directory[3].presence == {0, 1}
+        sys_.check_coherence_invariant()
+
+    def test_storage_overhead_grows_with_procs(self):
+        """§5.1.2: the presence-bit vector scales with the machine."""
+        assert FullMapDirectorySystem(16).directory_bits_per_block() == 17
+        assert FullMapDirectorySystem(256).directory_bits_per_block() == 257
+
+    def test_invalid_proc_count(self):
+        with pytest.raises(ValueError):
+            FullMapDirectorySystem(0)
+
+
+class TestCFMComparison:
+    def test_cfm_needs_no_invalidation_messages(self):
+        """§5.2.3: CFM invalidations ride the block access — zero messages,
+        zero acks — vs (k, k) for a full-map directory."""
+        msgs, acks = invalidation_message_cost(7)
+        assert (msgs, acks) == (7, 7)
+        assert invalidation_message_cost(0) == (0, 0)
+
+    def test_negative_sharers_rejected(self):
+        with pytest.raises(ValueError):
+            invalidation_message_cost(-1)

@@ -1,0 +1,46 @@
+"""Tests for software-controlled prefetching (§3.1.4)."""
+
+import pytest
+
+from repro.cache.prefetch import PrefetchingClient, run_stream
+
+
+class TestPrefetch:
+    def test_no_prefetch_all_misses(self):
+        stats = run_stream(length=16, compute_gap=12, distance=0)
+        assert stats.prefetches_issued == 0
+        assert stats.hit_rate == 0.0
+        assert stats.mean_latency >= 4  # every demand pays the block time
+
+    def test_prefetch_turns_misses_into_hits(self):
+        stats = run_stream(length=16, compute_gap=12, distance=1)
+        assert stats.prefetches_issued > 0
+        assert stats.hit_rate > 0.8  # all but the first access hit
+
+    def test_prefetch_reduces_mean_latency(self):
+        base = run_stream(length=24, compute_gap=12, distance=0)
+        pref = run_stream(length=24, compute_gap=12, distance=1)
+        assert pref.mean_latency < 0.6 * base.mean_latency
+
+    def test_short_gap_limits_the_benefit(self):
+        """With no compute gap the prefetch cannot finish in time."""
+        tight = run_stream(length=16, compute_gap=0, distance=1)
+        roomy = run_stream(length=16, compute_gap=12, distance=1)
+        assert tight.hit_rate <= roomy.hit_rate
+
+    def test_prefetch_skips_cached_blocks(self):
+        # Revisiting the same block: prefetcher must not re-issue.
+        from repro.cache.protocol import CacheSystem
+
+        sys_ = CacheSystem(4)
+        client = PrefetchingClient(sys_, 0, [1, 2, 1, 2], 8, 1)
+        while not client.done:
+            client.step()
+            sys_.tick()
+        assert client.stats.prefetches_issued <= 2
+
+    def test_invalid_params(self):
+        from repro.cache.protocol import CacheSystem
+
+        with pytest.raises(ValueError):
+            PrefetchingClient(CacheSystem(4), 0, [1], compute_gap=-1)

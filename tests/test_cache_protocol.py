@@ -1,0 +1,199 @@
+"""Tests for the slot-accurate CFM cache protocol (§5.2, Tables 5.1/5.2,
+Fig 5.3)."""
+
+import pytest
+
+from repro.cache.protocol import CacheSystem
+from repro.cache.state import CacheLineState as S
+from repro.core.block import Block
+
+
+class TestBasicProtocol:
+    def test_read_miss_fills_valid(self):
+        sys_ = CacheSystem(4)
+        sys_.mem.poke_block(3, Block.of_values([7] * 4))
+        op = sys_.load(0, 3)
+        sys_.run_ops([op])
+        assert op.result.values == [7] * 4
+        assert sys_.dirs[0].state_of(3) is S.VALID
+        assert op.latency == 4  # β for a clean miss
+
+    def test_read_hit_is_local_and_fast(self):
+        sys_ = CacheSystem(4)
+        op1 = sys_.load(0, 3)
+        sys_.run_ops([op1])
+        op2 = sys_.load(0, 3)
+        sys_.run_ops([op2])
+        assert op2.was_hit
+        assert op2.memory_accesses == 0
+        assert op2.latency <= 2
+
+    def test_write_invalidates_remote_valid_copies(self):
+        sys_ = CacheSystem(4)
+        r0 = sys_.load(0, 3)
+        r2 = sys_.load(2, 3)
+        sys_.run_ops([r0, r2])
+        w = sys_.store(1, 3, {0: 42})
+        sys_.run_ops([w])
+        assert sys_.dirs[1].state_of(3) is S.DIRTY
+        assert sys_.dirs[0].state_of(3) is S.INVALID
+        assert sys_.dirs[2].state_of(3) is S.INVALID
+        sys_.check_coherence_invariant()
+
+    def test_store_value_lands_in_owned_copy(self):
+        sys_ = CacheSystem(4)
+        w = sys_.store(1, 3, {0: 42, 2: 9})
+        sys_.run_ops([w])
+        line = sys_.dirs[1].lookup(3)
+        assert line.data.values[0] == 42
+        assert line.data.values[2] == 9
+
+    def test_write_hit_dirty_needs_no_memory_access(self):
+        sys_ = CacheSystem(4)
+        w1 = sys_.store(1, 3, {0: 1})
+        sys_.run_ops([w1])
+        w2 = sys_.store(1, 3, {1: 2})
+        sys_.run_ops([w2])
+        assert w2.was_hit
+        assert w2.memory_accesses == 0
+
+    def test_read_after_remote_dirty_triggers_writeback(self):
+        """Table 5.1 read miss / remote dirty: read (trigger write-back)."""
+        sys_ = CacheSystem(4)
+        w = sys_.store(1, 3, {0: 42})
+        sys_.run_ops([w])
+        r = sys_.load(0, 3)
+        sys_.run_ops([r])
+        assert r.result.values[0] == 42
+        assert sys_.dirs[1].state_of(3) is S.VALID  # dirty copy flushed
+        assert r.retries >= 1  # the read retried during the write-back
+        assert sys_.controller.triggered_writebacks >= 1
+        sys_.check_coherence_invariant()
+
+    def test_memory_updated_by_writeback(self):
+        sys_ = CacheSystem(4)
+        w = sys_.store(1, 3, {0: 42})
+        sys_.run_ops([w])
+        r = sys_.load(0, 3)
+        sys_.run_ops([r])
+        assert sys_.mem.peek_block(3).values[0] == 42
+
+
+class TestVictimWriteback:
+    def test_dirty_victim_flushed_before_refill(self):
+        sys_ = CacheSystem(4, n_lines=4)
+        w = sys_.store(0, 1, {0: 5})
+        sys_.run_ops([w])
+        # Offset 5 maps to the same line (5 % 4 == 1): victim must flush.
+        r = sys_.load(0, 5)
+        sys_.run_ops([r])
+        assert sys_.mem.peek_block(1).values[0] == 5  # victim landed in memory
+        assert sys_.dirs[0].state_of(5) is S.VALID
+        assert sys_.dirs[0].state_of(1) is S.INVALID
+        assert r.memory_accesses >= 2  # write-back + read
+
+
+class TestConcurrentWriters:
+    def test_two_writers_serialize(self):
+        sys_ = CacheSystem(4)
+        w0 = sys_.store(0, 3, {0: 10})
+        w2 = sys_.store(2, 3, {0: 20})
+        sys_.run_ops([w0, w2])
+        sys_.check_coherence_invariant()
+        owners = sys_.dirty_owners(3)
+        assert len(owners) == 1
+        # The surviving owner's value is one of the two stores.
+        line = sys_.dirs[owners[0]].lookup(3)
+        assert line.data.values[0] in (10, 20)
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_write_storm_maintains_single_owner(self, n):
+        sys_ = CacheSystem(n)
+        ops = [sys_.store(p, 0, {0: p}) for p in range(n)]
+        sys_.run_ops(ops)
+        sys_.check_coherence_invariant()
+        assert len(sys_.dirty_owners(0)) == 1
+
+    def test_fig_5_3_writeback_beats_read_invalidate(self):
+        """Fig 5.3: a read-invalidate racing a write-back aborts, retries,
+        and completes only after the write-back finishes."""
+        sys_ = CacheSystem(4)
+        w = sys_.store(0, 3, {0: 7})
+        sys_.run_ops([w])
+        # P0 now owns block 3 dirty.  Force its write-back and race an RI.
+        wb = sys_.flush(0, 3)
+        ri = sys_.store(2, 3, {0: 9})
+        sys_.run_ops([wb, ri])
+        assert ri.retries >= 1
+        assert sys_.dirs[2].state_of(3) is S.DIRTY
+        assert sys_.dirs[0].state_of(3) is S.INVALID
+        sys_.check_coherence_invariant()
+
+
+class TestReadersAndWriters:
+    def test_mixed_load_store_storm_stays_coherent(self):
+        sys_ = CacheSystem(8)
+        ops = []
+        for p in range(8):
+            if p % 2 == 0:
+                ops.append(sys_.load(p, 0))
+            else:
+                ops.append(sys_.store(p, 0, {0: p}))
+        sys_.run_ops(ops)
+        sys_.check_coherence_invariant()
+
+    def test_stale_valid_copy_never_survives(self):
+        """After any quiescent point, every VALID copy equals memory."""
+        sys_ = CacheSystem(8)
+        ops = []
+        for round_ in range(3):
+            for p in range(8):
+                if (p + round_) % 3 == 0:
+                    ops.append(sys_.store(p, 0, {0: 100 * round_ + p}))
+                else:
+                    ops.append(sys_.load(p, 0))
+        sys_.run_ops(ops)
+        # Flush the final owner so memory is current.
+        owners = sys_.dirty_owners(0)
+        if owners:
+            f = sys_.flush(owners[0], 0)
+            sys_.run_ops([f])
+        truth = sys_.mem.peek_block(0).values
+        for p in range(8):
+            line = sys_.dirs[p].lookup(0)
+            if line is not None and line.state is S.VALID:
+                assert line.data.values == truth
+
+    def test_sequential_values_observed_monotonically(self):
+        sys_ = CacheSystem(4)
+        for v in (1, 2, 3):
+            w = sys_.store(v % 4, 0, {0: v})
+            sys_.run_ops([w])
+        r = sys_.load(0, 0)
+        sys_.run_ops([r])
+        assert r.result.values[0] == 3
+
+
+class TestAccessControlTable52:
+    def test_writeback_never_aborts(self):
+        sys_ = CacheSystem(4)
+        w = sys_.store(0, 3, {0: 1})
+        sys_.run_ops([w])
+        wb = sys_.flush(0, 3)
+        # Race it against reads and read-invalidates.
+        r1 = sys_.load(1, 3)
+        w2 = sys_.store(2, 3, {0: 2})
+        sys_.run_ops([wb, r1, w2])
+        assert wb.retries == 0
+        sys_.check_coherence_invariant()
+
+    def test_reads_retry_against_read_invalidate(self):
+        sys_ = CacheSystem(8)
+        ri = sys_.store(0, 3, {0: 1})
+        reads = [sys_.load(p, 3) for p in range(1, 8)]
+        sys_.run_ops([ri] + reads)
+        sys_.check_coherence_invariant()
+        # Every read either saw the pre-write or the post-write block — but
+        # consistently (single version).
+        for r in reads:
+            assert r.result.is_single_version()

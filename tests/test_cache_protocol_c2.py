@@ -1,0 +1,78 @@
+"""Cache protocol with bank cycle c = 2: twice the banks, directory
+coupling only on even banks (processor p ↔ bank 2p)."""
+
+import pytest
+
+from repro.cache.locks import CacheLockSystem
+from repro.cache.protocol import CacheSystem
+from repro.cache.state import CacheLineState as S
+from repro.cache.sync_ops import fetch_and_add
+from repro.core.block import Block
+
+
+class TestTopology:
+    def test_coupling_skips_mid_cycle_banks(self):
+        sys_ = CacheSystem(4, bank_cycle=2)
+        assert sys_.coupled_proc(0) == 0
+        assert sys_.coupled_proc(1) is None
+        assert sys_.coupled_proc(6) == 3
+
+    def test_block_width_is_c_times_n(self):
+        sys_ = CacheSystem(4, bank_cycle=2)
+        assert sys_.cfg.n_banks == 8
+        assert sys_.cfg.block_access_time == 9
+
+
+class TestProtocolAtC2:
+    def test_clean_miss_latency_is_beta(self):
+        sys_ = CacheSystem(4, bank_cycle=2)
+        sys_.mem.poke_block(3, Block.of_values([7] * 8))
+        op = sys_.load(0, 3)
+        sys_.run_ops([op])
+        assert op.latency == 9
+        assert op.result.values == [7] * 8
+
+    def test_store_and_remote_read(self):
+        sys_ = CacheSystem(4, bank_cycle=2)
+        w = sys_.store(1, 3, {0: 42})
+        sys_.run_ops([w])
+        r = sys_.load(0, 3)
+        sys_.run_ops([r])
+        assert r.result.values[0] == 42
+        assert sys_.dirs[1].state_of(3) is S.VALID
+        sys_.check_coherence_invariant()
+
+    def test_invalidation_reaches_all_copies(self):
+        sys_ = CacheSystem(4, bank_cycle=2)
+        loads = [sys_.load(p, 3) for p in (0, 2, 3)]
+        sys_.run_ops(loads)
+        w = sys_.store(1, 3, {0: 1})
+        sys_.run_ops([w])
+        for p in (0, 2, 3):
+            assert sys_.dirs[p].state_of(3) is S.INVALID
+        sys_.check_coherence_invariant()
+
+    def test_write_storm_single_owner(self):
+        sys_ = CacheSystem(4, bank_cycle=2)
+        ops = [sys_.store(p, 0, {0: p}) for p in range(4)]
+        sys_.run_ops(ops)
+        assert len(sys_.dirty_owners(0)) == 1
+        sys_.check_coherence_invariant()
+
+    def test_fetch_and_add_atomic_at_c2(self):
+        sys_ = CacheSystem(4, bank_cycle=2)
+        sys_.mem.poke_block(0, Block.zeros(8))
+        ops = [fetch_and_add(sys_, p, 0, 1) for p in range(4)]
+        sys_.run_until(lambda: all(o.done for o in ops))
+        assert sys_.mem.peek_block(0).values[0] == 4
+        sys_.check_coherence_invariant()
+
+
+class TestLocksAtC2:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_lock_contention_at_c2(self, n):
+        ls = CacheLockSystem(n, bank_cycle=2, cs_cycles=6)
+        accs = ls.run()
+        assert len(accs) == n
+        assert ls.mutual_exclusion_held
+        ls.cache.check_coherence_invariant()

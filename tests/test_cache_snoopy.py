@@ -1,0 +1,76 @@
+"""Tests for the write-once snoopy baseline (§5.1.1)."""
+
+import pytest
+
+from repro.cache.snoopy import SnoopyBusSystem, SnoopyState
+
+
+class TestWriteOnce:
+    def test_read_miss_costs_bus_block(self):
+        sys_ = SnoopyBusSystem(4, bus_block_cycles=8)
+        cost = sys_.read(0, 5)
+        assert cost == 8
+        assert sys_.read(0, 5) == 0  # now a hit
+
+    def test_first_write_writes_through_one_word(self):
+        """Goodman's write-once: first write to a valid line uses one bus
+        word and moves to RESERVED."""
+        sys_ = SnoopyBusSystem(4, bus_block_cycles=8, bus_word_cycles=1)
+        sys_.read(0, 5)
+        cost = sys_.write(0, 5)
+        assert cost == 1
+        line = sys_.caches[0][5 % sys_.n_lines]
+        assert line.state is SnoopyState.RESERVED
+
+    def test_second_write_is_free_and_dirty(self):
+        sys_ = SnoopyBusSystem(4)
+        sys_.read(0, 5)
+        sys_.write(0, 5)
+        assert sys_.write(0, 5) == 0
+        line = sys_.caches[0][5 % sys_.n_lines]
+        assert line.state is SnoopyState.DIRTY
+
+    def test_write_through_invalidates_sharers(self):
+        sys_ = SnoopyBusSystem(4)
+        sys_.read(0, 5)
+        sys_.read(1, 5)
+        sys_.read(2, 5)
+        sys_.write(0, 5)
+        assert sys_.invalidations == 2
+        assert not sys_.caches[1].get(5 % sys_.n_lines).holds(5)
+
+    def test_read_flushes_remote_dirty(self):
+        sys_ = SnoopyBusSystem(4)
+        sys_.read(0, 5)
+        sys_.write(0, 5)
+        sys_.write(0, 5)  # dirty now
+        cost = sys_.read(1, 5)
+        assert cost >= 2 * sys_.bus_block_cycles  # flush + fill
+        sys_.check_coherence_invariant()
+
+    def test_coherence_invariant_after_storm(self):
+        sys_ = SnoopyBusSystem(8)
+        for i in range(40):
+            p = i % 8
+            if i % 3 == 0:
+                sys_.write(p, i % 4)
+            else:
+                sys_.read(p, i % 4)
+        sys_.check_coherence_invariant()
+
+
+class TestScalability:
+    def test_bus_serializes_everything(self):
+        """The §5.1.1 weakness: every transaction occupies the single bus,
+        so total bus time grows linearly with processor count."""
+        def total_bus(n):
+            sys_ = SnoopyBusSystem(n)
+            for p in range(n):
+                sys_.read(p, 0)
+            return sys_.bus_busy_cycles
+
+        assert total_bus(16) == 2 * total_bus(8)
+
+    def test_invalid_proc_count(self):
+        with pytest.raises(ValueError):
+            SnoopyBusSystem(0)

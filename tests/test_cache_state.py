@@ -1,0 +1,80 @@
+"""Tests for the pure protocol transition table (Fig 5.2, Table 5.1)."""
+
+import pytest
+
+from repro.cache.state import (
+    Action,
+    CacheLineState as S,
+    MemoryOp,
+    ProtocolEvent as E,
+    protocol_action,
+    table_5_1_rows,
+)
+
+
+class TestTable51:
+    def test_read_hit_no_memory_access(self):
+        for local in (S.VALID, S.DIRTY):
+            remote = S.VALID if local is S.VALID else S.INVALID
+            a = protocol_action(E.READ_HIT, local, remote)
+            assert a.memory_op is MemoryOp.NONE
+            assert a.final_local_state is local
+
+    def test_read_miss_clean_issues_read(self):
+        a = protocol_action(E.READ_MISS, S.INVALID, S.VALID)
+        assert a.memory_op is MemoryOp.READ
+        assert not a.triggers_remote_writeback
+        assert a.final_local_state is S.VALID
+
+    def test_read_miss_dirty_triggers_writeback(self):
+        a = protocol_action(E.READ_MISS, S.INVALID, S.DIRTY)
+        assert a.memory_op is MemoryOp.READ
+        assert a.triggers_remote_writeback
+        assert a.final_local_state is S.VALID
+
+    def test_write_hit_dirty_is_free(self):
+        a = protocol_action(E.WRITE_HIT, S.DIRTY, S.INVALID)
+        assert a.memory_op is MemoryOp.NONE
+        assert a.final_local_state is S.DIRTY
+
+    def test_write_hit_valid_needs_read_invalidate(self):
+        a = protocol_action(E.WRITE_HIT, S.VALID, S.VALID)
+        assert a.memory_op is MemoryOp.READ_INVALIDATE
+        assert a.final_local_state is S.DIRTY
+
+    def test_write_miss_dirty_triggers_writeback(self):
+        a = protocol_action(E.WRITE_MISS, S.INVALID, S.DIRTY)
+        assert a.memory_op is MemoryOp.READ_INVALIDATE
+        assert a.triggers_remote_writeback
+        assert a.final_local_state is S.DIRTY
+
+    def test_full_table_row_count(self):
+        rows = table_5_1_rows()
+        assert len(rows) == 12
+        # Exactly the paper's action strings appear.
+        descs = {r[3].describe() for r in rows}
+        assert descs == {
+            "no memory access",
+            "read",
+            "read (trigger remote write-back)",
+            "read-invalidate",
+            "read-invalidate (trigger remote write-back)",
+        }
+
+
+class TestInvariantEnforcement:
+    def test_dirty_is_exclusive(self):
+        with pytest.raises(ValueError):
+            protocol_action(E.READ_HIT, S.DIRTY, S.VALID)
+
+    def test_hit_requires_cached_line(self):
+        with pytest.raises(ValueError):
+            protocol_action(E.READ_HIT, S.INVALID, S.INVALID)
+        with pytest.raises(ValueError):
+            protocol_action(E.WRITE_HIT, S.INVALID, S.INVALID)
+
+    def test_miss_requires_invalid_line(self):
+        with pytest.raises(ValueError):
+            protocol_action(E.READ_MISS, S.VALID, S.INVALID)
+        with pytest.raises(ValueError):
+            protocol_action(E.WRITE_MISS, S.DIRTY, S.INVALID)

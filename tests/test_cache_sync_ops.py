@@ -1,0 +1,127 @@
+"""Tests for synchronization operations on the cache protocol (§5.3.1,
+§5.3.3, Fig 5.5)."""
+
+import pytest
+
+from repro.cache.protocol import CacheSystem
+from repro.cache.state import CacheLineState as S
+from repro.cache.sync_ops import (
+    MultipleTestAndSet,
+    ReadModifyWrite,
+    atomic_swap,
+    fetch_and_add,
+    multiple_clear,
+    multiple_test_and_set,
+)
+from repro.core.block import Block
+
+
+class TestReadModifyWrite:
+    def test_rmw_publishes_and_releases(self):
+        sys_ = CacheSystem(4)
+        sys_.mem.poke_block(0, Block.of_values([10] * 4))
+        rmw = ReadModifyWrite(
+            sys_, 0, 0, lambda old: {0: old[0].value + 5}
+        ).start()
+        sys_.run_until(lambda: rmw.done)
+        assert rmw.old_block.values[0] == 10
+        assert sys_.mem.peek_block(0).values[0] == 15
+        # Released: line is VALID (clean) after the flush.
+        assert sys_.dirs[0].state_of(0) is S.VALID
+
+    def test_concurrent_fetch_and_add_is_atomic(self):
+        sys_ = CacheSystem(8)
+        sys_.mem.poke_block(0, Block.zeros(8))
+        ops = [fetch_and_add(sys_, p, 0, 1) for p in range(8)]
+        sys_.run_until(lambda: all(o.done for o in ops))
+        assert sys_.mem.peek_block(0).values[0] == 8
+        assert sorted(o.old_block.values[0] for o in ops) == list(range(8))
+        sys_.check_coherence_invariant()
+
+    def test_swap_exchanges(self):
+        sys_ = CacheSystem(4)
+        sys_.mem.poke_block(0, Block.of_values([3] * 4))
+        s = atomic_swap(sys_, 1, 0, [9, 9, 9, 9])
+        sys_.run_until(lambda: s.done)
+        assert s.old_block.values == [3] * 4
+        assert sys_.mem.peek_block(0).values == [9] * 4
+
+    def test_wb_disabled_blocks_remote_triggering(self):
+        """§5.3.1: remotely triggered write-back is disabled while a sync
+        op owns the block — the remote reader just keeps retrying."""
+        sys_ = CacheSystem(4)
+        slow_phase = []
+
+        def modify(old):
+            slow_phase.append(sys_.slot)
+            return {0: 1}
+
+        rmw = ReadModifyWrite(sys_, 0, 0, modify).start()
+        r = sys_.load(2, 0)
+        sys_.run_until(lambda: rmw.done and r.done)
+        assert r.result.values[0] in (0, 1)
+        sys_.check_coherence_invariant()
+
+
+class TestMultipleTestAndSet:
+    def test_fig_5_5_first_lock_succeeds(self):
+        sys_ = CacheSystem(8)
+        sys_.mem.poke_block(0, Block.of_values([0, 1, 0, 1, 0, 1, 1, 0]))
+        op = multiple_test_and_set(sys_, 0, 0, [1, 0, 1, 0, 0, 0, 0, 1])
+        sys_.run_until(lambda: op.done)
+        assert op.failed is False
+        assert op.new_bits == [1, 1, 1, 1, 0, 1, 1, 1]
+        got = [1 if w.value else 0 for w in sys_.mem.peek_block(0).words]
+        assert got == [1, 1, 1, 1, 0, 1, 1, 1]
+
+    def test_fig_5_5_second_lock_fails_unchanged(self):
+        sys_ = CacheSystem(8)
+        sys_.mem.poke_block(0, Block.of_values([1, 1, 1, 1, 0, 1, 1, 1]))
+        op = multiple_test_and_set(sys_, 1, 0, [0, 0, 0, 0, 1, 0, 0, 1])
+        sys_.run_until(lambda: op.done)
+        assert op.failed is True
+        got = [1 if w.value else 0 for w in sys_.mem.peek_block(0).words]
+        assert got == [1, 1, 1, 1, 0, 1, 1, 1]  # nothing changed
+
+    def test_fig_5_5_unlock_releases_only_own_bits(self):
+        sys_ = CacheSystem(8)
+        sys_.mem.poke_block(0, Block.of_values([1, 1, 1, 1, 0, 1, 1, 1]))
+        op = multiple_clear(sys_, 0, 0, [1, 0, 1, 0, 0, 0, 0, 1])
+        sys_.run_until(lambda: op.done)
+        assert op.failed is False
+        got = [1 if w.value else 0 for w in sys_.mem.peek_block(0).words]
+        assert got == [0, 1, 0, 1, 0, 1, 1, 0]  # back to the initial state
+
+    def test_all_or_nothing_under_contention(self):
+        """Competing overlapping patterns: for each pair either their bits
+        are disjoint or their critical updates serialized."""
+        sys_ = CacheSystem(8)
+        sys_.mem.poke_block(0, Block.zeros(8))
+        pat_a = [1, 1, 0, 0, 0, 0, 0, 0]
+        pat_b = [0, 1, 1, 0, 0, 0, 0, 0]
+        a = multiple_test_and_set(sys_, 0, 0, pat_a)
+        b = multiple_test_and_set(sys_, 4, 0, pat_b)
+        sys_.run_until(lambda: a.done and b.done)
+        # Overlapping on bit 1: at most one can have succeeded.
+        assert [a.failed, b.failed].count(False) <= 1
+        bits = [1 if w.value else 0 for w in sys_.mem.peek_block(0).words]
+        winners = [op for op in (a, b) if op.failed is False]
+        expected = [0] * 8
+        for op in winners:
+            expected = [e | p for e, p in zip(expected, op.pattern)]
+        assert bits == expected
+
+    def test_disjoint_patterns_both_succeed(self):
+        sys_ = CacheSystem(8)
+        sys_.mem.poke_block(0, Block.zeros(8))
+        a = multiple_test_and_set(sys_, 0, 0, [1, 1, 0, 0, 0, 0, 0, 0])
+        b = multiple_test_and_set(sys_, 4, 0, [0, 0, 0, 0, 1, 1, 0, 0])
+        sys_.run_until(lambda: a.done and b.done)
+        assert a.failed is False and b.failed is False
+
+    def test_pattern_validation(self):
+        sys_ = CacheSystem(4)
+        with pytest.raises(ValueError):
+            MultipleTestAndSet(sys_, 0, 0, [1, 0])  # wrong width
+        with pytest.raises(ValueError):
+            MultipleTestAndSet(sys_, 0, 0, [1, 0, 2, 0])  # bad bit

@@ -1,0 +1,68 @@
+"""Tests for weak consistency on the live protocol (§5.3.1)."""
+
+import pytest
+
+from repro.cache.protocol import CacheSystem
+from repro.cache.state import CacheLineState as S
+from repro.cache.weak_driver import (
+    ConsistencyDriver,
+    Discipline,
+    OpKind,
+    ProgramOp,
+    compare_disciplines,
+    store_burst_program,
+)
+
+
+class TestDriver:
+    def test_weak_leaves_stores_dirty(self):
+        """Condition 1/2: ownership + local modification counts as
+        performed — no flush before the sync."""
+        sys_ = CacheSystem(4)
+        drv = ConsistencyDriver(sys_, 0)
+        res = drv.run(store_burst_program(4), Discipline.WEAK)
+        assert res.writebacks_at_sync == 0
+        # The stored blocks are still dirty in the cache afterwards.
+        assert len(sys_.dirs[0].dirty_offsets()) >= 3
+
+    def test_strict_flushes_every_store(self):
+        sys_ = CacheSystem(4)
+        drv = ConsistencyDriver(sys_, 0)
+        res = drv.run(store_burst_program(4), Discipline.STRICT)
+        assert res.writebacks_at_sync == 4
+        # Everything published: no dirty ordinary blocks remain.
+        dirty = set(sys_.dirs[0].dirty_offsets())
+        assert dirty <= {63}  # only the sync block may be owned
+
+    def test_weak_faster_and_cheaper(self):
+        """The §2.2.3 payoff measured on the real machine."""
+        weak, strict = compare_disciplines(n_stores=8)
+        assert weak.cycles < strict.cycles
+        assert weak.memory_ops < strict.memory_ops
+
+    def test_gain_grows_with_burst_length(self):
+        w4, s4 = compare_disciplines(n_stores=4)
+        w12, s12 = compare_disciplines(n_stores=12)
+        assert (s12.cycles - w12.cycles) > (s4.cycles - w4.cycles)
+
+    def test_sync_is_globally_visible_under_weak(self):
+        """The sync itself always publishes (RMW ends in a write-back)."""
+        sys_ = CacheSystem(4)
+        drv = ConsistencyDriver(sys_, 0)
+        drv.run([ProgramOp(OpKind.SYNC, 7)], Discipline.WEAK)
+        assert sys_.mem.peek_block(7).values[0] == 1
+        assert sys_.dirs[0].state_of(7) is S.VALID
+
+    def test_loads_work_in_programs(self):
+        sys_ = CacheSystem(4)
+        drv = ConsistencyDriver(sys_, 0)
+        res = drv.run(
+            [ProgramOp(OpKind.LOAD, 1), ProgramOp(OpKind.STORE, 1),
+             ProgramOp(OpKind.LOAD, 1)],
+            Discipline.WEAK,
+        )
+        assert res.cycles > 0
+
+    def test_invalid_burst(self):
+        with pytest.raises(ValueError):
+            store_burst_program(0)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, TABLES, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "3.3" in out and "5.5" in out and "3.14" in out
+
+    @pytest.mark.parametrize("tid", sorted(TABLES))
+    def test_every_table_renders(self, tid, capsys):
+        assert main(["table", tid]) == 0
+        out = capsys.readouterr().out
+        assert f"Table {tid}" in out
+        assert len(out.splitlines()) > 3
+
+    @pytest.mark.parametrize("fid", ["3.13", "3.14", "3.15", "4.1", "5.5"])
+    def test_figures_render(self, fid, capsys):
+        assert main(["figure", fid]) == 0
+        out = capsys.readouterr().out
+        assert f"Fig {fid}" in out
+
+    def test_table_5_5_values(self, capsys):
+        main(["table", "5.5"])
+        out = capsys.readouterr().out
+        assert "9" in out and "27" in out and "63" in out
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9.9"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestVerify:
+    def test_verify_reports_full_reproduction(self, capsys):
+        from repro.cli import verify
+
+        assert verify() == 0
+        out = capsys.readouterr().out
+        assert "8/8 deterministic artifacts match the paper" in out
+        assert "FAIL" not in out
+
+    def test_verify_via_main(self, capsys):
+        assert main(["verify"]) == 0

@@ -1,0 +1,104 @@
+"""Tests for the AT-space model (§3.1.1–3.1.2, Figs 3.1/3.3)."""
+
+import pytest
+
+from repro.core.atspace import ATSpace, verify_busy_intervals
+
+
+class TestMapping:
+    def test_fig_3_3_mapping(self):
+        # Fig 3.3: at slot t, processor p accesses bank (t + p) mod 4.
+        space = ATSpace(4)
+        assert space.bank_at(0, 0) == 0
+        assert space.bank_at(1, 0) == 1
+        assert space.bank_at(3, 2) == 1
+        assert space.bank_at(2, 3) == 1
+
+    def test_bank_cycle_scales_processor_offset(self):
+        space = ATSpace(8, bank_cycle=2)
+        # §3.1.3: bank (t + 2p) mod 8
+        assert space.bank_at(3, 0) == 6
+        assert space.bank_at(3, 5) == 3
+        assert space.n_procs == 4
+
+    def test_proc_at_inverts_bank_at(self):
+        space = ATSpace(8, bank_cycle=2)
+        for t in range(16):
+            for p in range(space.n_procs):
+                assert space.proc_at(space.bank_at(p, t), t) == p
+
+    def test_proc_at_rejects_mid_cycle_banks(self):
+        space = ATSpace(8, bank_cycle=2)
+        # At slot 0 only even banks receive new addresses.
+        with pytest.raises(ValueError):
+            space.proc_at(1, 0)
+
+    def test_out_of_range_rejected(self):
+        space = ATSpace(4)
+        with pytest.raises(ValueError):
+            space.bank_at(4, 0)
+        with pytest.raises(ValueError):
+            space.proc_at(4, 0)
+
+
+class TestPartitions:
+    @pytest.mark.parametrize("banks,cycle", [(4, 1), (8, 1), (8, 2), (16, 4)])
+    def test_partitions_mutually_exclusive(self, banks, cycle):
+        assert ATSpace(banks, cycle).partitions_are_exclusive()
+
+    def test_partition_covers_one_bank_per_slot(self):
+        space = ATSpace(4)
+        part = space.partition(2)
+        assert len(part) == 4
+        slots = {t for t, _ in part}
+        assert slots == set(range(4))
+
+    def test_c1_partitions_tile_whole_space(self):
+        space = ATSpace(4)
+        union = set()
+        for p in range(space.n_procs):
+            union |= space.partition(p)
+        assert len(union) == 16  # every (slot, bank) cell exactly once
+
+    def test_utilized_fraction(self):
+        assert ATSpace(4).utilized_fraction() == 1.0
+        assert ATSpace(8, 2).utilized_fraction() == 0.5
+        assert ATSpace(8).accessible_fraction() == pytest.approx(1 / 8)
+
+
+class TestBlockSchedule:
+    def test_no_alignment_stall(self):
+        """A block access starts at whatever bank the slot defines (§3.1.1)."""
+        space = ATSpace(4)
+        sched = space.block_schedule(1, start_slot=2)
+        assert sched[0] == (2, 3)  # starts mid-period, not at bank 0
+        assert [b for _, b in sched] == [3, 0, 1, 2]
+
+    def test_every_bank_visited_exactly_once(self):
+        space = ATSpace(8, 2)
+        for start in range(8):
+            banks = [b for _, b in space.block_schedule(2, start)]
+            assert sorted(banks) == list(range(8))
+
+    def test_block_access_time_formula(self):
+        assert ATSpace(4).block_access_time() == 4
+        assert ATSpace(8, 2).block_access_time() == 9
+
+    def test_connection_table_is_permutation_free(self):
+        space = ATSpace(8, 2)
+        for row in space.connection_table():
+            banks = list(row.values())
+            assert len(set(banks)) == len(banks)  # no shared bank in a slot
+
+
+class TestBusyIntervals:
+    @pytest.mark.parametrize("banks,cycle", [(8, 2), (12, 3), (16, 4)])
+    def test_bank_busy_windows_never_overlap(self, banks, cycle):
+        """§3.1.3: consecutive addresses reach a bank ≥ c slots apart."""
+        assert verify_busy_intervals(ATSpace(banks, cycle), slots=4 * banks)
+
+    def test_invalid_space_rejected(self):
+        with pytest.raises(ValueError):
+            ATSpace(0)
+        with pytest.raises(ValueError):
+            ATSpace(6, 4)  # banks not a multiple of cycle

@@ -1,0 +1,56 @@
+"""Tests for words, blocks and bitmaps."""
+
+import pytest
+
+from repro.core.block import Block, Word, pack_bitmap, unpack_bitmap
+
+
+class TestBlock:
+    def test_of_values_carries_version(self):
+        b = Block.of_values([1, 2, 3], version="w1")
+        assert b.values == [1, 2, 3]
+        assert b.versions == ["w1", "w1", "w1"]
+        assert b.is_single_version()
+
+    def test_mixed_versions_detected(self):
+        b = Block.of_values([1, 2], version="a").with_word(1, Word(9, "b"))
+        assert not b.is_single_version()
+        assert b.values == [1, 9]
+
+    def test_zeros(self):
+        b = Block.zeros(4)
+        assert b.values == [0, 0, 0, 0]
+        assert b.is_single_version()
+
+    def test_with_word_does_not_mutate(self):
+        b = Block.of_values([1, 2])
+        b2 = b.with_word(0, Word(5))
+        assert b.values == [1, 2]
+        assert b2.values == [5, 2]
+
+    def test_indexing_and_len(self):
+        b = Block.of_values([7, 8, 9])
+        assert len(b) == 3
+        assert b[2].value == 9
+
+
+class TestBitmaps:
+    def test_roundtrip(self):
+        bits = [0, 1, 0, 1, 0, 1, 1, 0]  # Fig 5.5's initial pattern
+        v = pack_bitmap(bits)
+        assert v == 0b01010110
+        assert unpack_bitmap(v, 8) == bits
+
+    def test_fig_5_5_lock_result(self):
+        target = pack_bitmap([0, 1, 0, 1, 0, 1, 1, 0])
+        request = pack_bitmap([1, 0, 1, 0, 0, 0, 0, 1])
+        assert target & request == 0  # no common 1 → lock succeeds
+        assert target | request == pack_bitmap([1, 1, 1, 1, 0, 1, 1, 1])
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bitmap([0, 2])
+        with pytest.raises(ValueError):
+            unpack_bitmap(256, 8)
+        with pytest.raises(ValueError):
+            unpack_bitmap(-1, 8)

@@ -1,0 +1,198 @@
+"""Tests for the slot-accurate CFM memory engine (§3.1, Figs 3.2/3.5/3.6)."""
+
+import pytest
+
+from repro.core.block import Block
+from repro.core.cfm import (
+    AccessKind,
+    AccessState,
+    CFMemory,
+    ConflictError,
+    ControlAction,
+    AccessController,
+)
+from repro.core.config import CFMConfig
+
+
+def make(n=4, c=1, **kw):
+    return CFMemory(CFMConfig(n_procs=n, bank_cycle=c), **kw)
+
+
+class TestBlockAccessTiming:
+    def test_read_latency_is_beta_c1(self):
+        mem = make(4, 1)
+        acc = mem.issue(0, AccessKind.READ, 0)
+        mem.drain()
+        assert acc.state is AccessState.COMPLETED
+        assert acc.latency == 4  # β = 4 + 1 − 1
+
+    def test_read_latency_is_beta_c2(self):
+        """Fig 3.6: with c = 2 the final word drains one extra cycle."""
+        mem = make(4, 2)
+        acc = mem.issue(0, AccessKind.READ, 0)
+        mem.drain()
+        assert acc.latency == 9  # β = 8 + 2 − 1
+
+    def test_access_starts_at_any_slot_without_stall(self):
+        """§3.1.1: no delay required before starting a block access."""
+        mem = make(4, 1)
+        mem.run(3)  # arbitrary phase
+        acc = mem.issue(2, AccessKind.READ, 0)
+        mem.drain()
+        assert acc.latency == 4
+        assert acc.first_bank == mem.cfg.bank_for(2, 3)
+
+    def test_concurrent_accesses_all_complete_at_full_speed(self):
+        mem = make(8, 1)
+        accs = [mem.issue(p, AccessKind.READ, p) for p in range(8)]
+        mem.drain()
+        assert all(a.latency == 8 for a in accs)
+
+    def test_staggered_issues_never_conflict(self):
+        mem = make(8, 1)
+        accs = []
+        for p in range(8):
+            accs.append(mem.issue(p, AccessKind.READ, 0))
+            mem.tick()
+        mem.drain()
+        assert all(a.state is AccessState.COMPLETED for a in accs)
+        assert all(a.latency == 8 for a in accs)
+
+
+class TestDataMovement:
+    def test_write_then_read_roundtrip(self):
+        mem = make(4, 1)
+        w = mem.issue(0, AccessKind.WRITE, 5, data=Block.of_values([1, 2, 3, 4]),
+                      version="v1")
+        mem.drain()
+        r = mem.issue(1, AccessKind.READ, 5)
+        mem.drain()
+        assert r.result.values == [1, 2, 3, 4]
+        assert r.result.is_single_version()
+
+    def test_blocks_at_different_offsets_independent(self):
+        mem = make(4, 1)
+        mem.issue(0, AccessKind.WRITE, 1, data=Block.of_values([9] * 4))
+        mem.drain()
+        r = mem.issue(0, AccessKind.READ, 2)
+        mem.drain()
+        assert r.result.values == [0, 0, 0, 0]
+
+    def test_each_bank_written_exactly_once(self):
+        mem = make(4, 1)
+        w = mem.issue(3, AccessKind.WRITE, 0, data=Block.of_values([5, 6, 7, 8]))
+        mem.drain()
+        assert sorted(w.banks_written) == [0, 1, 2, 3]
+        assert mem.peek_block(0).values == [5, 6, 7, 8]
+
+    def test_fig_4_1_corruption_without_access_control(self):
+        """Two same-block writes interleave into a mixed-version block:
+        'bank 0 contains data from processor 1 and the others contain data
+        from processor 0' (Fig 4.1, permissive controller)."""
+        mem = make(4, 1)
+        mem.issue(0, AccessKind.WRITE, 0, data=Block.of_values([1, 2, 3, 4]),
+                  version="P0")
+        mem.issue(1, AccessKind.WRITE, 0, data=Block.of_values([11, 12, 13, 14]),
+                  version="P1")
+        mem.drain()
+        blk = mem.peek_block(0)
+        assert not blk.is_single_version()
+        assert blk.versions == ["P1", "P0", "P0", "P0"]
+
+
+class TestEngineRules:
+    def test_one_outstanding_access_per_processor(self):
+        mem = make(4, 1)
+        mem.issue(0, AccessKind.READ, 0)
+        with pytest.raises(ValueError):
+            mem.issue(0, AccessKind.READ, 1)
+
+    def test_write_requires_full_block_data(self):
+        mem = make(4, 1)
+        with pytest.raises(ValueError):
+            mem.issue(0, AccessKind.WRITE, 0, data=Block.of_values([1, 2]))
+        with pytest.raises(ValueError):
+            mem.issue(0, AccessKind.WRITE, 0)
+
+    def test_proc_out_of_range(self):
+        mem = make(4, 1)
+        with pytest.raises(ValueError):
+            mem.issue(4, AccessKind.READ, 0)
+
+    def test_on_finish_callback_fires(self):
+        mem = make(4, 1)
+        done = []
+        mem.issue(0, AccessKind.READ, 0, on_finish=lambda a: done.append(a.state))
+        mem.drain()
+        assert done == [AccessState.COMPLETED]
+
+    def test_run_until_idle_raises_on_stuck(self):
+        class Staller(AccessController):
+            def on_bank(self, mem, access, bank, slot):
+                return ControlAction.RESTART  # never lets it finish
+
+        mem = CFMemory(CFMConfig(n_procs=4), controller=Staller())
+        mem.issue(0, AccessKind.READ, 0)
+        with pytest.raises(RuntimeError):
+            mem.run_until_idle(max_slots=100)
+
+    def test_poke_block_validates_width(self):
+        mem = make(4, 1)
+        with pytest.raises(ValueError):
+            mem.poke_block(0, Block.of_values([1]))
+
+
+class TestControllerHooks:
+    def test_abort_action_stops_access(self):
+        class AbortAll(AccessController):
+            def on_bank(self, mem, access, bank, slot):
+                return ControlAction.ABORT
+
+        mem = CFMemory(CFMConfig(n_procs=4), controller=AbortAll())
+        acc = mem.issue(0, AccessKind.READ, 0)
+        mem.run(2)
+        assert acc.state is AccessState.ABORTED
+        assert acc.final_action is ControlAction.ABORT
+
+    def test_retry_action_marks_final_action(self):
+        class RetryAll(AccessController):
+            def on_bank(self, mem, access, bank, slot):
+                return ControlAction.RETRY
+
+        mem = CFMemory(CFMConfig(n_procs=4), controller=RetryAll())
+        acc = mem.issue(0, AccessKind.READ, 0)
+        mem.run(2)
+        assert acc.state is AccessState.ABORTED
+        assert acc.final_action is ControlAction.RETRY
+        assert acc.restarts == 1
+
+    def test_restart_collects_from_current_bank(self):
+        class RestartOnce(AccessController):
+            def __init__(self):
+                self.fired = False
+
+            def on_bank(self, mem, access, bank, slot):
+                if not self.fired and access.words_done == 2:
+                    self.fired = True
+                    return ControlAction.RESTART
+                return ControlAction.PROCEED
+
+        mem = CFMemory(CFMConfig(n_procs=4), controller=RestartOnce())
+        acc = mem.issue(0, AccessKind.READ, 0)
+        mem.drain()
+        assert acc.state is AccessState.COMPLETED
+        assert acc.restarts == 1
+        assert acc.latency == 4 + 2  # two wasted slots before the restart
+
+    def test_on_start_sees_first_bank(self):
+        starts = []
+
+        class Spy(AccessController):
+            def on_start(self, mem, access, slot):
+                starts.append((access.first_bank, slot))
+
+        mem = CFMemory(CFMConfig(n_procs=4), controller=Spy())
+        mem.run(2)
+        mem.issue(1, AccessKind.READ, 0)
+        mem.drain()
+        assert starts == [(3, 2)]  # bank (2 + 1) mod 4 at slot 2

@@ -1,0 +1,102 @@
+"""Tests for multi-cluster free-slot remote access (§3.3, Fig 3.12)."""
+
+import pytest
+
+from repro.core.block import Block
+from repro.core.cfm import AccessKind
+from repro.core.clusters import ClusterSystem, ConflictFreeCluster, RemoteRequest
+from repro.core.config import CFMConfig
+
+
+def two_clusters(link_latency=4):
+    """Fig 3.12: two clusters, 3 processors + 4 banks each (1 free slot)."""
+    cfgs = [CFMConfig(n_procs=4, bank_cycle=1) for _ in range(2)]
+    return ClusterSystem(cfgs, local_procs=[3, 3], link_latency=link_latency)
+
+
+class TestClusterStructure:
+    def test_free_partitions(self):
+        sys_ = two_clusters()
+        assert sys_.clusters[0].n_free == 1
+        assert sys_.clusters[1].n_free == 1
+
+    def test_too_many_local_procs_rejected(self):
+        cfg = CFMConfig(n_procs=4)
+        with pytest.raises(ValueError):
+            ConflictFreeCluster(0, cfg, 5)
+
+    def test_local_access_restricted_to_local_procs(self):
+        sys_ = two_clusters()
+        with pytest.raises(ValueError):
+            sys_.local_access(0, 3, AccessKind.READ, 0)  # partition 3 is free
+
+
+class TestRemoteAccess:
+    def test_remote_read_completes_with_link_latency(self):
+        sys_ = two_clusters(link_latency=4)
+        sys_.clusters[1].memory.poke_block(7, Block.of_values([9] * 4))
+        req = sys_.remote_access(0, 0, 1, AccessKind.READ, 7)
+        sys_.run_until_done(1)
+        assert req.result is not None
+        assert req.result.values == [9] * 4
+        # "a slower regular memory access": ≥ 2 link trips + β
+        assert req.latency >= 2 * 4 + 4
+
+    def test_remote_write_lands_in_destination(self):
+        sys_ = two_clusters()
+        req = sys_.remote_access(
+            1, 0, 0, AccessKind.WRITE, 3, data=Block.of_values([5] * 4)
+        )
+        sys_.run_until_done(1)
+        assert sys_.clusters[0].memory.peek_block(3).values == [5] * 4
+
+    def test_remote_service_does_not_disturb_local_accesses(self):
+        """§3.3: the free-slot service adds no contention at the target."""
+        sys_ = two_clusters()
+        local = sys_.local_access(1, 0, AccessKind.READ, 0)
+        sys_.remote_access(0, 0, 1, AccessKind.READ, 0)
+        sys_.run_until_done(1)
+        assert local.latency == 4  # the local access still takes exactly β
+
+    def test_remote_to_same_cluster_rejected(self):
+        sys_ = two_clusters()
+        with pytest.raises(ValueError):
+            sys_.remote_access(0, 0, 0, AccessKind.READ, 0)
+
+    def test_requests_queue_when_free_slots_exhausted(self):
+        sys_ = two_clusters()
+        reqs = [
+            sys_.remote_access(0, p, 1, AccessKind.READ, p) for p in range(3)
+        ]
+        sys_.run_until_done(3)
+        lats = sorted(r.latency for r in reqs)
+        assert lats[0] < lats[-1]  # serialized through the single free slot
+        assert sys_.clusters[1].remote_served == 3
+
+    def test_on_finish_callback(self):
+        sys_ = two_clusters()
+        done = []
+        sys_.remote_access(
+            0, 0, 1, AccessKind.READ, 0, on_finish=lambda r: done.append(r.req_id)
+        )
+        sys_.run_until_done(1)
+        assert done == [0]
+
+    def test_link_contention_is_tracked(self):
+        sys_ = two_clusters()
+        for p in range(3):
+            sys_.remote_access(0, p, 1, AccessKind.READ, p)
+        sys_.run_until_done(3)
+        # Three requests entered a bandwidth-1 link in one slot.
+        assert sys_.link_busy_slots > 0
+
+
+class TestValidation:
+    def test_bad_link_params_rejected(self):
+        cfgs = [CFMConfig(n_procs=4), CFMConfig(n_procs=4)]
+        with pytest.raises(ValueError):
+            ClusterSystem(cfgs, [3, 3], link_latency=0)
+        with pytest.raises(ValueError):
+            ClusterSystem(cfgs, [3, 3], link_bandwidth=0)
+        with pytest.raises(ValueError):
+            ClusterSystem(cfgs, [3])

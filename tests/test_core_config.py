@@ -1,0 +1,99 @@
+"""Tests for the CFM configuration algebra (§3.1.4, Tables 3.2/3.3)."""
+
+import pytest
+
+from repro.core.config import CFMConfig, tradeoff_table
+
+
+class TestCFMConfig:
+    def test_banks_default_to_c_times_n(self):
+        cfg = CFMConfig(n_procs=4, bank_cycle=2)
+        assert cfg.n_banks == 8
+
+    def test_block_size_is_banks_times_word(self):
+        cfg = CFMConfig(n_procs=8, word_width=32)
+        assert cfg.block_words == 8
+        assert cfg.block_size_bits == 256
+        assert cfg.block_size_bytes == 32
+
+    def test_block_access_time_formula(self):
+        # β = b + c − 1 (§3.1.4)
+        assert CFMConfig(n_procs=4, bank_cycle=1).block_access_time == 4
+        assert CFMConfig(n_procs=4, bank_cycle=2).block_access_time == 9
+        assert CFMConfig(n_procs=8, bank_cycle=2).block_access_time == 17
+
+    def test_fully_conflict_free_detection(self):
+        assert CFMConfig(n_procs=4, bank_cycle=2).fully_conflict_free
+        partial = CFMConfig(n_procs=16, bank_cycle=1, n_modules=4, n_banks=16)
+        assert not partial.fully_conflict_free
+
+    def test_partial_module_structure(self):
+        cfg = CFMConfig(n_procs=64, bank_cycle=2, n_modules=8, n_banks=128)
+        assert cfg.banks_per_module == 16
+        assert cfg.block_access_time == 17  # matches Figs 3.14/3.15
+        assert cfg.procs_per_module_slot == 8
+        assert cfg.n_clusters == 8
+
+    def test_bank_for_mapping(self):
+        cfg = CFMConfig(n_procs=4, bank_cycle=2)
+        # Table 3.1: at slot t processor p reaches bank (t + 2p) mod 8
+        assert cfg.bank_for(0, 0) == 0
+        assert cfg.bank_for(3, 0) == 6
+        assert cfg.bank_for(3, 2) == 0
+        assert cfg.bank_for(1, 7) == 1
+
+    def test_bank_for_rejects_out_of_range_proc(self):
+        cfg = CFMConfig(n_procs=4)
+        with pytest.raises(ValueError):
+            cfg.bank_for(4, 0)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            CFMConfig(n_procs=0)
+        with pytest.raises(ValueError):
+            CFMConfig(n_procs=4, n_modules=3)  # 4 banks not divisible by 3
+        with pytest.raises(ValueError):
+            # 3 banks per module is not a multiple of the bank cycle 2
+            CFMConfig(n_procs=3, bank_cycle=2, n_modules=2, n_banks=6)
+
+    def test_describe_mentions_kind(self):
+        assert "fully" in CFMConfig(n_procs=4).describe()
+
+
+class TestTradeoffTable:
+    def test_reproduces_table_3_3(self):
+        # Table 3.3: ℓ = 256, c = 2
+        rows = tradeoff_table(block_size_bits=256, bank_cycle=2)
+        got = [(r.n_banks, r.word_width, r.memory_latency, r.n_procs) for r in rows]
+        assert got == [
+            (256, 1, 257, 128),
+            (128, 2, 129, 64),
+            (64, 4, 65, 32),
+            (32, 8, 33, 16),
+            (16, 16, 17, 8),
+            (8, 32, 9, 4),
+            (4, 64, 5, 2),
+            (2, 128, 3, 1),
+        ]
+
+    def test_paper_rows_subset(self):
+        """The paper's printed table stops at 8 banks; those rows match."""
+        rows = tradeoff_table(256, 2)
+        paper = {(256, 1, 257, 128), (64, 4, 65, 32), (8, 32, 9, 4)}
+        assert paper <= {(r.n_banks, r.word_width, r.memory_latency, r.n_procs)
+                         for r in rows}
+
+    def test_block_size_conserved(self):
+        for r in tradeoff_table(512, 4):
+            assert r.n_banks * r.word_width == 512
+            assert r.n_procs == r.n_banks // 4
+
+    def test_c1_latency_equals_banks(self):
+        for r in tradeoff_table(64, 1):
+            assert r.memory_latency == r.n_banks
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            tradeoff_table(0, 2)
+        with pytest.raises(ValueError):
+            tradeoff_table(256, 0)

@@ -1,0 +1,120 @@
+"""Tests for the slot-accurate multi-module CFM (§3.2.2)."""
+
+import pytest
+
+from repro.analysis.efficiency import partial_cf_efficiency
+from repro.core.block import Block
+from repro.core.cfm import AccessKind, AccessState
+from repro.core.multimodule import MultiModuleCFM, MultiModuleWorkloadDriver
+from repro.network.partial import PartialCFSystem
+
+
+def make(n_procs=16, n_modules=4, bank_cycle=1):
+    return MultiModuleCFM(PartialCFSystem(n_procs, n_modules, bank_cycle))
+
+
+class TestPortArbitration:
+    def test_single_access_completes_in_beta(self):
+        mm = make()
+        acc = mm.try_issue(0, AccessKind.READ, 0, offset=5)
+        assert acc is not None
+        mm.run_until_idle()
+        assert acc.state is AccessState.COMPLETED
+        assert acc.latency == mm.beta
+
+    def test_cluster_members_share_a_module_without_conflict(self):
+        """One conflict-free cluster: all divisions hit module 0 at once."""
+        mm = make()
+        cluster0 = [p for p in range(16) if mm.system.cluster_of(p) == 0]
+        accs = [
+            mm.try_issue(p, AccessKind.READ, 0, offset=p) for p in cluster0
+        ]
+        assert all(a is not None for a in accs)
+        mm.run_until_idle()
+        assert all(a.latency == mm.beta for a in accs)
+        assert mm.rejections == 0
+
+    def test_same_division_remote_procs_collide(self):
+        """Two processors of one contention set, same module: the second is
+        rejected at the circuit columns."""
+        mm = make()
+        p, q = 0, 4  # same division (16 procs / 4 modules → divisions of 4)
+        assert mm.system.division_of(p) == mm.system.division_of(q)
+        assert mm.try_issue(p, AccessKind.READ, 2, offset=0) is not None
+        assert mm.try_issue(q, AccessKind.READ, 2, offset=1) is None
+        assert mm.rejections == 1
+
+    def test_port_released_after_completion(self):
+        mm = make()
+        mm.try_issue(0, AccessKind.READ, 2, offset=0)
+        mm.run_until_idle()
+        assert mm.try_issue(4, AccessKind.READ, 2, offset=1) is not None
+
+    def test_different_modules_independent(self):
+        mm = make()
+        a = mm.try_issue(0, AccessKind.READ, 0, offset=0)
+        b = mm.try_issue(4, AccessKind.READ, 1, offset=0)
+        assert a is not None and b is not None
+        mm.run_until_idle()
+        assert a.latency == b.latency == mm.beta
+
+    def test_write_lands_in_the_right_module(self):
+        mm = make()
+        width = mm.module_cfg.n_banks
+        mm.try_issue(
+            0, AccessKind.WRITE, 3, offset=7,
+            data=Block.of_values([9] * width),
+        )
+        mm.run_until_idle()
+        assert mm.modules[3].peek_block(7).values == [9] * width
+        assert mm.modules[0].peek_block(7).values == [0] * width
+
+    def test_module_out_of_range(self):
+        mm = make()
+        with pytest.raises(ValueError):
+            mm.try_issue(0, AccessKind.READ, 4, offset=0)
+
+
+class TestWorkloadDriver:
+    def test_full_locality_is_conflict_free(self):
+        sys_ = PartialCFSystem(16, 4)
+        drv = MultiModuleWorkloadDriver(sys_, rate=0.05, locality=1.0, seed=0)
+        summary = drv.run(8_000)
+        assert summary.conflicts == 0
+        assert summary.efficiency(drv.machine.beta) == pytest.approx(1.0)
+
+    def test_efficiency_tracks_analytic_model(self):
+        """The slot-accurate machine lands near E(r, λ) too."""
+        sys_ = PartialCFSystem(32, 4, bank_cycle=1)
+        drv = MultiModuleWorkloadDriver(sys_, rate=0.03, locality=0.7, seed=1)
+        measured = drv.measure_efficiency(20_000)
+        model = partial_cf_efficiency(0.03, 0.7, 4, drv.machine.beta)
+        assert measured == pytest.approx(model, abs=0.25)
+
+    def test_slot_accurate_agrees_with_transaction_level(self):
+        """Cross-validation of the two partial-CF simulators."""
+        from repro.memory.interleaved import PartialCFMemorySimulator
+
+        sys_ = PartialCFSystem(32, 4, bank_cycle=1)
+        slot = MultiModuleWorkloadDriver(
+            sys_, rate=0.03, locality=0.6, seed=2
+        ).measure_efficiency(20_000)
+        txn = PartialCFMemorySimulator(
+            sys_, rate=0.03, locality=0.6, seed=2
+        ).measure_efficiency(20_000)
+        assert slot == pytest.approx(txn, abs=0.15)
+
+    def test_locality_ordering_preserved(self):
+        sys_ = PartialCFSystem(32, 4)
+        effs = [
+            MultiModuleWorkloadDriver(
+                sys_, rate=0.04, locality=lam, seed=3
+            ).measure_efficiency(10_000)
+            for lam in (0.3, 0.9)
+        ]
+        assert effs[1] > effs[0]
+
+    def test_invalid_params(self):
+        sys_ = PartialCFSystem(16, 4)
+        with pytest.raises(ValueError):
+            MultiModuleWorkloadDriver(sys_, rate=1.5, locality=0.5)

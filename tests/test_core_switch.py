@@ -1,0 +1,85 @@
+"""Tests for the synchronous switch box (Fig 3.4) and Table 3.1."""
+
+import pytest
+
+from repro.core.switch import (
+    Demultiplexer,
+    SynchronousSwitchBox,
+    address_path_table,
+    data_path_table,
+    processor_bank_path,
+)
+
+
+class TestSwitchBox:
+    def test_fig_3_4_states(self):
+        """Fig 3.4 b–e: input i → output (t + i) mod 4."""
+        sw = SynchronousSwitchBox(4)
+        assert sw.mapping(0) == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert sw.mapping(1) == {0: 1, 1: 2, 2: 3, 3: 0}
+        assert sw.mapping(2) == {0: 2, 1: 3, 2: 0, 3: 1}
+        assert sw.mapping(3) == {0: 3, 1: 0, 2: 1, 3: 2}
+
+    def test_period_wraps(self):
+        sw = SynchronousSwitchBox(4)
+        assert sw.mapping(4) == sw.mapping(0)
+        assert sw.state(9) == 1
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_every_state_is_a_permutation(self, n):
+        sw = SynchronousSwitchBox(n)
+        for t in range(n):
+            assert sw.is_permutation(t)
+
+    def test_input_for_inverts_output_for(self):
+        sw = SynchronousSwitchBox(8)
+        for t in range(8):
+            for i in range(8):
+                assert sw.input_for(sw.output_for(i, t), t) == i
+
+    def test_route_never_collides(self):
+        sw = SynchronousSwitchBox(4)
+        out = sw.route({0: "a", 1: "b", 2: "c", 3: "d"}, slot=2)
+        assert sorted(out.values()) == ["a", "b", "c", "d"]
+        assert out[2] == "a"  # input 0 → output (2+0) mod 4
+
+    def test_out_of_range_ports_rejected(self):
+        sw = SynchronousSwitchBox(4)
+        with pytest.raises(ValueError):
+            sw.output_for(4, 0)
+        with pytest.raises(ValueError):
+            sw.input_for(-1, 0)
+
+
+class TestAddressPaths:
+    def test_table_3_1_even_slots(self):
+        """Table 3.1: P0..P3 on banks (t + 2p) mod 8."""
+        table = address_path_table(4, 2)
+        assert table[0] == {0: 0, 2: 1, 4: 2, 6: 3}
+        assert table[1] == {1: 0, 3: 1, 5: 2, 7: 3}
+        assert table[2] == {2: 0, 4: 1, 6: 2, 0: 3}
+        assert table[7] == {7: 0, 1: 1, 3: 2, 5: 3}
+
+    def test_table_has_full_period(self):
+        assert len(address_path_table(4, 2)) == 8
+
+    def test_data_paths_shifted_one_slot(self):
+        """§3.1.3: data path connections lag the address paths by a slot."""
+        addr = address_path_table(4, 2)
+        data = data_path_table(4, 2)
+        for t in range(1, 8):
+            assert data[t] == addr[t - 1]
+
+    def test_processor_bank_path_bounds(self):
+        with pytest.raises(ValueError):
+            processor_bank_path(4, 2, 4, 0)
+
+
+class TestDemultiplexer:
+    def test_leg_selection_cycles(self):
+        d = Demultiplexer(2)
+        assert [d.select(t) for t in range(4)] == [0, 1, 0, 1]
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            Demultiplexer(0)

@@ -1,0 +1,82 @@
+"""Tests for multi-cluster CFM topologies (§3.3)."""
+
+import pytest
+
+from repro.core.cfm import AccessKind
+from repro.core.topologies import (
+    build_uniform_system,
+    fully_connected_topology,
+    hypercube_topology,
+    mesh_topology,
+    ring_topology,
+)
+
+
+class TestBuilders:
+    def test_ring(self):
+        sys_ = build_uniform_system(ring_topology(6))
+        assert sys_.hops(0, 3) == 3
+        assert sys_.diameter() == 3
+
+    def test_mesh(self):
+        sys_ = build_uniform_system(mesh_topology(3, 3))
+        assert sys_.hops(0, 8) == 4  # corner to corner
+        assert sys_.diameter() == 4
+
+    def test_hypercube(self):
+        sys_ = build_uniform_system(hypercube_topology(3))
+        assert sys_.diameter() == 3
+        assert len(sys_.clusters) == 8
+
+    def test_fully_connected(self):
+        sys_ = build_uniform_system(fully_connected_topology(5))
+        assert sys_.diameter() == 1
+
+    def test_invalid_builders(self):
+        with pytest.raises(ValueError):
+            ring_topology(1)
+        with pytest.raises(ValueError):
+            mesh_topology(0, 3)
+        with pytest.raises(ValueError):
+            hypercube_topology(0)
+
+
+class TestRoutingLatency:
+    def test_latency_scales_with_hops(self):
+        sys_ = build_uniform_system(ring_topology(8), link_latency=4)
+        near = sys_.remote_access(0, 0, 1, AccessKind.READ, 0)
+        far = sys_.remote_access(0, 1, 4, AccessKind.READ, 0)
+        sys_.run_until_done(2)
+        assert far.latency > near.latency
+        # 1 hop vs 4 hops: 2·4 extra cycles per extra hop each way.
+        assert far.latency - near.latency >= 2 * 3 * 4 - 4
+
+    def test_topology_comparison_orders_by_diameter(self):
+        """Lower-diameter topologies give lower worst-case remote latency."""
+        def worst(graph):
+            sys_ = build_uniform_system(graph, link_latency=4)
+            n = len(sys_.clusters)
+            far = max(range(1, n), key=lambda d: sys_.hops(0, d))
+            req = sys_.remote_access(0, 0, far, AccessKind.READ, 0)
+            sys_.run_until_done(1)
+            return req.latency
+
+        ring = worst(ring_topology(8))
+        cube = worst(hypercube_topology(3))
+        full = worst(fully_connected_topology(8))
+        assert full < cube < ring
+
+    def test_free_slot_service_still_conflict_free(self):
+        sys_ = build_uniform_system(mesh_topology(2, 2))
+        local = sys_.local_access(3, 0, AccessKind.READ, 0)
+        sys_.remote_access(0, 0, 3, AccessKind.READ, 0)
+        sys_.run_until_done(1)
+        assert local.latency == 4  # exactly β despite the remote service
+
+    def test_mismatched_sizes_rejected(self):
+        from repro.core.config import CFMConfig
+        from repro.core.topologies import TopologyClusterSystem
+
+        cfgs = [CFMConfig(n_procs=4) for _ in range(3)]
+        with pytest.raises(ValueError):
+            TopologyClusterSystem(cfgs, [3, 3, 3], ring_topology(4))

@@ -1,0 +1,107 @@
+"""The Fig 5.4 lock-transfer scenario, replayed step by step.
+
+The figure's cast: processor 0 holds the lock; processors 1 and 3 spin on
+their local cached copies.  P0 releases (read-invalidate to own the lock
+block, reset it, write-back).  The release invalidates the spinners'
+copies; their re-reads observe the free lock; they compete with
+read-invalidates; exactly one wins and becomes the new holder.
+"""
+
+import pytest
+
+from repro.cache.protocol import CacheSystem
+from repro.cache.state import CacheLineState as S
+from repro.cache.sync_ops import ReadModifyWrite
+from repro.core.block import Block
+
+
+@pytest.fixture
+def scene():
+    """P0 holds the lock dirty; P1 and P3 have valid (locked) copies."""
+    sys_ = CacheSystem(4)
+    sys_.mem.poke_block(0, Block.zeros(4))
+    # P0 acquires: read-invalidate + set lock word.
+    acq = ReadModifyWrite(sys_, 0, 0, lambda old: {0: 1}).start()
+    sys_.run_until(lambda: acq.done)
+    # The acquire's flush leaves P0 valid; spinners cache the locked value.
+    r1 = sys_.load(1, 0)
+    r3 = sys_.load(3, 0)
+    sys_.run_ops([r1, r3])
+    assert r1.result.values[0] == 1 and r3.result.values[0] == 1
+    assert sys_.dirs[1].state_of(0) is S.VALID
+    assert sys_.dirs[3].state_of(0) is S.VALID
+    return sys_
+
+
+class TestFig54Scenario:
+    def test_spinners_hit_locally_before_release(self, scene):
+        """Panels a-: waiting processors 'continuously read their local
+        cache copies' — pure hits, no memory operations."""
+        before = scene.stats_memory_ops
+        spins = [scene.load(p, 0) for p in (1, 3)]
+        scene.run_ops(spins)
+        assert all(op.was_hit for op in spins)
+        assert scene.stats_memory_ops == before
+
+    def test_release_invalidates_spinners(self, scene):
+        """Panels a–d: P0's read-invalidate drops P1's and P3's copies."""
+        rel = ReadModifyWrite(scene, 0, 0, lambda old: {0: 0}).start()
+        scene.run_until(lambda: rel.done)
+        assert scene.dirs[1].state_of(0) is S.INVALID
+        assert scene.dirs[3].state_of(0) is S.INVALID
+        assert scene.mem.peek_block(0).values[0] == 0  # lock published free
+
+    def test_exactly_one_new_holder(self, scene):
+        """Panels e–p: re-reads observe the free lock; the competing
+        read-invalidates admit exactly one winner."""
+        rel = ReadModifyWrite(scene, 0, 0, lambda old: {0: 0}).start()
+        scene.run_until(lambda: rel.done)
+        # Both spinners re-read (miss) and try to take the lock.
+        t1 = ReadModifyWrite(
+            scene, 1, 0, lambda old: {0: 1} if old[0].value == 0 else {}
+        ).start()
+        t3 = ReadModifyWrite(
+            scene, 3, 0, lambda old: {0: 1} if old[0].value == 0 else {}
+        ).start()
+        scene.run_until(lambda: t1.done and t3.done)
+        winners = [
+            t for t in (t1, t3) if t.old_block and t.old_block[0].value == 0
+        ]
+        assert len(winners) == 1
+        assert scene.mem.peek_block(0).values[0] == 1  # lock taken again
+        scene.check_coherence_invariant()
+
+    def test_transfer_takes_about_three_accesses(self, scene):
+        """'The entire lock transfer takes approximately the time required
+        to complete three memory accesses.'"""
+        beta = scene.cfg.block_access_time
+        start = scene.slot
+        rel = ReadModifyWrite(scene, 0, 0, lambda old: {0: 0}).start()
+        scene.run_until(lambda: rel.done)
+        t1 = ReadModifyWrite(
+            scene, 1, 0, lambda old: {0: 1} if old[0].value == 0 else {}
+        ).start()
+        scene.run_until(lambda: t1.done)
+        elapsed = scene.slot - start
+        # Release RI + WB, new holder read + RI + WB ≈ 5 accesses for the
+        # full round trip; the *transfer* portion the paper counts (WB of
+        # old holder, read + RI of new holder) is 3 of them.
+        assert elapsed <= 7 * beta
+        assert elapsed >= 3 * beta
+
+    def test_loser_returns_to_spinning(self, scene):
+        """Panel p: the losing processor re-caches the locked value."""
+        rel = ReadModifyWrite(scene, 0, 0, lambda old: {0: 0}).start()
+        scene.run_until(lambda: rel.done)
+        t1 = ReadModifyWrite(
+            scene, 1, 0, lambda old: {0: 1} if old[0].value == 0 else {}
+        ).start()
+        scene.run_until(lambda: t1.done)
+        t3 = ReadModifyWrite(
+            scene, 3, 0, lambda old: {0: 1} if old[0].value == 0 else {}
+        ).start()
+        scene.run_until(lambda: t3.done)
+        assert t3.old_block[0].value == 1  # observed 'locked': lost
+        spin = scene.load(3, 0)
+        scene.run_ops([spin])
+        assert scene.dirs[3].state_of(0) is S.VALID  # back to local spinning

@@ -1,0 +1,69 @@
+"""Tests for network-controller event priorities (§5.4.1, Table 5.4)."""
+
+import pytest
+
+from repro.hierarchy.controller import ControllerEvent, EventType, NetworkController
+
+
+class TestPriorities:
+    def test_table_5_4_order(self):
+        """write-back > invalidation-from-above > read-invalidate > read."""
+        nc = NetworkController(0)
+        nc.enqueue(EventType.READ, 1)
+        nc.enqueue(EventType.READ_INVALIDATE, 2)
+        nc.enqueue(EventType.WRITE_BACK, 3)
+        nc.enqueue(EventType.INVALIDATION_FROM_ABOVE, 4)
+        order = [ev.event_type for ev in nc.drain()]
+        assert order == [
+            EventType.WRITE_BACK,
+            EventType.INVALIDATION_FROM_ABOVE,
+            EventType.READ_INVALIDATE,
+            EventType.READ,
+        ]
+
+    def test_fifo_within_priority(self):
+        nc = NetworkController(0)
+        nc.enqueue(EventType.READ, 10, requester=1)
+        nc.enqueue(EventType.READ, 11, requester=2)
+        served = nc.drain()
+        assert [ev.offset for ev in served] == [10, 11]
+
+    def test_late_writeback_preempts_queued_reads(self):
+        nc = NetworkController(0)
+        for i in range(3):
+            nc.enqueue(EventType.READ, i)
+        nc.enqueue(EventType.WRITE_BACK, 99)
+        assert nc.pop().event_type is EventType.WRITE_BACK
+
+    def test_pop_empty_returns_none(self):
+        assert NetworkController(0).pop() is None
+
+    def test_len_tracks_queue(self):
+        nc = NetworkController(0)
+        nc.enqueue(EventType.READ, 0)
+        nc.enqueue(EventType.READ, 1)
+        assert len(nc) == 2
+        nc.pop()
+        assert len(nc) == 1
+
+
+class TestServiceSlots:
+    def test_serve_round_respects_capacity(self):
+        """§5.4.3: more AT-space partitions → more events per round."""
+        nc1 = NetworkController(0, service_slots=1)
+        nc2 = NetworkController(0, service_slots=2)
+        for nc in (nc1, nc2):
+            for i in range(4):
+                nc.enqueue(EventType.READ, i)
+        assert len(nc1.serve_round()) == 1
+        assert len(nc2.serve_round()) == 2
+
+    def test_invalid_service_slots(self):
+        with pytest.raises(ValueError):
+            NetworkController(0, service_slots=0)
+
+    def test_served_log(self):
+        nc = NetworkController(0)
+        nc.enqueue(EventType.READ, 5)
+        nc.drain()
+        assert [ev.offset for ev in nc.served] == [5]

@@ -1,0 +1,147 @@
+"""Tests for the two-level hierarchical CFM (§5.4.1–5.4.2, Table 5.3)."""
+
+import pytest
+
+from repro.cache.state import CacheLineState as S
+from repro.hierarchy.hierarchical import (
+    HierarchicalCFM,
+    IllegalStateCombination,
+    legal_state_combination,
+)
+from repro.hierarchy.latency import HierarchicalLatencyModel
+
+
+def make(n_clusters=4, per=4):
+    return HierarchicalCFM(
+        n_clusters, per, HierarchicalLatencyModel(beta_local=9, beta_global=9)
+    )
+
+
+class TestTable53:
+    def test_legal_combinations_exactly_table_5_3(self):
+        legal = {
+            (l1, l2)
+            for l1 in S
+            for l2 in S
+            if legal_state_combination(l1, l2)
+        }
+        assert legal == {
+            (S.INVALID, S.INVALID),
+            (S.INVALID, S.VALID),
+            (S.INVALID, S.DIRTY),
+            (S.VALID, S.VALID),
+            (S.VALID, S.DIRTY),
+            (S.DIRTY, S.DIRTY),
+        }
+
+    def test_valid_l1_under_invalid_l2_illegal(self):
+        assert not legal_state_combination(S.VALID, S.INVALID)
+        assert not legal_state_combination(S.DIRTY, S.VALID)
+        assert not legal_state_combination(S.DIRTY, S.INVALID)
+
+
+class TestReadPath:
+    def test_l1_hit_one_cycle(self):
+        h = make()
+        h.read(0, 7)
+        assert h.read(0, 7) == 1
+
+    def test_l2_hit_costs_beta_local(self):
+        h = make()
+        h.read(0, 7)  # fills cluster 0's L2
+        assert h.read(1, 7) == 9  # cluster peer: L2 hit
+
+    def test_global_clean_costs_model_value(self):
+        h = make()
+        assert h.read(0, 7) == 27
+
+    def test_dirty_remote_costs_model_value(self):
+        """The Table 5.5 'retrieve from dirty remote' path: 63 cycles."""
+        h = make()
+        h.write(0, 7)
+        assert h.read(5, 7) == 63
+
+    def test_invariants_hold_after_reads(self):
+        h = make()
+        for p in (0, 1, 5, 9, 13):
+            h.read(p, 7)
+        h.check_invariants()
+
+
+class TestWritePath:
+    def test_write_obtains_dirty_at_both_levels(self):
+        h = make()
+        h.write(0, 7)
+        assert h.l1[0][7] is S.DIRTY
+        assert h.l2[0][7] is S.DIRTY
+        h.check_invariants()
+
+    def test_write_invalidates_other_clusters(self):
+        h = make()
+        h.read(5, 7)
+        h.read(9, 7)
+        h.write(0, 7)
+        assert 7 not in h.l1[5]
+        assert 7 not in h.l2[1]
+        assert 7 not in h.l2[2]
+        h.check_invariants()
+
+    def test_intra_cluster_write_after_cluster_ownership(self):
+        """Write hit with L2 dirty: only an intra-cluster RI (§5.4.2)."""
+        h = make()
+        h.write(0, 7)
+        cost = h.write(1, 7)  # same cluster
+        assert cost == 9 + 9  # peer L1 write-back + local RI
+        assert h.l1[1][7] is S.DIRTY
+        assert 7 not in h.l1[0]
+        h.check_invariants()
+
+    def test_dirty_l1_hit_one_cycle(self):
+        h = make()
+        h.write(0, 7)
+        assert h.write(0, 7) == 1
+
+    def test_remote_dirty_write_flushes_chain(self):
+        h = make()
+        h.write(0, 7)
+        h.write(5, 7)  # remote cluster takes ownership
+        assert h.l1[5][7] is S.DIRTY
+        assert h.l2[1][7] is S.DIRTY
+        assert 7 not in h.l2[0]
+        h.check_invariants()
+
+    def test_single_dirty_owner_after_write_storm(self):
+        h = make()
+        for p in (0, 5, 9, 13, 2, 6):
+            h.write(p, 7)
+        dirty = [p for p in range(h.n_procs) if h.l1[p].get(7) is S.DIRTY]
+        assert len(dirty) == 1
+        h.check_invariants()
+
+
+class TestControllersAndStats:
+    def test_controller_logs_events(self):
+        h = make()
+        h.read(0, 7)
+        assert h.controllers[0].served  # the global read went through NC 0
+
+    def test_stats_accumulate(self):
+        h = make()
+        h.read(0, 7)
+        h.read(0, 7)
+        h.write(5, 7)
+        assert h.stats.reads == 2
+        assert h.stats.writes == 1
+        assert h.stats.l1_hits == 1
+        assert h.stats.global_clean >= 1
+
+    def test_cluster_of(self):
+        h = make()
+        assert h.cluster_of(0) == 0
+        assert h.cluster_of(15) == 3
+        with pytest.raises(ValueError):
+            h.cluster_of(16)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HierarchicalCFM(0, 4)

@@ -1,0 +1,84 @@
+"""Tests for hierarchical latency models (§5.4.4, Tables 5.5/5.6)."""
+
+import pytest
+
+from repro.hierarchy.latency import (
+    DASH_READ_LATENCY,
+    KSR1_READ_LATENCY,
+    HierarchicalLatencyModel,
+    table_5_5,
+    table_5_6,
+    worst_case_miss_latency,
+)
+
+
+class TestTable55:
+    def test_cfm_column_exact(self):
+        """Table 5.5 CFM column: 9 / 27 / 63 cycles."""
+        rows = table_5_5()
+        assert [cfm for _name, cfm, _dash in rows] == [9, 27, 63]
+
+    def test_dash_column_exact(self):
+        rows = table_5_5()
+        assert [dash for _n, _c, dash in rows] == [29, 100, 130]
+
+    def test_cfm_beats_dash_everywhere(self):
+        for _name, cfm, dash in table_5_5():
+            assert cfm < dash
+
+
+class TestTable56:
+    def test_cfm_column_exact(self):
+        """Table 5.6 CFM column: 65 / 195 cycles."""
+        rows = table_5_6()
+        assert [cfm for _n, cfm, _k in rows] == [65, 195]
+
+    def test_ksr1_column_exact(self):
+        assert [k for _n, _c, k in table_5_6()] == [175, 600]
+
+    def test_cfm_beats_ksr1_everywhere(self):
+        for _name, cfm, ksr in table_5_6():
+            assert cfm < ksr
+
+
+class TestModel:
+    def test_composition_formulas(self):
+        m = HierarchicalLatencyModel(beta_local=9, beta_global=9)
+        assert m.local_cluster == 9
+        assert m.global_memory == 27  # 2β_L + β_G
+        assert m.dirty_remote == 63  # 4β_L + 3β_G
+
+    def test_from_config_validates_line_size(self):
+        with pytest.raises(ValueError):
+            HierarchicalLatencyModel.from_config(
+                n_procs=16, n_clusters=4, line_bytes=64, word_bytes=2
+            )
+
+    def test_from_config_requires_even_clusters(self):
+        with pytest.raises(ValueError):
+            HierarchicalLatencyModel.from_config(
+                n_procs=10, n_clusters=4, line_bytes=16, word_bytes=2
+            )
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            HierarchicalLatencyModel(0, 9)
+
+
+class TestLogarithmicScaling:
+    def test_levels_grow_logarithmically(self):
+        """§5.4.3: worst-case miss latency ∝ log(processors)."""
+        l64 = worst_case_miss_latency(64, cluster_size=4, beta_per_level=9)
+        l4096 = worst_case_miss_latency(4096, cluster_size=4, beta_per_level=9)
+        assert l64[0] == 3
+        assert l4096[0] == 6
+        assert l4096[1] == 2 * l64[1]  # cycles double when levels double
+
+    def test_single_cluster_is_one_level(self):
+        assert worst_case_miss_latency(4, cluster_size=4, beta_per_level=9)[0] == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            worst_case_miss_latency(0, 4, 9)
+        with pytest.raises(ValueError):
+            worst_case_miss_latency(16, 1, 9)

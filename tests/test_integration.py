@@ -1,0 +1,222 @@
+"""Cross-module integration tests: paper scenarios end to end."""
+
+import pytest
+
+from repro.binding.manager import Bind, BindingRuntime, Unbind
+from repro.binding.linda import ANY, In, Out, TupleSpace
+from repro.binding.region import AccessType, Region
+from repro.binding.semaphores import Lock, SemaphoreRuntime, Unlock
+from repro.sim.procs import Delay
+
+
+class TestDiningPhilosophers:
+    """Figs 6.4/6.5: the same problem in Linda and in data binding."""
+
+    N = 5
+    MEALS = 3
+
+    def _stick_region(self, i):
+        if i < self.N - 1:
+            return Region("chopstick")[i : i + 2]
+        # The wrap-around philosopher holds sticks {0, N−1} via a stride.
+        return Region("chopstick")[0 : self.N : self.N - 1]
+
+    def test_data_binding_no_deadlock_all_eat(self):
+        rt = BindingRuntime()
+        meals = []
+
+        def philosopher(i):
+            def gen():
+                for _ in range(self.MEALS):
+                    d = yield Bind(self._stick_region(i), AccessType.RW)
+                    meals.append(i)
+                    yield Delay(2)
+                    yield Unbind(d)
+                    yield Delay(1)
+
+            return gen()
+
+        for i in range(self.N):
+            rt.spawn(philosopher(i), f"phil{i}")
+        rt.run()
+        assert len(meals) == self.N * self.MEALS
+        for i in range(self.N):
+            assert meals.count(i) == self.MEALS
+
+    def test_neighbours_never_eat_simultaneously(self):
+        rt = BindingRuntime()
+        eating = set()
+        violations = []
+
+        def philosopher(i):
+            left, right = i, (i + 1) % self.N
+
+            def gen():
+                for _ in range(self.MEALS):
+                    d = yield Bind(self._stick_region(i), AccessType.RW)
+                    for other in eating:
+                        if other in ((i - 1) % self.N, (i + 1) % self.N):
+                            violations.append((i, other))
+                    eating.add(i)
+                    yield Delay(2)
+                    eating.discard(i)
+                    yield Unbind(d)
+                    yield Delay(1)
+
+            return gen()
+
+        for i in range(self.N):
+            rt.spawn(philosopher(i), f"phil{i}")
+        rt.run()
+        assert violations == []
+
+    def test_linda_version_with_room_ticket(self):
+        """Fig 6.4: Linda needs N−1 room tickets to avoid deadlock."""
+        ts = TupleSpace()
+        meals = []
+
+        def philosopher(i):
+            def gen():
+                for _ in range(2):
+                    yield In(("room ticket",))
+                    yield In(("chopstick", i))
+                    yield In(("chopstick", (i + 1) % self.N))
+                    meals.append(i)
+                    yield Out(("chopstick", i))
+                    yield Out(("chopstick", (i + 1) % self.N))
+                    yield Out(("room ticket",))
+
+            return gen()
+
+        def init():
+            for i in range(self.N):
+                yield Out(("chopstick", i))
+            for _ in range(self.N - 1):
+                yield Out(("room ticket",))
+
+        ts.spawn(init())
+        for i in range(self.N):
+            ts.spawn(philosopher(i))
+        ts.run()
+        assert len(meals) == self.N * 2
+
+    def test_binding_needs_fewer_ops_than_linda(self):
+        """Fig 6.5's point: one bind replaces three in's (+ room ticket)."""
+        # Binding: 2 ops per meal (bind + unbind).
+        # Linda: 6 ops per meal (3 in + 3 out) plus ticket management.
+        binding_ops_per_meal = 2
+        linda_ops_per_meal = 6
+        assert binding_ops_per_meal < linda_ops_per_meal
+
+
+class TestOverlappedRegions:
+    """Figs 6.6/6.7: binding preserves parallelism where one coarse
+    semaphore serializes everything."""
+
+    def _run_binding(self, regions):
+        rt = BindingRuntime()
+        spans = []
+
+        def worker(reg):
+            def gen():
+                d = yield Bind(reg, AccessType.RW)
+                start = rt.sched.cycle
+                yield Delay(10)
+                yield Unbind(d)
+                spans.append((start, rt.sched.cycle))
+
+            return gen()
+
+        for reg in regions:
+            rt.spawn(worker(reg))
+        rt.run()
+        return rt.sched.cycle, spans
+
+    def _run_semaphores(self, n_workers):
+        rt = SemaphoreRuntime()
+
+        def worker():
+            yield Lock("whole_array")
+            yield Delay(10)
+            yield Unlock("whole_array")
+
+        for _ in range(n_workers):
+            rt.spawn(worker())
+        rt.run()
+        return rt.sched.cycle
+
+    def test_disjoint_regions_finish_in_parallel(self):
+        total, spans = self._run_binding(
+            [Region("a")[0:10], Region("a")[10:20], Region("a")[20:30]]
+        )
+        sem_total = self._run_semaphores(3)
+        assert total < sem_total  # binding ran them concurrently
+
+    def test_overlapping_regions_still_serialize(self):
+        total, _ = self._run_binding(
+            [Region("a")[0:10], Region("a")[5:15], Region("a")[12:22]]
+        )
+        assert total >= 2 * 10  # chains must serialize pairwise overlaps
+
+
+class TestLockStackComparison:
+    """The two lock implementations (Ch 4 ATT swap vs Ch 5 cache protocol)
+    agree on semantics."""
+
+    def test_both_serialize_and_complete(self):
+        from repro.cache.locks import CacheLockSystem
+        from repro.tracking.locks import SpinLockSystem
+
+        att_sys = SpinLockSystem(4, cs_cycles=5)
+        att_accs = att_sys.run()
+        cache_sys = CacheLockSystem(4, cs_cycles=5)
+        cache_accs = cache_sys.run()
+        assert len(att_accs) == len(cache_accs) == 4
+        assert att_sys.mutual_exclusion_held
+        assert cache_sys.mutual_exclusion_held
+
+    def test_cache_locks_generate_less_memory_traffic(self):
+        """§5.3.2: spinning on the cached copy replaces memory reads."""
+        from repro.cache.locks import CacheLockSystem
+
+        sys_ = CacheLockSystem(4, cs_cycles=60)
+        accs = sys_.run()
+        total_spins = sum(a.spin_reads for a in accs)
+        total_mem = sum(a.memory_ops for a in accs)
+        assert total_spins > total_mem  # most waiting is cache-local
+
+
+class TestEndToEndMachine:
+    def test_partial_cf_machine_matches_its_network_description(self):
+        """CFMConfig, PartialCFSystem and PartiallySynchronousOmega agree
+        on the same 64-bank machine."""
+        from repro.core.config import CFMConfig
+        from repro.network.partial import (
+            PartialCFSystem,
+            PartiallySynchronousOmega,
+            configuration_table,
+        )
+
+        net = PartiallySynchronousOmega(64, circuit_columns=3)
+        sys_ = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=1)
+        assert net.n_modules == sys_.n_modules
+        assert net.banks_per_module == sys_.config.banks_per_module
+        row = configuration_table(64)[3]
+        assert row.n_modules == 8
+        assert row.block_words == sys_.config.block_words
+
+    def test_table_3_3_row_runs_on_the_engine(self):
+        """The ℓ=256, c=2, 8-bank configuration actually executes with the
+        latency Table 3.3 promises."""
+        from repro.core.cfm import AccessKind, CFMemory
+        from repro.core.config import CFMConfig, tradeoff_table
+
+        row = next(r for r in tradeoff_table(256, 2) if r.n_banks == 8)
+        cfg = CFMConfig(
+            n_procs=row.n_procs, word_width=row.word_width, bank_cycle=2
+        )
+        assert cfg.block_size_bits == 256
+        mem = CFMemory(cfg)
+        acc = mem.issue(0, AccessKind.READ, 0)
+        mem.drain()
+        assert acc.latency == row.memory_latency == 9

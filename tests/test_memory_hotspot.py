@@ -1,0 +1,67 @@
+"""Tests for hot-spot tree saturation in buffered MINs (§2.1, Fig 2.1)."""
+
+import pytest
+
+from repro.memory.hotspot import BufferedMINSimulator, tree_saturation_sweep
+
+
+class TestBufferedMIN:
+    def test_uncontended_traffic_flows(self):
+        sim = BufferedMINSimulator(8, seed=0)
+        report = sim.run(cycles=2000, rate=0.2, hot_fraction=0.0)
+        assert report.delivered > 0
+        assert report.mean_latency_cold >= sim.k  # at least one hop per stage
+
+    def test_hot_spot_raises_cold_latency(self):
+        """Tree saturation: hot traffic delays *unrelated* cold traffic."""
+        cold = BufferedMINSimulator(16, seed=1).run(3000, rate=0.5, hot_fraction=0.0)
+        hot = BufferedMINSimulator(16, seed=1).run(3000, rate=0.5, hot_fraction=0.4)
+        assert hot.mean_latency_cold > 1.4 * cold.mean_latency_cold
+
+    def test_hot_spot_saturates_buffers(self):
+        sim = BufferedMINSimulator(16, buffer_depth=2, seed=2)
+        report = sim.run(3000, rate=0.6, hot_fraction=0.4)
+        assert report.saturated_buffers > 0
+        assert report.blocked_injections > 0
+
+    def test_no_hot_traffic_no_saturation(self):
+        sim = BufferedMINSimulator(16, buffer_depth=8, seed=3)
+        report = sim.run(2000, rate=0.1, hot_fraction=0.0)
+        assert report.saturated_buffers == 0
+
+    def test_packets_routed_to_correct_module(self):
+        sim = BufferedMINSimulator(8, seed=4)
+        # Single packet from input 3 to module 5, then drain.
+        injections = [None] * 8
+        injections[3] = (5, False)
+        sim.step(injections)
+        for _ in range(10):
+            sim.step([None] * 8)
+        assert sim.module_busy_until[5] >= 0
+        assert sum(1 for m in sim.module_busy_until if m >= 0) == 1
+
+    def test_injection_slot_count_validated(self):
+        sim = BufferedMINSimulator(8)
+        with pytest.raises(ValueError):
+            sim.step([None] * 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BufferedMINSimulator(8, buffer_depth=0)
+        with pytest.raises(ValueError):
+            BufferedMINSimulator(8, service_time=0)
+        sim = BufferedMINSimulator(8)
+        with pytest.raises(ValueError):
+            sim.run(10, rate=1.5, hot_fraction=0.0)
+
+
+class TestSweep:
+    def test_latency_monotone_in_hot_fraction(self):
+        """The Fig 2.1 moral as a curve: cold latency rises with hot rate
+        (while the CFM comparator would stay flat at β)."""
+        results = tree_saturation_sweep(
+            n_ports=16, rate=0.5, hot_fractions=[0.0, 0.2, 0.4],
+            cycles=3000, seed=5,
+        )
+        lats = [rep.mean_latency_cold for _h, rep in results]
+        assert lats[0] < lats[1] < lats[2]

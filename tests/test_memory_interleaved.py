@@ -1,0 +1,145 @@
+"""Tests for the conventional / partially conflict-free retry simulators."""
+
+import pytest
+
+from repro.analysis.efficiency import conventional_efficiency, partial_cf_efficiency
+from repro.memory.interleaved import (
+    ConventionalMemorySimulator,
+    PartialCFMemorySimulator,
+    fully_conflict_free_efficiency,
+)
+from repro.network.partial import PartialCFSystem
+
+
+class TestConventionalSimulator:
+    def test_zero_rate_zero_completions(self):
+        sim = ConventionalMemorySimulator(8, 8, rate=0.0, beta=17, seed=0)
+        assert sim.run(1000).completed == 0
+
+    def test_low_rate_efficiency_near_one(self):
+        sim = ConventionalMemorySimulator(8, 8, rate=0.001, beta=17, seed=1)
+        assert sim.measure_efficiency(60_000) > 0.9
+
+    def test_efficiency_decreases_with_rate(self):
+        """The Fig 3.13 shape: conventional efficiency falls as r grows."""
+        effs = [
+            ConventionalMemorySimulator(8, 8, rate=r, beta=17, seed=2)
+            .measure_efficiency(40_000)
+            for r in (0.01, 0.03, 0.05)
+        ]
+        assert effs[0] > effs[1] > effs[2]
+
+    def test_shape_tracks_analytic_model(self):
+        """Measured E(r) should land near the closed form (±0.15)."""
+        for r in (0.01, 0.02, 0.04):
+            sim = ConventionalMemorySimulator(8, 8, rate=r, beta=17, seed=3)
+            measured = sim.measure_efficiency(60_000)
+            model = conventional_efficiency(r, 8, 8, 17)
+            assert measured == pytest.approx(model, abs=0.15)
+
+    def test_retries_counted(self):
+        sim = ConventionalMemorySimulator(8, 2, rate=0.05, beta=17, seed=4)
+        summary = sim.run(20_000)
+        assert summary.conflicts > 0
+        assert summary.retries > 0
+
+    def test_reproducible(self):
+        a = ConventionalMemorySimulator(8, 8, 0.03, 17, seed=7).run(5000)
+        b = ConventionalMemorySimulator(8, 8, 0.03, 17, seed=7).run(5000)
+        assert a.completed == b.completed
+        assert a.conflicts == b.conflicts
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ConventionalMemorySimulator(0, 8, 0.1, 17)
+        with pytest.raises(ValueError):
+            ConventionalMemorySimulator(8, 8, 1.5, 17)
+        with pytest.raises(ValueError):
+            ConventionalMemorySimulator(8, 8, 0.1, 0)
+
+
+class TestPartialCFSimulator:
+    def make(self, rate, locality, seed=0):
+        sys_ = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=2)
+        return PartialCFMemorySimulator(sys_, rate=rate, locality=locality, seed=seed)
+
+    def test_high_locality_beats_low_locality(self):
+        """The Fig 3.14 ordering: higher λ → higher efficiency."""
+        e_high = self.make(0.04, 0.9, seed=1).measure_efficiency(30_000)
+        e_low = self.make(0.04, 0.3, seed=1).measure_efficiency(30_000)
+        assert e_high > e_low
+
+    def test_partial_cf_beats_conventional_at_high_rate(self):
+        """Fig 3.14's headline: partially conflict-free with λ ≥ 0.5 beats
+        the 64-module conventional system at high access rates."""
+        partial = self.make(0.05, 0.7, seed=2).measure_efficiency(30_000)
+        conv = ConventionalMemorySimulator(
+            64, 64, rate=0.05, beta=17, seed=2
+        ).measure_efficiency(30_000)
+        assert partial > conv
+
+    def test_full_locality_is_conflict_free(self):
+        """λ = 1: everyone stays in their own cluster — zero conflicts."""
+        sim = self.make(0.05, 1.0, seed=3)
+        summary = sim.run(20_000)
+        assert summary.conflicts == 0
+        assert summary.efficiency(17) == pytest.approx(1.0)
+
+    def test_shape_tracks_analytic_model(self):
+        for lam in (0.9, 0.5):
+            sim = self.make(0.03, lam, seed=4)
+            measured = sim.measure_efficiency(40_000)
+            model = partial_cf_efficiency(0.03, lam, 8, 17)
+            assert measured == pytest.approx(model, abs=0.15)
+
+    def test_locality_bounds_checked(self):
+        sys_ = PartialCFSystem(16, 4)
+        with pytest.raises(ValueError):
+            PartialCFMemorySimulator(sys_, 0.1, locality=1.5)
+
+
+def test_fully_conflict_free_is_unit_efficiency():
+    assert fully_conflict_free_efficiency() == 1.0
+
+
+class TestTraceReplay:
+    def _trace(self, rate=0.005, locality=0.7, seed=11, cycles=8000):
+        from repro.sim.trace import Trace
+        from repro.sim.workload import LocalityWorkload
+
+        return Trace.record(
+            LocalityWorkload(64, 8, rate=rate, locality=locality, seed=seed),
+            cycles,
+        )
+
+    def test_replay_is_deterministic(self):
+        trace = self._trace()
+        sys_ = PartialCFSystem(64, 8, bank_cycle=2)
+        a = PartialCFMemorySimulator(sys_, 0.0, 0.7, seed=0).run_trace(trace)
+        b = PartialCFMemorySimulator(sys_, 0.0, 0.7, seed=0).run_trace(trace)
+        assert (a.completed, a.conflicts) == (b.completed, b.conflicts)
+
+    def test_partial_cf_beats_conventional_on_same_trace(self):
+        """The architectural gap isolated: identical accesses, identical
+        retry policy — only the contention structure differs."""
+        trace = self._trace()
+        sys_ = PartialCFSystem(64, 8, bank_cycle=2)
+        conv = ConventionalMemorySimulator(
+            64, 8, rate=0.0, beta=sys_.beta, seed=0
+        ).run_trace(trace)
+        part = PartialCFMemorySimulator(sys_, 0.0, 0.7, seed=0).run_trace(trace)
+        assert part.efficiency(sys_.beta) > conv.efficiency(sys_.beta)
+        assert part.conflicts < conv.conflicts
+
+    def test_proc_count_mismatch_rejected(self):
+        trace = self._trace()
+        sim = ConventionalMemorySimulator(8, 8, rate=0.0, beta=17, seed=0)
+        with pytest.raises(ValueError):
+            sim.run_trace(trace)
+
+    def test_all_events_eventually_served_or_queued(self):
+        trace = self._trace(rate=0.002, cycles=4000)
+        sys_ = PartialCFSystem(64, 8, bank_cycle=2)
+        s = PartialCFMemorySimulator(sys_, 0.0, 0.7, seed=0).run_trace(trace)
+        # Low load: nearly everything completes within the window.
+        assert s.completed >= 0.8 * len(trace)

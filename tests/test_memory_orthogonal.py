@@ -1,0 +1,60 @@
+"""Tests for the OMP orthogonal-memory baseline (§2.1.3)."""
+
+import pytest
+
+from repro.memory.orthogonal import (
+    AccessMode,
+    OMPConfig,
+    OrthogonalMemory,
+    bank_cost_comparison,
+    cfm_alignment_stall,
+)
+
+
+class TestModes:
+    def test_mode_alternates(self):
+        mem = OrthogonalMemory(OMPConfig(n_procs=4, mode_cycles=4))
+        assert mem.mode_at(0) is AccessMode.ROW
+        assert mem.mode_at(3) is AccessMode.ROW
+        assert mem.mode_at(4) is AccessMode.COLUMN
+        assert mem.mode_at(8) is AccessMode.ROW
+
+    def test_aligned_request_no_stall(self):
+        mem = OrthogonalMemory(OMPConfig(4, 4))
+        assert mem.stall(0, AccessMode.ROW) == 0
+        assert mem.stall(4, AccessMode.COLUMN) == 0
+
+    def test_wrong_phase_stalls_until_next_window(self):
+        mem = OrthogonalMemory(OMPConfig(4, 4))
+        # Column request at cycle 0 waits for the column window at 4.
+        assert mem.stall(0, AccessMode.COLUMN) == 4
+        # Row request at cycle 5 waits until cycle 8.
+        assert mem.stall(5, AccessMode.ROW) == 3
+        # Mid-row-window row request waits a whole period minus phase.
+        assert mem.stall(1, AccessMode.ROW) == 7
+
+    def test_mean_stall_near_analytic(self):
+        """Uniform phases: mean stall ≈ (period − 1)/2."""
+        cfg = OMPConfig(4, 4)
+        mem = OrthogonalMemory(cfg)
+        measured = mem.mean_stall(samples=20_000, seed=1)
+        assert measured == pytest.approx((cfg.period - 1) / 2, abs=0.3)
+
+    def test_cfm_has_zero_alignment_stall(self):
+        """The §3.1.1 contrast: a CFM block access starts at any slot."""
+        assert cfm_alignment_stall() == 0
+        mem = OrthogonalMemory(OMPConfig(8, 8))
+        assert mem.mean_stall(samples=5000) > 5  # OMP pays, CFM doesn't
+
+
+class TestCosts:
+    def test_bank_cost_n_squared_vs_cn(self):
+        omp, cfm = bank_cost_comparison(64, bank_cycle=2)
+        assert omp == 4096
+        assert cfm == 128
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            OMPConfig(0, 4)
+        with pytest.raises(ValueError):
+            bank_cost_comparison(0)

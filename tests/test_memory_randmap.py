@@ -1,0 +1,81 @@
+"""Tests for random address mapping (§2.1.2, the Monarch approach)."""
+
+import pytest
+
+from repro.memory.randmap import (
+    ConflictCount,
+    MappingPolicy,
+    map_address,
+    module_conflicts,
+    stride_sweep,
+    strided_addresses,
+)
+
+
+class TestMapping:
+    def test_interleaved_is_mod(self):
+        assert map_address(17, 16, MappingPolicy.INTERLEAVED) == 1
+
+    def test_random_is_deterministic(self):
+        a = map_address(17, 16, MappingPolicy.RANDOM, salt=3)
+        b = map_address(17, 16, MappingPolicy.RANDOM, salt=3)
+        assert a == b
+        assert 0 <= a < 16
+
+    def test_salt_changes_random_mapping(self):
+        maps = {
+            map_address(17, 1024, MappingPolicy.RANDOM, salt=s)
+            for s in range(8)
+        }
+        assert len(maps) > 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            map_address(0, 0, MappingPolicy.RANDOM)
+        with pytest.raises(ValueError):
+            map_address(-1, 4, MappingPolicy.RANDOM)
+
+
+class TestStridedConflicts:
+    def test_unit_stride_perfect_under_interleaving(self):
+        addrs = strided_addresses(16, 1)
+        c = module_conflicts(addrs, 16, MappingPolicy.INTERLEAVED)
+        assert c.conflicts == 0
+        assert c.spread == 1.0
+
+    def test_module_stride_catastrophic_under_interleaving(self):
+        """Stride = m: every reference lands on one module."""
+        addrs = strided_addresses(16, 16)
+        c = module_conflicts(addrs, 16, MappingPolicy.INTERLEAVED)
+        assert c.max_per_module == 16
+        assert c.conflicts == 15
+
+    def test_random_mapping_spreads_bad_strides(self):
+        """The Monarch argument: random mapping rescues the worst case."""
+        addrs = strided_addresses(16, 16)
+        rand = module_conflicts(addrs, 16, MappingPolicy.RANDOM, salt=7)
+        inter = module_conflicts(addrs, 16, MappingPolicy.INTERLEAVED)
+        assert rand.conflicts < inter.conflicts
+        assert rand.max_per_module < inter.max_per_module
+
+    def test_random_mapping_hurts_the_perfect_case(self):
+        """...but degrades the unit-stride case interleaving nails —
+        'improve the average access performance', not all of it."""
+        addrs = strided_addresses(16, 1)
+        rand = module_conflicts(addrs, 16, MappingPolicy.RANDOM, salt=7)
+        assert rand.conflicts > 0  # birthday collisions
+
+    def test_sweep_structure(self):
+        sweep = stride_sweep(n_modules=16, n_refs=16)
+        assert set(sweep[16]) == {"interleaved", "random"}
+        assert sweep[16]["interleaved"].conflicts == 15
+        # Random mapping's conflicts are stride-insensitive.
+        rand_conflicts = [sweep[s]["random"].conflicts for s in sweep]
+        assert max(rand_conflicts) - min(rand_conflicts) <= 6
+
+    def test_empty_batch(self):
+        assert module_conflicts([], 4, MappingPolicy.RANDOM).spread == 1.0
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            strided_addresses(4, 0)

@@ -1,0 +1,79 @@
+"""Tests for the conventional interconnect baselines."""
+
+import pytest
+
+from repro.network.crossbar import ArbitratedCrossbar, CircuitSwitchRetryModel
+
+
+class TestArbitratedCrossbar:
+    def test_non_conflicting_requests_all_granted(self):
+        xb = ArbitratedCrossbar(4)
+        granted = xb.arbitrate([(0, 1), (1, 2), (2, 3)])
+        assert granted == [(0, 1), (1, 2), (2, 3)]
+        assert xb.rejected == 0
+
+    def test_output_conflicts_serialized(self):
+        xb = ArbitratedCrossbar(4)
+        granted = xb.arbitrate([(0, 2), (1, 2), (3, 2)])
+        assert granted == [(0, 2)]  # lowest input wins
+        assert xb.rejected == 2
+
+    def test_setup_delay_nonzero_unlike_synchronous_switch(self):
+        assert ArbitratedCrossbar(4, setup_delay=2).transfer_latency() == 2
+
+    def test_port_bounds(self):
+        xb = ArbitratedCrossbar(4)
+        with pytest.raises(ValueError):
+            xb.arbitrate([(0, 4)])
+
+
+class TestCircuitSwitchRetryModel:
+    def test_disjoint_paths_coexist(self):
+        model = CircuitSwitchRetryModel(8, hold_cycles=8, seed=1)
+        assert model.try_request(0, 0) is not None
+        # i → i is the identity permutation: always compatible.
+        assert model.try_request(1, 1) is not None
+        assert model.rejections == 0
+
+    def test_conflicting_request_rejected_then_retries(self):
+        model = CircuitSwitchRetryModel(8, hold_cycles=8, seed=1)
+        assert model.try_request(0, 3) is not None
+        assert model.try_request(1, 3) is None  # same destination port
+        assert model.rejections == 1
+        model.advance(8)  # path released
+        assert model.try_request(1, 3) is not None
+
+    def test_backoff_within_window(self):
+        model = CircuitSwitchRetryModel(8, hold_cycles=10, retry_min=2,
+                                        retry_max=6, seed=2)
+        for _ in range(50):
+            assert 2 <= model.backoff() <= 6
+
+    def test_uniform_shift_traffic_never_rejected(self):
+        """Lawrie shifts are conflict-free even on the circuit switch."""
+        model = CircuitSwitchRetryModel(8, hold_cycles=8, seed=3)
+        for i in range(8):
+            assert model.try_request(i, (i + 3) % 8) is not None
+        assert model.rejections == 0
+
+    def test_rejection_rate_grows_with_load(self):
+        import numpy as np
+
+        def run(requests_per_advance):
+            model = CircuitSwitchRetryModel(16, hold_cycles=8, seed=3)
+            rng = np.random.default_rng(9)
+            for i in range(400):
+                model.try_request(
+                    int(rng.integers(0, 16)), int(rng.integers(0, 16))
+                )
+                if i % requests_per_advance == 0:
+                    model.advance(1)
+            return model.rejection_rate
+
+        assert run(8) > run(1)  # more concurrent holds → more rejections
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitSwitchRetryModel(8, hold_cycles=0)
+        with pytest.raises(ValueError):
+            CircuitSwitchRetryModel(8, hold_cycles=4, retry_min=0)

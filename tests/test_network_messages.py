@@ -1,0 +1,81 @@
+"""Tests for message headers and overhead accounting (Figs 3.9/3.10)."""
+
+import pytest
+
+from repro.network.messages import (
+    address_space_bits,
+    circuit_switching_header,
+    header_overhead_ratio,
+    header_savings,
+    partially_synchronous_header,
+    synchronous_header,
+)
+
+
+class TestHeaders:
+    def test_circuit_switching_carries_module_and_bank(self):
+        h = circuit_switching_header(n_modules=8, offset_bits=20,
+                                     n_banks_per_module=4)
+        assert h.fields == {"module": 3, "offset": 20, "bank": 2}
+        assert h.total_bits == 25
+
+    def test_synchronous_carries_only_offset(self):
+        """Fig 3.9b: the bank is selected by the system clock."""
+        h = synchronous_header(offset_bits=20)
+        assert h.fields == {"offset": 20}
+        assert "module" not in h
+        assert "bank" not in h
+
+    def test_partially_synchronous_drops_bank(self):
+        """Fig 3.10: module + offset; the bank never travels."""
+        h = partially_synchronous_header(n_modules=4, offset_bits=16)
+        assert h.fields == {"module": 2, "offset": 16}
+
+    def test_single_module_needs_no_module_field(self):
+        h = partially_synchronous_header(n_modules=1, offset_bits=16)
+        assert h.fields == {"offset": 16}
+
+    def test_fig_3_10_configurations(self):
+        """4 two-bank modules vs 2 four-bank modules of Fig 3.10."""
+        a = partially_synchronous_header(4, 10)
+        b = partially_synchronous_header(2, 10)
+        assert a.fields["module"] == 2
+        assert b.fields["module"] == 1
+
+
+class TestOverhead:
+    def test_savings_positive_for_any_banked_system(self):
+        assert header_savings(n_modules=8, offset_bits=20,
+                              n_banks_per_module=8) > 0
+
+    def test_overhead_ratio(self):
+        h = synchronous_header(16)
+        assert header_overhead_ratio(h, payload_bits=240) == pytest.approx(
+            16 / 256
+        )
+
+    def test_overhead_ratio_bounds(self):
+        h = synchronous_header(16)
+        with pytest.raises(ValueError):
+            header_overhead_ratio(h, -1)
+
+    def test_synchronous_always_smaller_than_circuit(self):
+        for m in (2, 4, 16):
+            for bpm in (2, 8):
+                circ = circuit_switching_header(m * bpm, 24, 1)
+                sync = synchronous_header(24)
+                assert sync.total_bits < circ.total_bits
+
+
+class TestLargeAddressSpaces:
+    def test_beyond_4gb_handled_by_offset_width(self):
+        """§3.4.3: a >4 GB shared space just means a wider offset field."""
+        bits_4gb = address_space_bits(4 * 2**30, block_bytes=32)
+        bits_64gb = address_space_bits(64 * 2**30, block_bytes=32)
+        assert bits_64gb == bits_4gb + 4
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            address_space_bits(0, 32)
+        with pytest.raises(ValueError):
+            address_space_bits(100, 32)

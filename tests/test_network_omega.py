@@ -1,0 +1,103 @@
+"""Tests for the omega network topology and circuit-switched routing."""
+
+import pytest
+
+from repro.network.omega import (
+    INTERCHANGE,
+    STRAIGHT,
+    OmegaNetwork,
+    RoutingConflict,
+    inverse_shuffle,
+    perfect_shuffle,
+)
+
+
+class TestShuffle:
+    def test_perfect_shuffle_rotates_left(self):
+        assert perfect_shuffle(0b001, 8) == 0b010
+        assert perfect_shuffle(0b100, 8) == 0b001
+        assert perfect_shuffle(0b110, 8) == 0b101
+
+    def test_inverse_shuffle_inverts(self):
+        for w in range(16):
+            assert inverse_shuffle(perfect_shuffle(w, 16), 16) == w
+
+    def test_shuffle_is_a_permutation(self):
+        assert sorted(perfect_shuffle(w, 8) for w in range(8)) == list(range(8))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            perfect_shuffle(0, 6)
+
+
+class TestRouting:
+    def test_path_lands_on_destination(self):
+        net = OmegaNetwork(8)
+        for s in range(8):
+            for d in range(8):
+                hops = net.route_path(s, d)
+                assert len(hops) == 3
+
+    def test_identity_permutation_all_straight(self):
+        net = OmegaNetwork(8)
+        settings = net.permutation_settings(list(range(8)))
+        assert all(s == STRAIGHT for col in settings for s in col)
+
+    def test_uniform_shift_permutations_conflict_free(self):
+        """Lawrie's theorem: i → (i + t) mod N routes without conflict."""
+        net = OmegaNetwork(16)
+        for t in range(16):
+            perm = [(i + t) % 16 for i in range(16)]
+            assert net.is_conflict_free([(i, perm[i]) for i in range(16)])
+
+    def test_known_blocking_pattern(self):
+        """Omega networks are blocking: some pairs cannot coexist."""
+        net = OmegaNetwork(8)
+        # 0→0 and 4→1 share the stage-0 wire after shuffle (both land on
+        # switch 0) and need different settings of the same output side.
+        conflicting_found = False
+        for d1 in range(8):
+            for d2 in range(8):
+                if d1 == d2:
+                    continue
+                if not net.is_conflict_free([(0, d1), (4, d2)]):
+                    conflicting_found = True
+        assert conflicting_found
+
+    def test_output_port_collision_detected(self):
+        net = OmegaNetwork(8)
+        with pytest.raises(RoutingConflict):
+            net.settings_for([(0, 3), (1, 3)])  # same destination
+
+    def test_count_blocked_greedy(self):
+        net = OmegaNetwork(8)
+        # All-to-one: only the first request wins.
+        pairs = [(s, 0) for s in range(8)]
+        assert net.count_blocked(pairs) == 7
+
+    def test_permutation_settings_requires_permutation(self):
+        net = OmegaNetwork(8)
+        with pytest.raises(ValueError):
+            net.permutation_settings([0] * 8)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            OmegaNetwork(6)
+        with pytest.raises(ValueError):
+            OmegaNetwork(1)
+        net = OmegaNetwork(8)
+        with pytest.raises(ValueError):
+            net.route_path(8, 0)
+
+
+class TestHopGeometry:
+    def test_hop_setting_classification(self):
+        net = OmegaNetwork(8)
+        hops = net.route_path(1, 2)
+        # Verified by hand in the Table 3.4 derivation:
+        assert [h.setting for h in hops] == [STRAIGHT, INTERCHANGE, INTERCHANGE]
+
+    def test_switch_count(self):
+        net = OmegaNetwork(8)
+        assert net.n_stages == 3
+        assert net.switches_per_stage == 4

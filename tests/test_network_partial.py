@@ -1,0 +1,122 @@
+"""Tests for partially synchronous omega networks (§3.2.2, Table 3.5)."""
+
+import pytest
+
+from repro.network.partial import (
+    PartialCFSystem,
+    PartiallySynchronousOmega,
+    configuration_table,
+)
+
+
+class TestConfigurationTable:
+    def test_reproduces_table_3_5(self):
+        rows = configuration_table(64)
+        got = [
+            (r.n_modules, r.banks_per_module, r.block_words,
+             r.circuit_columns, r.clock_columns, r.remark)
+            for r in rows
+        ]
+        assert got == [
+            (1, 64, 64, 0, 6, "CFM"),
+            (2, 32, 32, 1, 5, ""),
+            (4, 16, 16, 2, 4, ""),
+            (8, 8, 8, 3, 3, ""),
+            (16, 4, 4, 4, 2, ""),
+            (32, 2, 2, 5, 1, ""),
+            (64, 1, 1, 6, 0, "Conventional"),
+        ]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_table(48)
+
+
+class TestPartiallySynchronousOmega:
+    def test_fig_3_11a_structure(self):
+        """4 two-bank modules: 2 circuit columns, 1 clock column."""
+        net = PartiallySynchronousOmega(8, circuit_columns=2)
+        assert net.n_modules == 4
+        assert net.banks_per_module == 2
+        assert net.clock_columns == 1
+        assert net.banks_of_module(0) == [0, 1]
+        assert net.banks_of_module(3) == [6, 7]
+
+    def test_fig_3_11a_contention_sets(self):
+        """Processors 0,2,4,6 and 1,3,5,7 form the two contention sets."""
+        net = PartiallySynchronousOmega(8, circuit_columns=2)
+        sets = {}
+        for p in range(8):
+            sets.setdefault(net.contention_set(p), []).append(p)
+        assert sorted(sets.values()) == [[0, 2, 4, 6], [1, 3, 5, 7]]
+
+    def test_fig_3_11b_contention_sets(self):
+        """2 four-bank modules: sets (0,4), (1,5), (2,6), (3,7)."""
+        net = PartiallySynchronousOmega(8, circuit_columns=1)
+        sets = {}
+        for p in range(8):
+            sets.setdefault(net.contention_set(p), []).append(p)
+        assert sorted(sets.values()) == [[0, 4], [1, 5], [2, 6], [3, 7]]
+
+    def test_conflict_free_cluster_covers_all_sets(self):
+        net = PartiallySynchronousOmega(8, circuit_columns=1)
+        cluster = net.conflict_free_cluster(0)
+        assert cluster == [0, 1, 2, 3]
+        assert {net.contention_set(p) for p in cluster} == {0, 1, 2, 3}
+
+    def test_module_of_bank_contiguous(self):
+        net = PartiallySynchronousOmega(8, circuit_columns=2)
+        assert [net.module_of_bank(b) for b in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_clock_bank_selection_within_module(self):
+        net = PartiallySynchronousOmega(8, circuit_columns=2)
+        # Two procs of different contention sets never share a bank-slot.
+        for t in range(4):
+            b0 = net.bank_at(0, 1, t)
+            b1 = net.bank_at(1, 1, t)
+            assert net.module_of_bank(b0) == 1
+            assert b0 != b1
+
+    def test_header_fields(self):
+        assert PartiallySynchronousOmega(8, 0).header_fields() == ["offset"]
+        assert PartiallySynchronousOmega(8, 2).header_fields() == ["module", "offset"]
+
+    def test_invalid_columns_rejected(self):
+        with pytest.raises(ValueError):
+            PartiallySynchronousOmega(8, 4)
+
+
+class TestPartialCFSystem:
+    def test_fig_3_14_configuration(self):
+        """64 processors, 8 modules, 16-word blocks, β = 17."""
+        sys_ = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=2)
+        assert sys_.config.banks_per_module == 16
+        assert sys_.beta == 17
+        assert sys_.divisions_per_module == 8
+        assert sys_.n_clusters == 8
+
+    def test_cluster_members_never_conflict(self):
+        sys_ = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=2)
+        cluster0 = [p for p in range(64) if sys_.cluster_of(p) == 0]
+        for i, a in enumerate(cluster0):
+            for b in cluster0[i + 1:]:
+                for m in range(8):
+                    assert not sys_.conflicts(a, b, m, m)
+
+    def test_same_division_remote_procs_conflict(self):
+        sys_ = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=2)
+        # procs 0 and 8 are in different clusters but share division 0
+        assert sys_.division_of(0) == sys_.division_of(8)
+        assert sys_.cluster_of(0) != sys_.cluster_of(8)
+        assert sys_.conflicts(0, 8, 5, 5)
+        assert not sys_.conflicts(0, 8, 5, 6)  # different modules
+
+    def test_same_proc_conflicts_with_itself(self):
+        sys_ = PartialCFSystem(n_procs=16, n_modules=4)
+        assert sys_.conflicts(3, 3, 0, 1)
+
+    def test_local_module_assignment(self):
+        sys_ = PartialCFSystem(n_procs=64, n_modules=8, bank_cycle=2)
+        assert sys_.local_module(0) == 0
+        assert sys_.local_module(8) == 1
+        assert sys_.local_module(63) == 7

@@ -1,0 +1,76 @@
+"""Tests for synchronous omega networks (§3.2.1, Fig 3.8, Table 3.4)."""
+
+import pytest
+
+from repro.network.synchronous import SynchronousOmegaNetwork
+
+# Table 3.4 verbatim: states[slot][column][switch], 0 straight / 1 interchange.
+TABLE_3_4 = [
+    [[0, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0]],
+    [[0, 0, 0, 1], [0, 0, 1, 1], [1, 1, 1, 1]],
+    [[0, 0, 1, 1], [1, 1, 1, 1], [0, 0, 0, 0]],
+    [[0, 1, 1, 1], [1, 1, 0, 0], [1, 1, 1, 1]],
+    [[1, 1, 1, 1], [0, 0, 0, 0], [0, 0, 0, 0]],
+    [[1, 1, 1, 0], [0, 0, 1, 1], [1, 1, 1, 1]],
+    [[1, 1, 0, 0], [1, 1, 1, 1], [0, 0, 0, 0]],
+    [[1, 0, 0, 0], [1, 1, 0, 0], [1, 1, 1, 1]],
+]
+
+
+class TestTable34:
+    def test_reproduces_table_3_4_exactly(self):
+        net = SynchronousOmegaNetwork(8)
+        assert net.state_table() == TABLE_3_4
+
+    def test_states_periodic_in_n(self):
+        net = SynchronousOmegaNetwork(8)
+        assert net.switch_states(3) == net.switch_states(11)
+
+    def test_slot_zero_is_identity(self):
+        net = SynchronousOmegaNetwork(8)
+        assert all(s == 0 for col in net.switch_states(0) for s in col)
+
+
+class TestConnections:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_every_slot_realizable_conflict_free(self, n):
+        assert SynchronousOmegaNetwork(n).verify_period()
+
+    def test_target_mapping(self):
+        net = SynchronousOmegaNetwork(8)
+        assert net.target(3, 0) == 3
+        assert net.target(3, 6) == 1
+        assert net.permutation(1) == [1, 2, 3, 4, 5, 6, 7, 0]
+
+    def test_route_moves_payloads(self):
+        net = SynchronousOmegaNetwork(8)
+        out = net.route({0: "x", 5: "y"}, slot=4)
+        assert out == {4: "x", 1: "y"}
+
+    def test_route_full_load_no_collision(self):
+        net = SynchronousOmegaNetwork(8)
+        for t in range(8):
+            out = net.route({i: i for i in range(8)}, t)
+            assert sorted(out.keys()) == list(range(8))
+
+    def test_no_setup_delay(self):
+        """The headline §3.4.3 claim: clock-driven switches need no setup."""
+        assert SynchronousOmegaNetwork(8).setup_delay() == 0
+
+    def test_target_out_of_range(self):
+        with pytest.raises(ValueError):
+            SynchronousOmegaNetwork(8).target(8, 0)
+
+
+class TestEquivalenceWithSwitchBox:
+    def test_behaves_like_single_synchronous_switch(self):
+        """§3.2.1's goal: the network supports block accesses 'just as an
+        ordinary 8×8 synchronous switch does'."""
+        from repro.core.switch import SynchronousSwitchBox
+
+        box = SynchronousSwitchBox(8)
+        net = SynchronousOmegaNetwork(8)
+        for t in range(8):
+            assert [net.target(i, t) for i in range(8)] == [
+                box.output_for(i, t) for i in range(8)
+            ]

@@ -1,0 +1,122 @@
+"""Tests for the discrete-event engine and slot clock."""
+
+import pytest
+
+from repro.sim.engine import Engine, SlotClock
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        out = []
+        eng.schedule(5, lambda: out.append("late"))
+        eng.schedule(1, lambda: out.append("early"))
+        eng.run()
+        assert out == ["early", "late"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        eng = Engine()
+        out = []
+        for i in range(5):
+            eng.schedule(3, lambda i=i: out.append(i))
+        eng.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        eng = Engine()
+        eng.schedule(7, lambda: None)
+        eng.run()
+        assert eng.now == 7
+
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        out = []
+        eng.schedule(3, lambda: out.append("a"))
+        eng.schedule(10, lambda: out.append("b"))
+        eng.run(until=5)
+        assert out == ["a"]
+        assert eng.now == 5
+        eng.run()
+        assert out == ["a", "b"]
+
+    def test_cancelled_event_is_skipped(self):
+        eng = Engine()
+        out = []
+        ev = eng.schedule(2, lambda: out.append("x"))
+        ev.cancel()
+        eng.schedule(3, lambda: out.append("y"))
+        eng.run()
+        assert out == ["y"]
+
+    def test_events_scheduled_during_run(self):
+        eng = Engine()
+        out = []
+
+        def first():
+            out.append("first")
+            eng.schedule(2, lambda: out.append("second"))
+
+        eng.schedule(1, first)
+        eng.run()
+        assert out == ["first", "second"]
+        assert eng.now == 3
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_at(2, lambda: None)
+
+    def test_pending_counts_live_events(self):
+        eng = Engine()
+        e1 = eng.schedule(1, lambda: None)
+        eng.schedule(2, lambda: None)
+        e1.cancel()
+        assert eng.pending() == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+
+class TestSlotClock:
+    def test_subscribers_fire_each_slot_in_order(self):
+        clk = SlotClock()
+        out = []
+        clk.subscribe(lambda s: out.append(("a", s)))
+        clk.subscribe(lambda s: out.append(("b", s)))
+        clk.advance(2)
+        assert out == [("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_phase_wraps_at_period(self):
+        clk = SlotClock(period=4)
+        clk.advance(6)
+        assert clk.slot == 6
+        assert clk.phase == 2
+
+    def test_phase_without_period_is_slot(self):
+        clk = SlotClock()
+        clk.advance(9)
+        assert clk.phase == 9
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SlotClock(period=0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SlotClock().advance(-1)
+
+    def test_reset_keeps_subscribers(self):
+        clk = SlotClock()
+        out = []
+        clk.subscribe(out.append)
+        clk.advance(1)
+        clk.reset()
+        clk.advance(1)
+        assert out == [1, 1]

@@ -1,0 +1,183 @@
+"""Tests for the cooperative process scheduler."""
+
+import pytest
+
+from repro.sim.procs import Delay, Halt, Scheduler, SchedulerDeadlock, Syscall
+
+
+def test_processes_run_round_robin():
+    sched = Scheduler()
+    out = []
+
+    def worker(tag):
+        for i in range(3):
+            out.append((tag, i))
+            yield Delay(1)
+
+    sched.spawn(worker("a"), "a")
+    sched.spawn(worker("b"), "b")
+    sched.run()
+    assert out == [("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+
+def test_delay_skips_cycles():
+    sched = Scheduler()
+    seen = []
+
+    def sleeper():
+        seen.append(sched.cycle)
+        yield Delay(5)
+        seen.append(sched.cycle)
+
+    sched.spawn(sleeper())
+    sched.run()
+    assert seen == [0, 5]
+
+
+def test_result_captured_on_return():
+    sched = Scheduler()
+
+    def worker():
+        yield Delay(1)
+        return 42
+
+    p = sched.spawn(worker())
+    sched.run()
+    assert p.finished
+    assert p.result == 42
+
+
+def test_halt_terminates_immediately():
+    sched = Scheduler()
+    out = []
+
+    def worker():
+        out.append("before")
+        yield Halt()
+        out.append("after")  # pragma: no cover - must not run
+
+    sched.spawn(worker())
+    sched.run()
+    assert out == ["before"]
+
+
+def test_custom_syscall_handler_returns_value():
+    class Ask(Syscall):
+        pass
+
+    sched = Scheduler()
+    sched.handle(Ask, lambda s, p, c: "answer")
+    got = []
+
+    def worker():
+        got.append((yield Ask()))
+
+    sched.spawn(worker())
+    sched.run()
+    assert got == ["answer"]
+
+
+def test_blocking_and_unblock_delivers_value():
+    class Wait(Syscall):
+        pass
+
+    sched = Scheduler()
+    waiting = []
+    sched.handle(Wait, lambda s, p, c: (waiting.append(p), s.block(p))[1])
+    got = []
+
+    def waiter():
+        got.append((yield Wait()))
+
+    def waker():
+        yield Delay(3)
+        sched.unblock(waiting[0], "wake-value")
+
+    sched.spawn(waiter())
+    sched.spawn(waker())
+    sched.run()
+    assert got == ["wake-value"]
+
+
+def test_deadlock_detected_when_all_blocked():
+    class Never(Syscall):
+        pass
+
+    sched = Scheduler()
+    sched.handle(Never, lambda s, p, c: s.block(p))
+
+    def stuck():
+        yield Never()
+
+    sched.spawn(stuck(), "stuck")
+    with pytest.raises(SchedulerDeadlock) as exc:
+        sched.run()
+    assert "stuck" in str(exc.value)
+
+
+def test_unhandled_syscall_type_raises():
+    class Unknown(Syscall):
+        pass
+
+    sched = Scheduler()
+
+    def worker():
+        yield Unknown()
+
+    sched.spawn(worker())
+    with pytest.raises(TypeError):
+        sched.run()
+
+
+def test_non_syscall_yield_rejected():
+    sched = Scheduler()
+
+    def worker():
+        yield 42
+
+    sched.spawn(worker())
+    with pytest.raises(TypeError):
+        sched.run()
+
+
+def test_max_cycle_overrun_raises():
+    sched = Scheduler()
+
+    def forever():
+        while True:
+            yield Delay(1)
+
+    sched.spawn(forever())
+    with pytest.raises(RuntimeError):
+        sched.run(max_cycles=50)
+
+
+def test_unblock_finished_process_rejected():
+    sched = Scheduler()
+
+    def quick():
+        return
+        yield  # pragma: no cover
+
+    p = sched.spawn(quick())
+    sched.run()
+    with pytest.raises(ValueError):
+        sched.unblock(p)
+
+
+def test_spawned_during_run_participates():
+    sched = Scheduler()
+    out = []
+
+    def child():
+        out.append("child")
+        yield Delay(1)
+
+    def parent():
+        yield Delay(1)
+        sched.spawn(child())
+        yield Delay(1)
+
+    sched.spawn(parent())
+    sched.run()
+    assert out == ["child"]

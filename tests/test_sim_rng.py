@@ -1,0 +1,41 @@
+"""Tests for seeded, splittable randomness."""
+
+import numpy as np
+
+from repro.sim.rng import derive_rng, make_rng
+
+
+def test_same_seed_same_stream():
+    a = make_rng(7).random(10)
+    b = make_rng(7).random(10)
+    assert np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    g = np.random.default_rng(1)
+    assert make_rng(g) is g
+
+
+def test_derived_streams_reproducible():
+    a = derive_rng(42, "proc", 3).random(5)
+    b = derive_rng(42, "proc", 3).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_derived_streams_independent_per_key():
+    a = derive_rng(42, "proc", 3).random(5)
+    b = derive_rng(42, "proc", 4).random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_derived_streams_differ_per_seed():
+    a = derive_rng(1, "x").random(5)
+    b = derive_rng(2, "x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_derive_from_generator_advances():
+    g = np.random.default_rng(0)
+    a = derive_rng(g, "x").random(3)
+    b = derive_rng(g, "x").random(3)
+    assert not np.array_equal(a, b)

@@ -1,0 +1,105 @@
+"""Tests for the measurement utilities."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import (
+    Histogram,
+    RunSummary,
+    RunningStats,
+    TallyCounter,
+    Utilization,
+)
+
+
+class TestTallyCounter:
+    def test_incr_and_get(self):
+        c = TallyCounter()
+        c.incr("retries")
+        c.incr("retries", 2)
+        assert c["retries"] == 3
+        assert c.get("missing") == 0
+        assert c.total() == 3
+
+    def test_as_dict(self):
+        c = TallyCounter()
+        c.incr("a")
+        assert c.as_dict() == {"a": 1}
+
+
+class TestRunningStats:
+    def test_mean_and_variance_match_closed_form(self):
+        s = RunningStats()
+        xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        s.extend(xs)
+        assert s.mean == pytest.approx(5.0)
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+        assert s.variance == pytest.approx(var)
+        assert s.stddev == pytest.approx(math.sqrt(var))
+        assert s.minimum == 2.0
+        assert s.maximum == 9.0
+
+    def test_empty_stats_raise(self):
+        s = RunningStats()
+        with pytest.raises(ValueError):
+            _ = s.mean
+        with pytest.raises(ValueError):
+            _ = s.minimum
+
+    def test_single_sample_zero_variance(self):
+        s = RunningStats()
+        s.add(3.0)
+        assert s.variance == 0.0
+
+
+class TestHistogram:
+    def test_mean(self):
+        h = Histogram()
+        h.add(10, 3)
+        h.add(20)
+        assert h.total() == 4
+        assert h.mean() == pytest.approx(12.5)
+
+    def test_percentile(self):
+        h = Histogram()
+        for v in range(1, 11):
+            h.add(v)
+        assert h.percentile(0.5) == 5
+        assert h.percentile(1.0) == 10
+        assert h.percentile(0.0) == 1
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram()
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().mean()
+
+
+class TestUtilization:
+    def test_fraction(self):
+        u = Utilization()
+        for busy in (True, True, False, True):
+            u.tick(busy)
+        assert u.fraction == pytest.approx(0.75)
+
+    def test_empty_is_zero(self):
+        assert Utilization().fraction == 0.0
+
+
+class TestRunSummary:
+    def test_throughput_and_efficiency(self):
+        s = RunSummary(cycles=100, completed=10)
+        for _ in range(10):
+            s.latencies.add(20)
+        assert s.throughput == pytest.approx(0.1)
+        assert s.mean_latency == pytest.approx(20.0)
+        assert s.efficiency(ideal_latency=17) == pytest.approx(17 / 20)
+
+    def test_efficiency_zero_when_nothing_completed(self):
+        assert RunSummary().efficiency(17) == 0.0

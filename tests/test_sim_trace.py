@@ -1,0 +1,78 @@
+"""Tests for trace record/replay."""
+
+import pytest
+
+from repro.sim.trace import Trace, TraceHeader
+from repro.sim.workload import AccessEvent, UniformWorkload
+
+
+def make_trace(cycles=50, seed=0):
+    w = UniformWorkload(4, 8, 0.3, seed=seed)
+    return Trace.record(w, cycles, description="test")
+
+
+class TestRoundTrip:
+    def test_record_matches_workload(self):
+        w = UniformWorkload(4, 8, 0.3, seed=1)
+        t = Trace.record(w, 40)
+        again = UniformWorkload(4, 8, 0.3, seed=1).generate(40)
+        assert t.events == again
+
+    def test_dumps_loads_roundtrip(self):
+        t = make_trace()
+        t2 = Trace.loads(t.dumps())
+        assert t2.header == t.header
+        assert t2.events == t.events
+
+    def test_save_load_file(self, tmp_path):
+        t = make_trace()
+        path = tmp_path / "trace.jsonl"
+        t.save(path)
+        t2 = Trace.load(path)
+        assert t2.events == t.events
+
+    def test_per_cycle_batches(self):
+        t = make_trace(cycles=20)
+        batches = list(t.per_cycle())
+        assert len(batches) == 20
+        assert sum(len(b) for b in batches) == len(t)
+        for cycle, batch in enumerate(batches):
+            assert all(ev.cycle == cycle for ev in batch)
+
+
+class TestValidation:
+    def test_out_of_range_proc_rejected(self):
+        header = TraceHeader(n_procs=2, n_modules=4, cycles=10)
+        with pytest.raises(ValueError):
+            Trace(header, [AccessEvent(0, 5, 0, 0)])
+
+    def test_unordered_events_rejected(self):
+        header = TraceHeader(n_procs=4, n_modules=4, cycles=10)
+        events = [AccessEvent(5, 0, 0, 0), AccessEvent(2, 1, 0, 0)]
+        with pytest.raises(ValueError):
+            Trace(header, events)
+
+    def test_event_beyond_cycles_rejected(self):
+        header = TraceHeader(n_procs=4, n_modules=4, cycles=10)
+        with pytest.raises(ValueError):
+            Trace(header, [AccessEvent(10, 0, 0, 0)])
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.loads("")
+
+    def test_version_checked(self):
+        t = make_trace()
+        text = t.dumps().replace('"version": 1', '"version": 99')
+        with pytest.raises(ValueError):
+            Trace.loads(text)
+
+
+class TestReplayFairness:
+    def test_identical_trace_drives_two_simulators(self):
+        """The point of traces: two architectures see the same accesses."""
+        t = make_trace(cycles=100, seed=3)
+        seen_a = [(ev.proc, ev.module) for ev in t]
+        t2 = Trace.loads(t.dumps())
+        seen_b = [(ev.proc, ev.module) for ev in t2]
+        assert seen_a == seen_b

@@ -1,0 +1,94 @@
+"""Tests for synthetic workload generators."""
+
+import pytest
+
+from repro.sim.workload import (
+    HotSpotWorkload,
+    LocalityWorkload,
+    UniformWorkload,
+    bernoulli_issue_counts,
+)
+
+
+class TestUniformWorkload:
+    def test_reproducible(self):
+        a = UniformWorkload(4, 8, 0.3, seed=5).generate(100)
+        b = UniformWorkload(4, 8, 0.3, seed=5).generate(100)
+        assert a == b
+
+    def test_rate_respected(self):
+        evs = UniformWorkload(16, 8, 0.25, seed=1).generate(2000)
+        rate = len(evs) / (2000 * 16)
+        assert rate == pytest.approx(0.25, abs=0.02)
+
+    def test_fields_in_range(self):
+        for ev in UniformWorkload(4, 8, 0.5, seed=2, offsets=32).generate(200):
+            assert 0 <= ev.proc < 4
+            assert 0 <= ev.module < 8
+            assert 0 <= ev.offset < 32
+            assert 0 <= ev.cycle < 200
+
+    def test_zero_rate_is_silent(self):
+        assert UniformWorkload(4, 8, 0.0).generate(100) == []
+
+    def test_modules_roughly_uniform(self):
+        evs = UniformWorkload(8, 4, 0.5, seed=3).generate(4000)
+        counts = [0] * 4
+        for ev in evs:
+            counts[ev.module] += 1
+        for c in counts:
+            assert c == pytest.approx(len(evs) / 4, rel=0.15)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            UniformWorkload(0, 8, 0.1)
+        with pytest.raises(ValueError):
+            UniformWorkload(4, 8, 1.5)
+
+
+class TestHotSpotWorkload:
+    def test_hot_module_gets_excess_traffic(self):
+        w = HotSpotWorkload(16, 16, 0.5, hot_fraction=0.5, hot_module=3, seed=4)
+        evs = w.generate(2000)
+        hot = sum(1 for e in evs if e.module == 3)
+        # hot fraction 0.5 + uniform share 0.5/16 ≈ 0.53
+        assert hot / len(evs) == pytest.approx(0.53, abs=0.05)
+
+    def test_zero_hot_fraction_is_uniform(self):
+        w = HotSpotWorkload(8, 8, 0.5, hot_fraction=0.0, seed=5)
+        evs = w.generate(2000)
+        hot = sum(1 for e in evs if e.module == 0)
+        assert hot / len(evs) == pytest.approx(1 / 8, abs=0.04)
+
+    def test_bad_hot_module_rejected(self):
+        with pytest.raises(ValueError):
+            HotSpotWorkload(4, 4, 0.1, hot_module=4)
+
+
+class TestLocalityWorkload:
+    def test_locality_fraction(self):
+        w = LocalityWorkload(32, 8, 0.5, locality=0.8, seed=6)
+        evs = w.generate(2000)
+        local = sum(1 for e in evs if e.module == w.home_module(e.proc))
+        assert local / len(evs) == pytest.approx(0.8, abs=0.03)
+
+    def test_remote_never_targets_home(self):
+        w = LocalityWorkload(8, 4, 0.5, locality=0.0, seed=7)
+        for ev in w.generate(500):
+            assert ev.module != w.home_module(ev.proc)
+
+    def test_full_locality(self):
+        w = LocalityWorkload(8, 4, 0.5, locality=1.0, seed=8)
+        for ev in w.generate(300):
+            assert ev.module == w.home_module(ev.proc)
+
+    def test_single_module_always_local(self):
+        w = LocalityWorkload(4, 1, 0.5, locality=0.5, seed=9)
+        for ev in w.generate(200):
+            assert ev.module == 0
+
+
+def test_bernoulli_issue_counts_shape_and_rate():
+    counts = bernoulli_issue_counts(8, 1000, 0.25, seed=0)
+    assert counts.shape == (1000,)
+    assert counts.mean() == pytest.approx(2.0, abs=0.3)

@@ -1,0 +1,99 @@
+"""Seeded randomized stress across the three protocol layers.
+
+Complements the hypothesis property tests with longer mixed-traffic storms
+at a fixed seed: the cache protocol's single-dirty invariant, the
+hierarchy's Table 5.3 invariant, and the ATT layer's single-version
+guarantee must survive arbitrary interleavings of the full op vocabulary.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.protocol import CacheSystem
+from repro.core.block import Block
+from repro.core.cfm import CFMemory
+from repro.core.config import CFMConfig
+from repro.hierarchy.slot_accurate import SlotAccurateHierarchy
+from repro.tracking.access_control import AddressTrackingController, PriorityMode
+from repro.tracking.atomic import (
+    CFMDriver,
+    ReadOperation,
+    SwapOperation,
+    WriteOperation,
+)
+
+
+@pytest.mark.parametrize("seed", [11, 22, 33])
+def test_cache_protocol_storms(seed):
+    rng = random.Random(seed)
+    for _trial in range(15):
+        n = rng.choice([4, 6, 8])
+        sys_ = CacheSystem(n)
+        ops = []
+        for _ in range(rng.randint(4, 20)):
+            p = rng.randrange(n)
+            if any(o.proc == p and not o.done for o in ops):
+                sys_.run_ops([o for o in ops if o.proc == p])
+            off = rng.randrange(3)
+            if rng.random() < 0.5:
+                ops.append(sys_.store(p, off, {0: p}))
+            else:
+                ops.append(sys_.load(p, off))
+        sys_.run_ops(ops)
+        sys_.check_coherence_invariant()
+
+
+@pytest.mark.parametrize("seed", [44, 55])
+def test_hierarchy_storms(seed):
+    rng = random.Random(seed)
+    for _trial in range(8):
+        h = SlotAccurateHierarchy(rng.choice([2, 3, 4]), rng.choice([2, 4]))
+        ops = []
+        for _ in range(rng.randint(4, 16)):
+            gp = rng.randrange(h.n_procs)
+            pending = [o for o in ops if o.gproc == gp and not o.done]
+            if pending:
+                h.run_ops(pending)
+            off = rng.randrange(3)
+            if rng.random() < 0.4:
+                ops.append(h.store(gp, off, {0: gp}))
+            else:
+                ops.append(h.load(gp, off))
+        h.run_ops(ops)
+        h.check_invariants()
+
+
+@pytest.mark.parametrize("seed", [66, 77])
+def test_att_atomic_storms(seed):
+    rng = random.Random(seed)
+    for trial in range(12):
+        cfg = CFMConfig(n_procs=8)
+        ctl = AddressTrackingController(8, PriorityMode.FIRST_WINS)
+        mem = CFMemory(cfg, controller=ctl)
+        d = CFMDriver(mem)
+        mem.poke_block(0, Block.of_values([0] * 8, "init"))
+        ops = []
+        used = set()
+        for _ in range(rng.randint(2, 5)):
+            p = rng.choice([x for x in range(8) if x not in used])
+            used.add(p)
+            d.run(rng.randrange(4))
+            kind = rng.random()
+            if kind < 0.5:
+                ops.append(
+                    SwapOperation(d, p, 0, [p + 1] * 8, version=f"s{p}").start()
+                )
+            elif kind < 0.8:
+                ops.append(
+                    WriteOperation(d, p, 0, [100 + p] * 8,
+                                   version=f"w{p}").start()
+                )
+            else:
+                ops.append(ReadOperation(d, p, 0).start())
+        d.run_until(lambda: all(o.done for o in ops), max_slots=50_000)
+        blk = mem.peek_block(0)
+        assert blk.is_single_version(), (trial, blk.versions)
+        for o in ops:
+            if isinstance(o, ReadOperation) and o.result is not None:
+                assert o.result.is_single_version()

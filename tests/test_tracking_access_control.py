@@ -1,0 +1,134 @@
+"""Tests for ATT access control: the Figs 4.3–4.5 scenarios (§4.1.2)."""
+
+import pytest
+
+from repro.core.block import Block
+from repro.core.cfm import AccessKind, AccessState, CFMemory
+from repro.core.config import CFMConfig
+from repro.tracking.access_control import AddressTrackingController, PriorityMode
+from repro.tracking.atomic import (
+    CFMDriver,
+    OpStatus,
+    ReadOperation,
+    WriteOperation,
+)
+
+
+def make_driver(n=8, mode=PriorityMode.LATEST_WINS):
+    cfg = CFMConfig(n_procs=n, bank_cycle=1)
+    ctl = AddressTrackingController(cfg.n_banks, mode)
+    mem = CFMemory(cfg, controller=ctl)
+    return CFMDriver(mem), ctl
+
+
+class TestWriteWriteControl:
+    def test_fig_4_3_later_write_wins(self):
+        """Write a (proc 1, slot 0) is aborted by write b (proc 3, slot 1);
+        b completes (§4.1.2, Fig 4.3)."""
+        d, ctl = make_driver()
+        wa = WriteOperation(d, 1, 0, [1] * 8, version="a").start()
+        d.tick()
+        wb = WriteOperation(d, 3, 0, [2] * 8, version="b").start()
+        d.run_until(lambda: wa.done and wb.done)
+        assert wa.status is OpStatus.ABORTED
+        assert wb.status is OpStatus.DONE
+        assert ctl.aborts == 1
+        blk = d.mem.peek_block(0)
+        assert blk.is_single_version()
+        assert blk.versions[0] == "b"
+
+    def test_fig_4_4_simultaneous_writes_one_survives(self):
+        """Simultaneous same-address writes: exactly one completes, chosen
+        by who reaches bank 0 first (Fig 4.4)."""
+        d, _ = make_driver()
+        wc = WriteOperation(d, 1, 0, [1] * 8, version="c").start()
+        wd = WriteOperation(d, 5, 0, [2] * 8, version="d").start()
+        d.run_until(lambda: wc.done and wd.done)
+        statuses = sorted([wc.status, wd.status], key=lambda s: s.value)
+        assert statuses == [OpStatus.ABORTED, OpStatus.DONE]
+        # Proc 5 starts at bank 5 and reaches bank 0 after 3 slots; proc 1
+        # starts at bank 1 and needs 7 slots — d has priority (Fig 4.4).
+        assert wd.status is OpStatus.DONE
+        assert d.mem.peek_block(0).is_single_version()
+
+    @pytest.mark.parametrize("p1,p2,stagger", [
+        (0, 4, 0), (2, 6, 2), (1, 2, 5), (7, 3, 7), (0, 1, 3),
+    ])
+    def test_exactly_one_competing_write_completes(self, p1, p2, stagger):
+        d, _ = make_driver()
+        w1 = WriteOperation(d, p1, 0, [1] * 8, version="x").start()
+        d.run(stagger)
+        w2 = WriteOperation(d, p2, 0, [2] * 8, version="y").start()
+        d.run_until(lambda: w1.done and w2.done)
+        done = [w for w in (w1, w2) if w.status is OpStatus.DONE]
+        blk = d.mem.peek_block(0)
+        # At least one write completes; the block is never mixed; the final
+        # data belongs to a write that completed.  When the issues are
+        # staggered the later write wins (§4.1 priority); simultaneous
+        # issues are arbitrated by who reaches bank 0 first (Fig 4.4).
+        assert len(done) >= 1
+        assert blk.is_single_version()
+        assert blk.versions[0] in {w.version for w in done}
+        if stagger > 0:
+            assert w2.status is OpStatus.DONE
+            assert blk.versions[0] == "y"
+
+    def test_disjoint_offsets_never_interfere(self):
+        d, ctl = make_driver()
+        w1 = WriteOperation(d, 0, 1, [1] * 8, version="x").start()
+        w2 = WriteOperation(d, 4, 2, [2] * 8, version="y").start()
+        d.run_until(lambda: w1.done and w2.done)
+        assert w1.status is OpStatus.DONE and w2.status is OpStatus.DONE
+        assert ctl.aborts == 0
+
+
+class TestReadControl:
+    def test_fig_4_5_read_restarts_on_write(self):
+        """A read overlapping a same-address write restarts from the bank
+        where it detects the write, and returns a single version."""
+        d, ctl = make_driver()
+        d.mem.poke_block(0, Block.of_values([0] * 8, "old"))
+        w = WriteOperation(d, 2, 0, [5] * 8, version="new").start()
+        d.tick()
+        r = ReadOperation(d, 6, 0).start()
+        d.run_until(lambda: w.done and r.done)
+        assert ctl.restarts >= 1
+        assert r.result is not None
+        assert r.result.is_single_version()
+        assert set(r.result.versions) == {"new"}
+
+    def test_read_before_write_returns_old_version(self):
+        """A read that fully precedes the write sees the old block."""
+        d, _ = make_driver()
+        d.mem.poke_block(0, Block.of_values([7] * 8, "old"))
+        r = ReadOperation(d, 0, 0).start()
+        d.run_until(lambda: r.done)
+        w = WriteOperation(d, 1, 0, [9] * 8, version="new").start()
+        d.run_until(lambda: w.done)
+        assert set(r.result.versions) == {"old"}
+
+    @pytest.mark.parametrize("stagger", range(8))
+    def test_read_always_single_version(self, stagger):
+        """Property across every interleaving phase: no mixed blocks."""
+        d, _ = make_driver()
+        d.mem.poke_block(0, Block.of_values([0] * 8, "old"))
+        w = WriteOperation(d, 3, 0, [1] * 8, version="new").start()
+        d.run(stagger)
+        r = ReadOperation(d, 5, 0).start()
+        d.run_until(lambda: w.done and r.done)
+        assert r.result.is_single_version()
+
+    def test_reads_never_interfere_with_each_other(self):
+        d, ctl = make_driver()
+        rs = [ReadOperation(d, p, 0).start() for p in range(8)]
+        d.run_until(lambda: all(r.done for r in rs))
+        assert all(r.status is OpStatus.DONE for r in rs)
+        assert ctl.restarts == 0
+        assert all(r.total_latency == 8 for r in rs)
+
+    def test_no_overhead_when_no_conflicts(self):
+        """§4.1.2: the mechanism adds no latency to unconflicted accesses."""
+        d, _ = make_driver()
+        w = WriteOperation(d, 0, 3, [1] * 8, version="v").start()
+        d.run_until(lambda: w.done)
+        assert w.total_latency == 8  # exactly β

@@ -1,0 +1,78 @@
+"""Tests for the Address Tracking Table (§4.1.2, Fig 4.2)."""
+
+import pytest
+
+from repro.core.cfm import AccessKind
+from repro.tracking.att import AddressTrackingTable
+
+
+class TestInsertLookup:
+    def test_entry_visible_in_age_window(self):
+        att = AddressTrackingTable(capacity=7)
+        att.insert(offset=5, op_id=1, kind=AccessKind.WRITE, slot=10)
+        assert att.lookup(5, slot=11) != []
+        assert att.lookup(5, slot=17) != []  # age 7 == capacity
+
+    def test_entry_expires_after_capacity(self):
+        att = AddressTrackingTable(capacity=7)
+        att.insert(5, 1, AccessKind.WRITE, slot=10)
+        att.prune(slot=18)  # age 8 > capacity
+        assert att.lookup(5, slot=18) == []
+
+    def test_age_zero_invisible_by_default(self):
+        att = AddressTrackingTable(capacity=7)
+        att.insert(5, 1, AccessKind.WRITE, slot=10)
+        assert att.lookup(5, slot=10) == []  # min_age defaults to 1
+
+    def test_lookup_filters_by_offset(self):
+        att = AddressTrackingTable(capacity=7)
+        att.insert(5, 1, AccessKind.WRITE, slot=0)
+        assert att.lookup(6, slot=2) == []
+
+    def test_lookup_excludes_own_op(self):
+        att = AddressTrackingTable(capacity=7)
+        att.insert(5, 1, AccessKind.WRITE, slot=0)
+        assert att.lookup(5, slot=2, exclude_op=1) == []
+        assert att.lookup(5, slot=2, exclude_op=2) != []
+
+    def test_age_window_bounds(self):
+        att = AddressTrackingTable(capacity=7)
+        att.insert(5, 1, AccessKind.WRITE, slot=0)  # age at slot 4 is 4
+        assert att.lookup(5, slot=4, min_age=1, max_age=3) == []
+        assert att.lookup(5, slot=4, min_age=4, max_age=4) != []
+        assert att.lookup(5, slot=4, min_age=5) == []
+
+    def test_plain_reads_never_insert(self):
+        att = AddressTrackingTable(capacity=7)
+        with pytest.raises(ValueError):
+            att.insert(5, 1, AccessKind.READ, slot=0)
+
+    def test_read_invalidate_inserts(self):
+        """The Chapter 5 protocol records read-invalidates too (§5.2.4)."""
+        att = AddressTrackingTable(capacity=7)
+        att.insert(5, 1, AccessKind.READ_INVALIDATE, slot=0)
+        assert att.lookup(5, slot=1) != []
+
+
+class TestQueueSemantics:
+    def test_entries_at_ordered_youngest_first(self):
+        att = AddressTrackingTable(capacity=7)
+        att.insert(1, 1, AccessKind.WRITE, slot=0)
+        att.insert(2, 2, AccessKind.WRITE, slot=3)
+        entries = att.entries_at(slot=4)
+        assert [e.offset for e in entries] == [2, 1]
+
+    def test_len_counts_entries(self):
+        att = AddressTrackingTable(capacity=7)
+        att.insert(1, 1, AccessKind.WRITE, slot=0)
+        att.insert(2, 2, AccessKind.WRITE, slot=1)
+        assert len(att) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AddressTrackingTable(0)
+
+    def test_negative_min_age_rejected(self):
+        att = AddressTrackingTable(4)
+        with pytest.raises(ValueError):
+            att.lookup(0, slot=0, min_age=-1)

@@ -1,0 +1,49 @@
+"""Tests for busy-wait lock/unlock on atomic swap (§4.2.2)."""
+
+import pytest
+
+from repro.tracking.locks import SpinLockSystem
+
+
+class TestSpinLock:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_everyone_acquires_once(self, n):
+        sys_ = SpinLockSystem(n, cs_cycles=5)
+        accs = sys_.run()
+        assert len(accs) == n
+        assert sorted(a.proc for a in accs) == list(range(n))
+
+    def test_mutual_exclusion(self):
+        sys_ = SpinLockSystem(8, cs_cycles=6)
+        sys_.run()
+        assert sys_.mutual_exclusion_held
+
+    def test_critical_sections_have_min_length(self):
+        sys_ = SpinLockSystem(4, cs_cycles=10)
+        accs = sys_.run()
+        for a in accs:
+            assert a.released_slot - a.acquired_slot >= 10
+
+    def test_single_client_uncontended(self):
+        sys_ = SpinLockSystem(4, contenders=[2], cs_cycles=3)
+        accs = sys_.run()
+        assert len(accs) == 1
+        # Uncontended lock = one swap (2β) with no spinning.
+        assert accs[0].wait <= 2 * sys_.config.block_access_time + 4
+
+    def test_unlock_latency_unaffected_by_spinners(self):
+        """§4.2.2: spinning readers never delay the holder's unlock write
+        — the hot-spot problem cannot occur."""
+        solo = SpinLockSystem(8, contenders=[0], cs_cycles=5)
+        solo.run()
+        crowd = SpinLockSystem(8, cs_cycles=5)
+        crowd.run()
+        # Unlock is a simple write: β slots in both cases (plus retries
+        # against competing swap-writes, which are not reads).
+        assert min(crowd.unlock_latencies) == solo.unlock_latencies[0]
+
+    def test_subset_of_contenders(self):
+        sys_ = SpinLockSystem(8, contenders=[1, 4, 6], cs_cycles=4)
+        accs = sys_.run()
+        assert sorted(a.proc for a in accs) == [1, 4, 6]
+        assert sys_.mutual_exclusion_held
