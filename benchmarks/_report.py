@@ -4,8 +4,15 @@ Each benchmark regenerates one of the paper's tables or figures; these
 helpers print the rows/series in a uniform format (visible with
 ``pytest benchmarks/ --benchmark-only -s`` and in captured output on
 failure), so the harness output can be compared to the paper side by side.
+
+Every emission is also mirrored into :mod:`repro.obs.artifacts` as a
+structured record — ``drain_artifacts()`` harvests them, and setting the
+``REPRO_BENCH_JSONL`` environment variable streams them to a JSONL file —
+so every benchmark's reporting path is machine-readable without touching
+the benchmark itself.
 """
 
+from repro.obs.artifacts import artifacts, drain_artifacts
 from repro.report import emit_series, emit_table
 
-__all__ = ["emit_table", "emit_series"]
+__all__ = ["emit_table", "emit_series", "artifacts", "drain_artifacts"]

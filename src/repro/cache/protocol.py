@@ -280,16 +280,27 @@ class CacheSystem:
         bank_cycle: int = 1,
         n_lines: int = 64,
         word_width: int = 32,
+        probe=None,
+        metrics=None,
     ):
         self.cfg = CFMConfig(
             n_procs=n_procs, bank_cycle=bank_cycle, word_width=word_width
         )
         self.controller = _ProtocolController(self)
-        self.mem = CFMemory(self.cfg, controller=self.controller)
+        # The shared probe/metrics flow down into the block-access engine,
+        # so one registry sees both protocol ops and bank utilization.
+        self.mem = CFMemory(
+            self.cfg, controller=self.controller, probe=probe, metrics=metrics
+        )
         self.dirs = [CacheDirectory(p, n_lines) for p in range(n_procs)]
         self.procs = [_ProcState(directory=self.dirs[p]) for p in range(n_procs)]
         self.stats_local_hits = 0
         self.stats_memory_ops = 0
+        self.probe = probe
+        self.metrics = metrics
+        if metrics is not None:
+            self._op_latency = metrics.histogram("cache.op_latency")
+            self._op_counters = metrics.counter("cache.ops")
 
     # -- topology ---------------------------------------------------------------
 
@@ -596,5 +607,15 @@ class CacheSystem:
             op.result = line.data
         st.current_op = None
         st.local_done_at = -1
+        if self.metrics is not None:
+            self._op_latency.add(op.latency)
+            self._op_counters.incr(op.kind.value)
+            if op.was_hit:
+                self._op_counters.incr("local_hits")
+        if self.probe is not None:
+            self.probe.emit(
+                "cache", "op_done", slot, proc=p, kind=op.kind.value,
+                offset=op.offset, latency=op.latency, hit=op.was_hit,
+            )
         if op.on_done is not None:
             op.on_done(op)

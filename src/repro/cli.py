@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: regenerate the paper's tables and figures,
+and run the unified benchmark harness.
 
 Usage::
 
@@ -6,9 +7,16 @@ Usage::
     python -m repro table 3.3
     python -m repro figure 3.14
     python -m repro all
+    python -m repro bench --quick
+    python -m repro bench cfm interleaved --out results/
 
 Analytic artifacts print instantly; simulated ones (figures 2.1, 3.13,
 3.14 measured points, 4.1, 5.5) run their slot-accurate simulations first.
+``bench`` writes one machine-readable ``BENCH_<name>.json`` per benchmark
+(see :mod:`repro.obs.bench` for the schema).
+
+Unknown table/figure/bench IDs exit with status 2 and the list of valid
+IDs on stderr — never a traceback.
 """
 
 from __future__ import annotations
@@ -338,6 +346,29 @@ FIGURES: Dict[str, Callable[[], None]] = {
 }
 
 
+def _fail_unknown(kind: str, bad_id: str, valid) -> int:
+    """Uniform unknown-ID error path: message to stderr, exit status 2."""
+    print(f"error: unknown {kind} id {bad_id!r} "
+          f"(valid: {' '.join(sorted(valid))})", file=sys.stderr)
+    return 2
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs.bench import BENCHMARKS, write_benchmark
+
+    if args.list_benches:
+        print("benchmarks:", " ".join(sorted(BENCHMARKS)))
+        return 0
+    names = args.names or (["quick"] if args.quick else sorted(BENCHMARKS))
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        return _fail_unknown("bench", unknown[0], BENCHMARKS)
+    for name in names:
+        path = write_benchmark(name, out_dir=args.out, quick=args.quick)
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -346,30 +377,59 @@ def main(argv=None) -> int:
         "Memory Design for Multiprocessors'.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available tables and figures")
+    sub.add_parser("list", help="list available tables, figures, benchmarks")
     p_table = sub.add_parser("table", help="regenerate a table")
-    p_table.add_argument("id", choices=sorted(TABLES))
+    p_table.add_argument("id", metavar="id", help="table id (see 'list')")
     p_fig = sub.add_parser("figure", help="regenerate a figure")
-    p_fig.add_argument("id", choices=sorted(FIGURES))
+    p_fig.add_argument("id", metavar="id", help="figure id (see 'list')")
     sub.add_parser("all", help="regenerate everything")
     sub.add_parser(
         "verify",
         help="check every deterministic artifact against the paper",
     )
+    p_bench = sub.add_parser(
+        "bench",
+        help="run registered benchmarks, write BENCH_<name>.json each",
+    )
+    p_bench.add_argument(
+        "names", nargs="*", metavar="name",
+        help="benchmark names (default: 'quick' with --quick, else all)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down runs (CI smoke)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", dest="list_benches",
+        help="list registered benchmarks and exit",
+    )
+    p_bench.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="output directory for BENCH_*.json (default: cwd)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        from repro.obs.bench import BENCHMARKS
+
         print("tables: ", " ".join(sorted(TABLES)))
         print("figures:", " ".join(sorted(FIGURES)))
+        print("benchmarks:", " ".join(sorted(BENCHMARKS)))
         return 0
     if args.command == "table":
+        if args.id not in TABLES:
+            return _fail_unknown("table", args.id, TABLES)
         TABLES[args.id]()
         return 0
     if args.command == "figure":
+        if args.id not in FIGURES:
+            return _fail_unknown("figure", args.id, FIGURES)
         FIGURES[args.id]()
         return 0
     if args.command == "verify":
         return verify()
+    if args.command == "bench":
+        return _cmd_bench(args)
     for tid in sorted(TABLES):
         TABLES[tid]()
     for fid in sorted(FIGURES):

@@ -35,6 +35,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.block import Block, Word
 from repro.core.config import CFMConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import Probe
 
 
 class AccessKind(enum.Enum):
@@ -159,6 +161,8 @@ class CFMemory:
         config: CFMConfig,
         controller: Optional[AccessController] = None,
         check_conflicts: bool = True,
+        probe: Optional[Probe] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if config.n_modules != 1:
             raise ValueError(
@@ -175,6 +179,19 @@ class CFMemory:
         self.active: List[BlockAccess] = []
         self.completed: List[BlockAccess] = []
         self.aborted: List[BlockAccess] = []
+        # Observability (both observational only — attaching them can never
+        # change a simulation result, and `is None` is the whole cost when off).
+        self.probe = probe
+        self.metrics = metrics
+        if metrics is not None:
+            self._bank_util = [
+                metrics.utilization(f"cfm.bank[{k}].util")
+                for k in range(config.n_banks)
+            ]
+            self._latency_hist = metrics.histogram("cfm.latency")
+            self._counters = metrics.counter("cfm.accesses")
+            # Banks hold each accepted address for c cycles (§3.1.3).
+            self._bank_busy_until = [-1] * config.n_banks
 
     # -- memory content ----------------------------------------------------
 
@@ -239,6 +256,11 @@ class CFMemory:
         )
         self._next_id += 1
         self.active.append(acc)
+        if self.probe is not None:
+            self.probe.emit(
+                "cfm", "issue", self.slot, access_id=acc.access_id,
+                proc=proc, kind=kind.value, offset=offset,
+            )
         return acc
 
     # -- engine ------------------------------------------------------------
@@ -251,6 +273,27 @@ class CFMemory:
             self.completed.append(acc)
         else:
             self.aborted.append(acc)
+        if self.metrics is not None:
+            if state is AccessState.COMPLETED:
+                self._counters.incr("completed")
+                self._latency_hist.add(acc.latency)
+            else:
+                self._counters.incr("aborted")
+                if acc.final_action is ControlAction.RETRY:
+                    self._counters.incr("retries")
+        if self.probe is not None:
+            if state is AccessState.COMPLETED:
+                self.probe.emit(
+                    "cfm", "complete", slot, access_id=acc.access_id,
+                    proc=acc.proc, kind=acc.kind.value, latency=acc.latency,
+                    restarts=acc.restarts,
+                )
+            else:
+                self.probe.emit(
+                    "cfm", "abort", slot, access_id=acc.access_id,
+                    proc=acc.proc, kind=acc.kind.value,
+                    action=acc.final_action.value if acc.final_action else None,
+                )
         if acc.on_finish is not None:
             acc.on_finish(acc)
 
@@ -259,12 +302,15 @@ class CFMemory:
         slot = self.slot
         self.controller.on_slot(self, slot)
         banks_used: Dict[int, int] = {}
+        visited: Optional[List[int]] = [] if self.metrics is not None else None
         # Processor order is the deterministic arbitration order; with the
         # AT-space schedule it is provably irrelevant (no shared banks).
         for acc in sorted(list(self.active), key=lambda a: a.proc):
             if acc.state is not AccessState.ACTIVE:
                 continue
             bank = self.cfg.bank_for(acc.proc, slot)
+            if visited is not None:
+                visited.append(bank)
             if self.check_conflicts:
                 other = banks_used.get(bank)
                 if other is not None:
@@ -307,6 +353,14 @@ class CFMemory:
             acc.words_done += 1
             if acc.words_done == self.n_banks:
                 self._finish(acc, AccessState.COMPLETED, slot)
+        if visited is not None:
+            busy_until = self._bank_busy_until
+            hold = self.cfg.bank_cycle - 1
+            for bank in visited:
+                if slot + hold > busy_until[bank]:
+                    busy_until[bank] = slot + hold
+            for k in range(self.cfg.n_banks):
+                self._bank_util[k].tick(busy_until[k] >= slot)
         self.slot += 1
 
     def run(self, slots: int) -> None:

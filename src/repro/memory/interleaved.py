@@ -24,6 +24,8 @@ from typing import Callable, Deque, Dict, Hashable, List, Optional, Tuple
 import numpy as np
 
 from repro.network.partial import PartialCFSystem
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import Probe
 from repro.sim.rng import SeedLike, derive_rng
 from repro.sim.stats import Histogram, RunSummary
 
@@ -49,6 +51,8 @@ class RetryMemorySimulator:
         beta: int,
         seed: SeedLike = 0,
         retry_mean: Optional[float] = None,
+        probe: Optional[Probe] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if n_procs <= 0 or n_modules <= 0:
             raise ValueError("n_procs and n_modules must be positive")
@@ -63,6 +67,16 @@ class RetryMemorySimulator:
         # Paper's model: a failed access waits an average of g = β/2 cycles.
         self.retry_mean = retry_mean if retry_mean is not None else beta / 2.0
         self.rng = derive_rng(seed, type(self).__name__, n_procs, n_modules, rate, beta)
+        # Observability, off by default (observation only, never steering).
+        self.probe = probe
+        self.metrics = metrics
+        if metrics is not None:
+            self._module_util = [
+                metrics.utilization(f"mem.module[{m}].util")
+                for m in range(n_modules)
+            ]
+            self._latency_hist = metrics.histogram("mem.latency")
+            self._counters = metrics.counter("mem.accesses")
 
     # -- contention policy (overridden by subclasses) ------------------------
 
@@ -94,6 +108,7 @@ class RetryMemorySimulator:
             st.completion_at = -1
             st.retries = 0
 
+        module_busy = [-1] * self.n_modules if self.metrics is not None else None
         for now in range(cycles):
             for p in range(self.n_procs):
                 st = procs[p]
@@ -102,6 +117,15 @@ class RetryMemorySimulator:
                     summary.completed += 1
                     summary.retries += st.retries
                     summary.latencies.add(now - st.service_start)
+                    if self.metrics is not None:
+                        self._latency_hist.add(now - st.service_start)
+                        self._counters.incr("completed")
+                    if self.probe is not None:
+                        self.probe.emit(
+                            "mem", "complete", now, proc=p,
+                            module=st.active_module,
+                            latency=now - st.service_start, retries=st.retries,
+                        )
                     st.active_module = None
                     st.completion_at = -1
                     if st.queue_len > 0:
@@ -126,10 +150,24 @@ class RetryMemorySimulator:
                     summary.conflicts += 1
                     st.retries += 1
                     st.next_attempt = now + retry_backoff()
+                    if self.metrics is not None:
+                        self._counters.incr("conflicts")
+                    if self.probe is not None:
+                        self.probe.emit(
+                            "mem", "conflict", now, proc=p,
+                            module=st.active_module,
+                        )
                     continue
                 # Granted: occupy the resource for a full block access.
                 busy_until[res] = now + self.beta - 1
                 st.completion_at = now + self.beta
+                if module_busy is not None:
+                    m = st.active_module
+                    if now + self.beta - 1 > module_busy[m]:
+                        module_busy[m] = now + self.beta - 1
+            if module_busy is not None:
+                for m in range(self.n_modules):
+                    self._module_util[m].tick(module_busy[m] >= now)
         summary.cycles = cycles
         return summary
 
@@ -177,6 +215,15 @@ class RetryMemorySimulator:
                     summary.completed += 1
                     summary.retries += st.retries
                     summary.latencies.add(now - st.service_start)
+                    if self.metrics is not None:
+                        self._latency_hist.add(now - st.service_start)
+                        self._counters.incr("completed")
+                    if self.probe is not None:
+                        self.probe.emit(
+                            "mem", "complete", now, proc=p,
+                            module=st.active_module,
+                            latency=now - st.service_start, retries=st.retries,
+                        )
                     st.active_module = None
                     st.completion_at = -1
                 if st.active_module is None and queues[p]:
@@ -192,6 +239,13 @@ class RetryMemorySimulator:
                     summary.conflicts += 1
                     st.retries += 1
                     st.next_attempt = now + retry_backoff()
+                    if self.metrics is not None:
+                        self._counters.incr("conflicts")
+                    if self.probe is not None:
+                        self.probe.emit(
+                            "mem", "conflict", now, proc=p,
+                            module=st.active_module,
+                        )
                     continue
                 busy_until[res] = now + self.beta - 1
                 st.completion_at = now + self.beta
@@ -217,6 +271,8 @@ class PartialCFMemorySimulator(RetryMemorySimulator):
         locality: float = 0.0,
         seed: SeedLike = 0,
         retry_mean: Optional[float] = None,
+        probe: Optional[Probe] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             n_procs=system.n_procs,
@@ -225,6 +281,8 @@ class PartialCFMemorySimulator(RetryMemorySimulator):
             beta=system.beta,
             seed=seed,
             retry_mean=retry_mean,
+            probe=probe,
+            metrics=metrics,
         )
         if not 0.0 <= locality <= 1.0:
             raise ValueError(f"locality must be in [0, 1], got {locality}")

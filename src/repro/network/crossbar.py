@@ -14,13 +14,21 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.network.omega import OmegaNetwork
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import Probe
 from repro.sim.rng import SeedLike, derive_rng
 
 
 class ArbitratedCrossbar:
     """N×N crossbar: conflicting requests to one output are serialized."""
 
-    def __init__(self, n_ports: int, setup_delay: int = 1):
+    def __init__(
+        self,
+        n_ports: int,
+        setup_delay: int = 1,
+        probe: Optional[Probe] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if n_ports <= 0:
             raise ValueError("n_ports must be positive")
         if setup_delay < 0:
@@ -29,6 +37,15 @@ class ArbitratedCrossbar:
         self.setup_delay = setup_delay
         self.granted = 0
         self.rejected = 0
+        self._rounds = 0
+        self.probe = probe
+        self.metrics = metrics
+        if metrics is not None:
+            self._out_util = [
+                metrics.utilization(f"net.xbar.out[{o}].util")
+                for o in range(n_ports)
+            ]
+            self._counters = metrics.counter("net.xbar")
 
     def arbitrate(self, requests: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
         """Grant at most one request per output (lowest input wins).
@@ -46,6 +63,18 @@ class ArbitratedCrossbar:
             taken[out] = inp
             granted.append((inp, out))
         self.granted += len(granted)
+        self._rounds += 1
+        if self.metrics is not None:
+            self._counters.incr("granted", len(granted))
+            self._counters.incr("rejected", len(requests) - len(granted))
+            for o in range(self.n_ports):
+                self._out_util[o].tick(o in taken)
+        if self.probe is not None:
+            self.probe.emit(
+                "net.xbar", "arbitrate", self._rounds,
+                requests=len(requests), granted=len(granted),
+                rejected=len(requests) - len(granted),
+            )
         return granted
 
     def transfer_latency(self) -> int:
@@ -77,9 +106,16 @@ class CircuitSwitchRetryModel:
         retry_min: int = 1,
         retry_max: Optional[int] = None,
         seed: SeedLike = 0,
+        probe: Optional[Probe] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.net = OmegaNetwork(n_ports)
         self.n_ports = n_ports
+        self.probe = probe
+        self.metrics = metrics
+        if metrics is not None:
+            self._counters = metrics.counter("net.circuit")
+            self._held_hist = metrics.histogram("net.circuit.held_paths")
         if hold_cycles <= 0:
             raise ValueError("hold_cycles must be positive")
         self.hold_cycles = hold_cycles
@@ -104,10 +140,21 @@ class CircuitSwitchRetryModel:
         self._held = [h for h in self._held if h.release_at > self.now]
         if not self.net.is_conflict_free(self._active_pairs() + [(src, dst)]):
             self.rejections += 1
+            if self.metrics is not None:
+                self._counters.incr("rejected")
+            if self.probe is not None:
+                self.probe.emit("net.circuit", "block", self.now,
+                                src=src, dst=dst, held=len(self._held))
             return None
         done = self.now + self.hold_cycles
         self._held.append(_HeldPath(src, dst, done))
         self.completions += 1
+        if self.metrics is not None:
+            self._counters.incr("granted")
+            self._held_hist.add(len(self._held))
+        if self.probe is not None:
+            self.probe.emit("net.circuit", "grant", self.now,
+                            src=src, dst=dst, release_at=done)
         return done
 
     def backoff(self) -> int:

@@ -13,18 +13,35 @@ caches those states per slot (Fig 3.8 / Table 3.4 for N = 8).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.network.omega import OmegaNetwork
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import Probe
 
 
 class SynchronousOmegaNetwork:
     """An omega network whose switches are driven by the system clock."""
 
-    def __init__(self, n_ports: int):
+    def __init__(
+        self,
+        n_ports: int,
+        probe: Optional[Probe] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.net = OmegaNetwork(n_ports)
         self.n_ports = n_ports
         self._states: Dict[int, List[List[int]]] = {}
+        self.probe = probe
+        self.metrics = metrics
+        if metrics is not None:
+            self._switch_util = [
+                [
+                    metrics.utilization(f"net.omega.stage[{s}].switch[{w}].busy")
+                    for w in range(self.net.switches_per_stage)
+                ]
+                for s in range(self.net.n_stages)
+            ]
 
     @property
     def n_stages(self) -> int:
@@ -65,6 +82,17 @@ class SynchronousOmegaNetwork:
             t = self.target(i, slot)
             assert t not in out, "synchronous omega produced a collision"
             out[t] = payload
+        if self.metrics is not None:
+            used = set()
+            for i in payloads:
+                for hop in self.net.route_path(i, self.target(i, slot)):
+                    used.add((hop.stage, hop.switch))
+            for s in range(self.net.n_stages):
+                for w in range(self.net.switches_per_stage):
+                    self._switch_util[s][w].tick((s, w) in used)
+        if self.probe is not None:
+            self.probe.emit("net.omega", "route", slot,
+                            payloads=len(payloads), inputs=sorted(payloads))
         return out
 
     def verify_period(self) -> bool:

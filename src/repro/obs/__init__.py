@@ -1,0 +1,42 @@
+"""Observability: metrics aggregation, event-trace probes, bench harness.
+
+Three layers, all off by default and zero-cost when disabled:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, hierarchical names
+  over the :mod:`repro.sim.stats` primitives with JSON snapshot export.
+* :mod:`repro.obs.probe` — the :class:`Probe` event-sink interface and its
+  JSONL/recording/fan-out implementations.  Instrumented components guard
+  every emission with ``if self.probe is not None``.
+* :mod:`repro.obs.bench` — the unified benchmark registry behind
+  ``python -m repro bench``, writing ``BENCH_<name>.json`` trajectories.
+  (Imported lazily: ``from repro.obs import bench``.)
+
+:mod:`repro.obs.artifacts` additionally mirrors every table/series the
+reporting layer prints into structured records (see ``REPRO_BENCH_JSONL``).
+"""
+
+from repro.obs.artifacts import artifacts, drain_artifacts, record_artifact
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import (
+    CountingProbe,
+    JsonlProbe,
+    MultiProbe,
+    Probe,
+    ProbeEvent,
+    RecordingProbe,
+    load_probe_events,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Probe",
+    "ProbeEvent",
+    "RecordingProbe",
+    "CountingProbe",
+    "JsonlProbe",
+    "MultiProbe",
+    "load_probe_events",
+    "record_artifact",
+    "artifacts",
+    "drain_artifacts",
+]

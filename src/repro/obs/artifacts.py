@@ -1,0 +1,41 @@
+"""Machine-readable capture of every emitted table/series artifact.
+
+``repro.report.emit_table`` / ``emit_series`` — the single reporting path
+shared by the CLI and all 40+ benchmarks — mirror every artifact they print
+into this module as a structured record.  The in-memory collector lets the
+bench harness (and tests) harvest exactly what a run printed; setting the
+``REPRO_BENCH_JSONL`` environment variable to a file path additionally
+appends each record there as a JSON line, so any benchmark invocation can
+leave a machine-readable trail without touching its code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+ENV_SINK = "REPRO_BENCH_JSONL"
+
+_records: List[Dict[str, Any]] = []
+
+
+def record_artifact(record: Dict[str, Any]) -> None:
+    """Append a structured artifact record (and mirror it to the env sink)."""
+    _records.append(record)
+    sink = os.environ.get(ENV_SINK)
+    if sink:
+        with open(sink, "a", encoding="utf-8") as fp:
+            fp.write(json.dumps(record) + "\n")
+
+
+def artifacts() -> List[Dict[str, Any]]:
+    """The records captured so far (live list view — do not mutate)."""
+    return list(_records)
+
+
+def drain_artifacts() -> List[Dict[str, Any]]:
+    """Return and clear all captured records."""
+    out = list(_records)
+    _records.clear()
+    return out

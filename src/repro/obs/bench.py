@@ -1,0 +1,344 @@
+"""Unified benchmark harness behind ``python -m repro bench``.
+
+Every registered benchmark produces a list of *runs* sharing one schema,
+and the harness writes them as ``BENCH_<name>.json`` — the machine-readable
+perf trajectory the ROADMAP's "as fast as the hardware allows" claim is
+tracked against.
+
+JSON schema (``repro-bench/1``)::
+
+    {
+      "bench": "<name>",
+      "schema": "repro-bench/1",
+      "quick": false,
+      "runs": [
+        {
+          "system": "cfm" | "interleaved" | "partial" | ...,
+          "params": {...},                   # machine shape + workload knobs
+          "cycles": int, "completed": int,
+          "retries": int, "conflicts": int,
+          "throughput": float,               # completed accesses / cycle
+          "latency": {"mean": float, "p50": int, "p99": int},
+          "utilization": {"<metric name>": fraction, ..., "mean": float},
+          "metrics": {...}                   # full MetricsRegistry snapshot
+        }, ...
+      ]
+    }
+
+Each run builds its own :class:`MetricsRegistry`; pass a
+:class:`repro.obs.probe.Probe` to any ``_run_*`` helper to additionally
+stream structured events.  Probes and metrics are observational only —
+the determinism tests assert a probed run produces identical numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import Probe
+
+SCHEMA = "repro-bench/1"
+
+
+# --------------------------------------------------------------------------
+# Run-report assembly
+
+
+def _utilization_block(metrics: MetricsRegistry, prefix: str) -> Dict[str, float]:
+    fractions = metrics.fractions(prefix)
+    block: Dict[str, float] = dict(fractions)
+    if fractions:
+        block["mean"] = sum(fractions.values()) / len(fractions)
+    return block
+
+
+def _run_report(system: str, params: Dict[str, object], summary,
+                metrics: MetricsRegistry,
+                util_prefix: str) -> Dict[str, object]:
+    report: Dict[str, object] = {"system": system, "params": params}
+    report.update(summary.as_dict())
+    report["utilization"] = _utilization_block(metrics, util_prefix)
+    report["metrics"] = metrics.snapshot()
+    return report
+
+
+# --------------------------------------------------------------------------
+# Individual runs
+
+
+def _run_cfm(n_procs: int, bank_cycle: int, cycles: int,
+             probe: Optional[Probe] = None) -> Dict[str, object]:
+    """Slot-accurate CFM under full load: every processor always has an
+    outstanding block read.  Conflict checking stays on — a ConflictError
+    here would falsify the paper's theorem, so it is allowed to propagate."""
+    from repro.core.cfm import AccessKind, AccessState, CFMemory
+    from repro.core.config import CFMConfig
+    from repro.sim.stats import RunSummary
+
+    cfg = CFMConfig(n_procs=n_procs, bank_cycle=bank_cycle)
+    metrics = MetricsRegistry()
+    mem = CFMemory(cfg, probe=probe, metrics=metrics)
+    summary = RunSummary()
+    outstanding = [False] * n_procs
+
+    def finished(acc) -> None:
+        outstanding[acc.proc] = False
+        if acc.state is AccessState.COMPLETED:
+            summary.completed += 1
+            summary.latencies.add(acc.latency)
+        else:
+            summary.retries += acc.restarts or 1
+
+    for _ in range(cycles):
+        for p in range(n_procs):
+            if not outstanding[p]:
+                mem.issue(p, AccessKind.READ, offset=p % 4, on_finish=finished)
+                outstanding[p] = True
+        mem.tick()
+    summary.cycles = cycles
+    return _run_report(
+        "cfm",
+        {"n_procs": n_procs, "bank_cycle": bank_cycle,
+         "n_banks": cfg.n_banks, "beta": cfg.block_access_time,
+         "workload": "full_load_reads"},
+        summary, metrics, "cfm.bank",
+    )
+
+
+def _run_interleaved(n_procs: int, n_modules: int, rate: float, beta: int,
+                     cycles: int, seed: int = 0,
+                     probe: Optional[Probe] = None) -> Dict[str, object]:
+    """Conventional interleaved baseline: per-module contention + retries."""
+    from repro.memory.interleaved import ConventionalMemorySimulator
+
+    metrics = MetricsRegistry()
+    sim = ConventionalMemorySimulator(
+        n_procs, n_modules, rate=rate, beta=beta, seed=seed,
+        probe=probe, metrics=metrics,
+    )
+    summary = sim.run(cycles)
+    return _run_report(
+        "interleaved",
+        {"n_procs": n_procs, "n_modules": n_modules, "rate": rate,
+         "beta": beta, "seed": seed, "workload": "uniform"},
+        summary, metrics, "mem.module",
+    )
+
+
+def _run_partial(n_procs: int, n_modules: int, bank_cycle: int, rate: float,
+                 locality: float, cycles: int, seed: int = 0,
+                 probe: Optional[Probe] = None) -> Dict[str, object]:
+    """Partially conflict-free system with the locality-λ workload."""
+    from repro.memory.interleaved import PartialCFMemorySimulator
+    from repro.network.partial import PartialCFSystem
+
+    system = PartialCFSystem(n_procs, n_modules, bank_cycle=bank_cycle)
+    metrics = MetricsRegistry()
+    sim = PartialCFMemorySimulator(
+        system, rate=rate, locality=locality, seed=seed,
+        probe=probe, metrics=metrics,
+    )
+    summary = sim.run(cycles)
+    return _run_report(
+        "partial",
+        {"n_procs": n_procs, "n_modules": n_modules,
+         "bank_cycle": bank_cycle, "rate": rate, "locality": locality,
+         "beta": system.beta, "seed": seed, "workload": "locality"},
+        summary, metrics, "mem.module",
+    )
+
+
+def _run_circuit(n_ports: int, hold_cycles: int, rate: float, cycles: int,
+                 seed: int = 0,
+                 probe: Optional[Probe] = None) -> Dict[str, object]:
+    """Circuit-switched omega with abort-and-retry (the BBN discipline)."""
+    from repro.network.crossbar import CircuitSwitchRetryModel
+    from repro.sim.rng import derive_rng
+    from repro.sim.stats import RunSummary
+
+    metrics = MetricsRegistry()
+    model = CircuitSwitchRetryModel(
+        n_ports, hold_cycles, seed=seed, probe=probe, metrics=metrics,
+    )
+    rng = derive_rng(seed, "bench.circuit", n_ports, rate)
+    summary = RunSummary()
+    issued_at = [-1] * n_ports  # -1: idle
+    next_try = [0] * n_ports
+    dsts = [0] * n_ports
+    busy_until = [-1] * n_ports
+    for now in range(cycles):
+        model.now = now
+        for src in range(n_ports):
+            if busy_until[src] >= now:
+                continue
+            if issued_at[src] < 0:
+                if rng.random() >= rate:
+                    continue
+                issued_at[src] = now
+                next_try[src] = now
+                dsts[src] = int(rng.integers(0, n_ports))
+            if next_try[src] != now:
+                continue
+            done = model.try_request(src, dsts[src])
+            if done is None:
+                summary.conflicts += 1
+                summary.retries += 1
+                next_try[src] = now + model.backoff()
+            else:
+                summary.completed += 1
+                summary.latencies.add(done - issued_at[src])
+                busy_until[src] = done - 1
+                issued_at[src] = -1
+    summary.cycles = cycles
+    return _run_report(
+        "circuit_omega",
+        {"n_ports": n_ports, "hold_cycles": hold_cycles, "rate": rate,
+         "seed": seed, "workload": "uniform"},
+        summary, metrics, "net.circuit",
+    )
+
+
+def _run_sync_omega(n_ports: int, cycles: int,
+                    probe: Optional[Probe] = None) -> Dict[str, object]:
+    """Clock-driven omega moving a full permutation every slot — the CFM's
+    data path at saturation: zero conflicts, zero retries, one-slot transit."""
+    from repro.network.synchronous import SynchronousOmegaNetwork
+    from repro.sim.stats import RunSummary
+
+    metrics = MetricsRegistry()
+    net = SynchronousOmegaNetwork(n_ports, probe=probe, metrics=metrics)
+    summary = RunSummary()
+    payloads = {i: i for i in range(n_ports)}
+    for slot in range(cycles):
+        out = net.route(payloads, slot)
+        summary.completed += len(out)
+        for _ in out:
+            summary.latencies.add(1)
+    summary.cycles = cycles
+    return _run_report(
+        "sync_omega",
+        {"n_ports": n_ports, "workload": "full_permutation"},
+        summary, metrics, "net.omega",
+    )
+
+
+def _run_cache(n_procs: int, rounds: int, seed: int = 0,
+               probe: Optional[Probe] = None) -> Dict[str, object]:
+    """Coherent-cache op mix (loads + stores over a small shared set)."""
+    from repro.cache.protocol import CacheSystem
+    from repro.sim.rng import derive_rng
+    from repro.sim.stats import RunSummary
+
+    metrics = MetricsRegistry()
+    sys_ = CacheSystem(n_procs, probe=probe, metrics=metrics)
+    rng = derive_rng(seed, "bench.cache", n_procs, rounds)
+    summary = RunSummary()
+    ops = []
+    for _ in range(rounds):
+        for p in range(n_procs):
+            offset = int(rng.integers(0, 4))
+            if rng.random() < 0.3:
+                ops.append(sys_.store(p, offset, {0: p + 1}))
+            else:
+                ops.append(sys_.load(p, offset))
+    start = sys_.slot
+    sys_.run_ops(ops)
+    summary.cycles = sys_.slot - start
+    summary.completed = len(ops)
+    for op in ops:
+        summary.latencies.add(op.latency)
+    return _run_report(
+        "cache",
+        {"n_procs": n_procs, "rounds": rounds, "seed": seed,
+         "workload": "load_store_mix", "local_hits": sys_.stats_local_hits,
+         "memory_ops": sys_.stats_memory_ops},
+        summary, metrics, "cfm.bank",
+    )
+
+
+# --------------------------------------------------------------------------
+# Benchmark registry
+
+
+def bench_quick(quick: bool = True) -> List[Dict[str, object]]:
+    """The smoke trajectory: one CFM run + one interleaved baseline."""
+    cycles = 2_000 if quick else 20_000
+    return [
+        _run_cfm(8, 2, cycles),
+        _run_interleaved(8, 8, rate=0.04, beta=17, cycles=cycles * 5),
+    ]
+
+
+def bench_cfm(quick: bool = False) -> List[Dict[str, object]]:
+    """Full-load CFM across the Table 3.3 shapes."""
+    shapes = [(4, 1), (8, 2), (16, 4)] if quick else [(4, 1), (8, 2), (16, 4), (32, 8)]
+    cycles = 1_000 if quick else 10_000
+    return [_run_cfm(n, c, cycles) for n, c in shapes]
+
+
+def bench_interleaved(quick: bool = False) -> List[Dict[str, object]]:
+    """Conventional-baseline rate sweep (the Fig 3.13 regime)."""
+    rates = (0.01, 0.04) if quick else (0.01, 0.02, 0.04, 0.06)
+    cycles = 5_000 if quick else 30_000
+    return [_run_interleaved(8, 8, rate=r, beta=17, cycles=cycles)
+            for r in rates]
+
+
+def bench_partial(quick: bool = False) -> List[Dict[str, object]]:
+    """Partially conflict-free sweep over locality λ (the Fig 3.14 regime)."""
+    locs = (0.0, 0.9) if quick else (0.0, 0.5, 0.9, 1.0)
+    cycles = 5_000 if quick else 30_000
+    return [_run_partial(64, 8, bank_cycle=1, rate=0.02, locality=lam,
+                         cycles=cycles) for lam in locs]
+
+
+def bench_network(quick: bool = False) -> List[Dict[str, object]]:
+    """Interconnect head-to-head: abort/retry circuit vs clock-driven omega."""
+    cycles = 2_000 if quick else 10_000
+    return [
+        _run_circuit(8, hold_cycles=17, rate=0.05, cycles=cycles),
+        _run_sync_omega(8, cycles=min(cycles, 2_000)),
+    ]
+
+
+def bench_cache(quick: bool = False) -> List[Dict[str, object]]:
+    """Coherence protocol op latency + the bank utilization underneath."""
+    rounds = 5 if quick else 25
+    return [_run_cache(4, rounds=rounds), _run_cache(8, rounds=rounds)]
+
+
+BENCHMARKS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
+    "quick": bench_quick,
+    "cfm": bench_cfm,
+    "interleaved": bench_interleaved,
+    "partial": bench_partial,
+    "network": bench_network,
+    "cache": bench_cache,
+}
+
+
+def run_benchmark(name: str, quick: bool = False) -> Dict[str, object]:
+    """Run one registered benchmark and return its JSON document."""
+    if name not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r} (valid: {' '.join(sorted(BENCHMARKS))})"
+        )
+    runs = BENCHMARKS[name](quick or name == "quick")
+    return {"bench": name, "schema": SCHEMA,
+            "quick": bool(quick or name == "quick"), "runs": runs}
+
+
+def write_benchmark(name: str, out_dir: Union[str, Path] = ".",
+                    quick: bool = False) -> Path:
+    """Run a benchmark and write ``BENCH_<name>.json``; returns the path."""
+    doc = run_benchmark(name, quick=quick)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{name}.json"
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return path

@@ -1,0 +1,122 @@
+"""Hierarchically-named metric aggregation.
+
+:class:`MetricsRegistry` collects the measurement primitives of
+:mod:`repro.sim.stats` (:class:`TallyCounter`, :class:`RunningStats`,
+:class:`Histogram`, :class:`Utilization`) under dotted hierarchical names
+such as ``cfm.bank[3].util`` or ``net.omega.stage[2].switch[1].busy`` and
+turns the whole tree into one JSON-able snapshot.
+
+Instruments are get-or-create: ``registry.utilization("cfm.bank[0].util")``
+returns the same object on every call, so a component can resolve its
+instruments once at attach time and update them at O(1) inside the cycle
+loop.  Components treat an absent registry (``metrics is None``) as
+"observability off" and skip all accounting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.sim.stats import Histogram, RunningStats, TallyCounter, Utilization
+
+Instrument = Union[TallyCounter, RunningStats, Histogram, Utilization]
+
+
+class MetricsRegistry:
+    """A flat name → instrument map with hierarchical snapshot export."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -- get-or-create accessors -------------------------------------------
+
+    def _resolve(self, name: str, cls) -> Instrument:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls()
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, requested {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> TallyCounter:
+        return self._resolve(name, TallyCounter)  # type: ignore[return-value]
+
+    def stats(self, name: str) -> RunningStats:
+        return self._resolve(name, RunningStats)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._resolve(name, Histogram)  # type: ignore[return-value]
+
+    def utilization(self, name: str) -> Utilization:
+        return self._resolve(name, Utilization)  # type: ignore[return-value]
+
+    # -- inspection ---------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    # -- export -------------------------------------------------------------
+
+    @staticmethod
+    def _summarize(inst: Instrument) -> Dict[str, object]:
+        if isinstance(inst, TallyCounter):
+            return {"type": "counter", "counts": inst.as_dict(),
+                    "total": inst.total()}
+        if isinstance(inst, RunningStats):
+            if inst.n == 0:
+                return {"type": "stats", "n": 0}
+            return {
+                "type": "stats", "n": inst.n, "mean": inst.mean,
+                "stddev": inst.stddev, "min": inst.minimum,
+                "max": inst.maximum,
+            }
+        if isinstance(inst, Histogram):
+            n = inst.total()
+            if n == 0:
+                return {"type": "histogram", "n": 0}
+            return {
+                "type": "histogram", "n": n, "mean": inst.mean(),
+                "p50": inst.percentile(0.5), "p99": inst.percentile(0.99),
+                "min": inst.percentile(0.0), "max": inst.percentile(1.0),
+            }
+        if isinstance(inst, Utilization):
+            return {"type": "utilization", "busy": inst.busy,
+                    "total": inst.total, "fraction": inst.fraction}
+        raise TypeError(f"unknown instrument type {type(inst).__name__}")
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Flat ``{name: summary}`` dict, names sorted, JSON-serializable."""
+        return {name: self._summarize(self._instruments[name])
+                for name in self.names()}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def fractions(self, prefix: str) -> Dict[str, float]:
+        """Utilization fractions of every instrument under ``prefix``."""
+        out: Dict[str, float] = {}
+        for name in self.names():
+            if name.startswith(prefix):
+                inst = self._instruments[name]
+                if isinstance(inst, Utilization):
+                    out[name] = inst.fraction
+        return out

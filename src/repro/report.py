@@ -1,9 +1,17 @@
 """Uniform table/series formatting shared by the CLI and the benchmark
-harness, so regenerated paper tables print identically everywhere."""
+harness, so regenerated paper tables print identically everywhere.
+
+Every emitted artifact is additionally mirrored as a structured record via
+:mod:`repro.obs.artifacts`, so any run — CLI, pytest benchmark, or the
+``repro bench`` harness — leaves a machine-readable trail of exactly what
+it printed (set ``REPRO_BENCH_JSONL`` to stream the records to a file).
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+from repro.obs.artifacts import record_artifact
 
 
 def format_table(title: str, headers: Sequence[str],
@@ -22,13 +30,30 @@ def format_table(title: str, headers: Sequence[str],
 
 def emit_table(title: str, headers: Sequence[str],
                rows: Iterable[Sequence]) -> None:
-    """Print a titled, aligned text table."""
+    """Print a titled, aligned text table (and record it structurally)."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    record_artifact({
+        "kind": "table",
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(r) for r in rows],
+    })
     print(format_table(title, headers, rows))
 
 
 def emit_series(title: str, x_name: str, xs: Sequence[float],
                 series: dict, every: int = 10) -> None:
-    """Print a figure's curves as a decimated table of points."""
+    """Print a figure's curves as a decimated table of points.
+
+    The structured record keeps the *full* series, not the decimated
+    printout, so downstream tooling never loses resolution."""
+    record_artifact({
+        "kind": "series",
+        "title": title,
+        "x_name": x_name,
+        "x": [float(x) for x in xs],
+        "series": {k: [float(v) for v in vs] for k, vs in series.items()},
+    })
     headers = [x_name] + list(series.keys())
     rows = []
     idx = list(range(0, len(xs), every))
@@ -36,4 +61,4 @@ def emit_series(title: str, x_name: str, xs: Sequence[float],
         idx.append(len(xs) - 1)
     for i in idx:
         rows.append([f"{xs[i]:.3f}"] + [f"{series[k][i]:.3f}" for k in series])
-    emit_table(title, headers, rows)
+    print(format_table(title, headers, rows))

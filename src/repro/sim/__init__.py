@@ -18,7 +18,13 @@ This subpackage is the substrate every simulator in the reproduction runs on:
 from repro.sim.engine import Engine, Event, SlotClock
 from repro.sim.procs import Delay, Halt, Process, Scheduler, SchedulerDeadlock
 from repro.sim.rng import derive_rng, make_rng
-from repro.sim.stats import Histogram, RunningStats, TallyCounter, Utilization
+from repro.sim.stats import (
+    Histogram,
+    RunningStats,
+    RunSummary,
+    TallyCounter,
+    Utilization,
+)
 from repro.sim.workload import (
     AccessEvent,
     HotSpotWorkload,
@@ -39,6 +45,7 @@ __all__ = [
     "derive_rng",
     "TallyCounter",
     "RunningStats",
+    "RunSummary",
     "Histogram",
     "Utilization",
     "AccessEvent",

@@ -60,6 +60,9 @@ class Engine:
         self._seq = itertools.count()
         self.now: int = 0
         self._running = False
+        #: Optional :class:`repro.obs.Probe`; when set, every dispatched
+        #: event is emitted as ``("engine", "dispatch", time, seq=...)``.
+        self.probe = None
 
     def schedule(self, delay: int, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay`` time units from now."""
@@ -88,25 +91,30 @@ class Engine:
             if ev.cancelled:
                 continue
             self.now = ev.time
+            if self.probe is not None:
+                self.probe.emit("engine", "dispatch", ev.time, seq=ev.seq)
             ev.fn()
             return True
         return False
 
     def run(self, until: Optional[int] = None) -> None:
-        """Run events until the heap drains or ``now`` would pass ``until``."""
+        """Run events until the heap drains or ``now`` would pass ``until``.
+
+        Both drain paths leave ``now == until`` (when given): a heap that
+        holds only cancelled events is treated exactly like an empty one.
+        """
         self._running = True
         try:
-            while self._heap:
+            while True:
                 nxt = self.peek_time()
                 if nxt is None:
+                    if until is not None:
+                        self.now = max(self.now, until)
                     break
                 if until is not None and nxt > until:
-                    self.now = until
+                    self.now = max(self.now, until)
                     break
                 self.step()
-            else:
-                if until is not None:
-                    self.now = max(self.now, until)
         finally:
             self._running = False
 
@@ -131,6 +139,9 @@ class SlotClock:
         self.period = period
         self.slot: int = 0
         self._subscribers: List[Callable[[int], None]] = []
+        #: Optional :class:`repro.obs.Probe`; when set, every advanced slot
+        #: is emitted as ``("clock", "tick", slot, phase=...)``.
+        self.probe = None
 
     @property
     def phase(self) -> int:
@@ -149,6 +160,8 @@ class SlotClock:
             raise ValueError(f"slots must be >= 0, got {slots}")
         for _ in range(slots):
             self.slot += 1
+            if self.probe is not None:
+                self.probe.emit("clock", "tick", self.slot, phase=self.phase)
             for fn in self._subscribers:
                 fn(self.slot)
         return self.slot

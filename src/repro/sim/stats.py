@@ -39,7 +39,13 @@ class TallyCounter:
 
 
 class RunningStats:
-    """Welford online mean/variance accumulator."""
+    """Welford online mean/variance accumulator.
+
+    Empty-accumulator contract: every statistic (``mean``, ``variance``,
+    ``stddev``, ``minimum``, ``maximum``) raises ``ValueError("no samples")``
+    when no sample has been added.  With exactly one sample the (sample)
+    variance is defined as 0.0.
+    """
 
     def __init__(self) -> None:
         self.n = 0
@@ -68,7 +74,9 @@ class RunningStats:
 
     @property
     def variance(self) -> float:
-        if self.n < 2:
+        if self.n == 0:
+            raise ValueError("no samples")
+        if self.n == 1:
             return 0.0
         return self._m2 / (self.n - 1)
 
@@ -179,6 +187,22 @@ class RunSummary:
     @property
     def mean_latency(self) -> float:
         return self.latencies.mean()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able summary (the bench harness's per-run payload core)."""
+        empty = self.latencies.total() == 0
+        return {
+            "cycles": self.cycles,
+            "completed": self.completed,
+            "retries": self.retries,
+            "conflicts": self.conflicts,
+            "throughput": self.throughput,
+            "latency": {
+                "mean": None if empty else self.latencies.mean(),
+                "p50": None if empty else self.latencies.percentile(0.5),
+                "p99": None if empty else self.latencies.percentile(0.99),
+            },
+        }
 
     def efficiency(self, ideal_latency: float) -> float:
         """Measured efficiency: ideal service time over actual mean time.

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import io
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import MISSING, asdict, dataclass, fields
 from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence, TextIO, Union
 
@@ -89,8 +89,26 @@ class Trace:
         if not header_line.strip():
             raise ValueError("empty trace")
         raw = json.loads(header_line)
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"trace header must be a JSON object, got {type(raw).__name__}"
+            )
         if raw.get("version") != FORMAT_VERSION:
             raise ValueError(f"unsupported trace version {raw.get('version')}")
+        known = {f.name for f in fields(TraceHeader)}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown trace header key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        required = {
+            f.name for f in fields(TraceHeader)
+            if f.default is MISSING and f.default_factory is MISSING
+        }
+        missing = sorted(required - set(raw))
+        if missing:
+            raise ValueError(f"missing trace header key(s): {', '.join(missing)}")
         header = TraceHeader(**raw)
         events: List[AccessEvent] = []
         for line in fp:

@@ -1,0 +1,70 @@
+"""Parameter-sweep property tests for the AT-space conflict-freedom claims.
+
+The paper's central invariants (§3.1) must hold at every hardware shape,
+not just the 8-bank examples the figures use.  This sweep checks the
+(n_banks, bank_cycle) shapes named in the roadmap:
+
+* the per-processor AT-space partitions are mutually exclusive,
+* bank busy intervals tile without overlap under worst-case load, and
+* a full-load :class:`CFMemory` run never raises :class:`ConflictError`.
+"""
+
+import pytest
+
+from repro.core.atspace import ATSpace, verify_busy_intervals
+from repro.core.cfm import AccessKind, CFMemory, ConflictError
+from repro.core.config import CFMConfig
+
+SHAPES = [(4, 1), (8, 2), (16, 4), (32, 8)]
+
+
+@pytest.mark.parametrize("n_banks,bank_cycle", SHAPES)
+class TestATSpaceSweep:
+    def test_partitions_are_exclusive(self, n_banks, bank_cycle):
+        space = ATSpace(n_banks, bank_cycle)
+        assert space.partitions_are_exclusive()
+
+    def test_busy_intervals_never_overlap(self, n_banks, bank_cycle):
+        space = ATSpace(n_banks, bank_cycle)
+        # Several full periods, so wrap-around seams are also covered.
+        assert verify_busy_intervals(space, slots=4 * space.period)
+
+    def test_partitions_cover_utilized_fraction(self, n_banks, bank_cycle):
+        space = ATSpace(n_banks, bank_cycle)
+        parts = space.all_partitions()
+        # One cell per slot per processor over a full period.
+        assert all(len(part) == space.period for part in parts)
+        covered = set().union(*parts)
+        # Exclusive => the union's size is the sum of the parts' sizes.
+        assert len(covered) == space.n_procs * space.period
+        # Covered share of the b x b AT-space matches the closed form b/c.
+        total_cells = space.period * space.n_banks
+        assert len(covered) / total_cells == pytest.approx(
+            space.utilized_fraction())
+
+    def test_cfm_full_load_never_conflicts(self, n_banks, bank_cycle):
+        cfg = CFMConfig(n_procs=n_banks // bank_cycle, bank_cycle=bank_cycle)
+        assert cfg.n_banks == n_banks
+        mem = CFMemory(cfg)
+        completed = []
+        outstanding = [False] * cfg.n_procs
+
+        def finished(acc):
+            outstanding[acc.proc] = False
+            completed.append(acc.latency)
+
+        cycles = 6 * cfg.block_access_time
+        try:
+            for _ in range(cycles):
+                for p in range(cfg.n_procs):
+                    if not outstanding[p]:
+                        mem.issue(p, AccessKind.READ, offset=0,
+                                  on_finish=finished)
+                        outstanding[p] = True
+                mem.tick()
+        except ConflictError as exc:  # pragma: no cover - the regression
+            pytest.fail(f"CFMemory raised under full load at "
+                        f"b={n_banks}, c={bank_cycle}: {exc}")
+        assert completed, "full-load run completed no accesses"
+        # Conflict-free => every access finishes in exactly beta slots.
+        assert set(completed) == {cfg.block_access_time}

@@ -29,13 +29,67 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "9" in out and "27" in out and "63" in out
 
-    def test_unknown_id_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["table", "9.9"])
+    def test_unknown_table_id_exits_nonzero_with_valid_ids(self, capsys):
+        assert main(["table", "9.9"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown table id '9.9'" in err
+        for tid in sorted(TABLES):
+            assert tid in err
+
+    def test_unknown_figure_id_exits_nonzero_with_valid_ids(self, capsys):
+        assert main(["figure", "9.9"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure id '9.9'" in err
+        for fid in sorted(FIGURES):
+            assert fid in err
+
+    def test_unknown_ids_never_traceback(self, capsys):
+        # The audit contract: bad IDs are reported, not raised.
+        for cmd in ("table", "figure"):
+            assert main([cmd, "nope"]) == 2
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_list_includes_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        assert "benchmarks:" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "quick" in out and "cfm" in out
+
+    def test_unknown_bench_exits_nonzero_with_valid_names(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown bench id 'nope'" in err
+        assert "quick" in err
+
+    def test_bench_quick_writes_well_formed_json(self, tmp_path, capsys):
+        import json
+
+        assert main(["bench", "--quick", "--out", str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_quick.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        assert doc["bench"] == "quick"
+        assert doc["schema"] == "repro-bench/1"
+        systems = {r["system"] for r in doc["runs"]}
+        assert {"cfm", "interleaved"} <= systems
+        for run in doc["runs"]:
+            assert run["throughput"] > 0
+            assert run["latency"]["p50"] is not None
+            assert run["latency"]["p99"] >= run["latency"]["p50"]
+            assert "retries" in run and "conflicts" in run
+            assert run["utilization"], "per-resource utilization missing"
+        cfm = next(r for r in doc["runs"] if r["system"] == "cfm")
+        banks = [k for k in cfm["utilization"] if k.startswith("cfm.bank[")]
+        assert len(banks) == cfm["params"]["n_banks"]
+        assert cfm["conflicts"] == 0
 
 
 class TestVerify:

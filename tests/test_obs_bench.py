@@ -1,0 +1,195 @@
+"""Tests for the unified bench harness and the instrumentation wiring.
+
+The two load-bearing properties:
+
+* **Determinism** — attaching probes/metrics observes a simulation but
+  never steers it: every number comes out identical with and without.
+* **Zero-cost off** — with observability off (the default), components
+  keep no instruments and emit nothing; the hot loop pays only an
+  ``is None`` check.
+"""
+
+import json
+
+import pytest
+
+from repro.core.cfm import AccessKind, AccessState, CFMemory
+from repro.core.config import CFMConfig
+from repro.memory.interleaved import ConventionalMemorySimulator
+from repro.obs import MetricsRegistry, RecordingProbe
+from repro.obs.bench import BENCHMARKS, run_benchmark, write_benchmark
+
+
+def _full_load_cfm(n_procs=4, bank_cycle=2, cycles=200, probe=None,
+                   metrics=None):
+    cfg = CFMConfig(n_procs=n_procs, bank_cycle=bank_cycle)
+    mem = CFMemory(cfg, probe=probe, metrics=metrics)
+    latencies = []
+    outstanding = [False] * n_procs
+
+    def finished(acc):
+        outstanding[acc.proc] = False
+        if acc.state is AccessState.COMPLETED:
+            latencies.append(acc.latency)
+
+    for _ in range(cycles):
+        for p in range(n_procs):
+            if not outstanding[p]:
+                mem.issue(p, AccessKind.READ, offset=0, on_finish=finished)
+                outstanding[p] = True
+        mem.tick()
+    return mem, latencies
+
+
+class TestDeterminism:
+    def test_cfm_results_identical_with_probes_enabled(self):
+        _, plain = _full_load_cfm()
+        probe = RecordingProbe()
+        metrics = MetricsRegistry()
+        _, probed = _full_load_cfm(probe=probe, metrics=metrics)
+        assert probed == plain
+        assert len(probe) > 0  # the probe did observe the run
+
+    def test_interleaved_summary_identical_with_metrics_enabled(self):
+        base = ConventionalMemorySimulator(8, 8, rate=0.04, beta=17, seed=3)
+        plain = base.run(3_000)
+        instrumented = ConventionalMemorySimulator(
+            8, 8, rate=0.04, beta=17, seed=3,
+            probe=RecordingProbe(), metrics=MetricsRegistry(),
+        )
+        probed = instrumented.run(3_000)
+        assert probed.completed == plain.completed
+        assert probed.retries == plain.retries
+        assert probed.conflicts == plain.conflicts
+        assert probed.latencies.items() == plain.latencies.items()
+
+    def test_cache_system_identical_with_probes_enabled(self):
+        from repro.cache.protocol import CacheSystem
+
+        def run(probe=None, metrics=None):
+            sys_ = CacheSystem(4, probe=probe, metrics=metrics)
+            ops = []
+            for p in range(4):
+                ops.append(sys_.load(p, 0))
+                ops.append(sys_.store(p, 1, {0: p + 1}))
+            sys_.run_ops(ops)
+            return [(op.proc, op.kind.value, op.latency) for op in ops]
+
+        assert run(RecordingProbe(), MetricsRegistry()) == run()
+
+
+class TestZeroCostOff:
+    def test_no_instruments_kept_when_metrics_absent(self):
+        mem, _ = _full_load_cfm()
+        assert mem.metrics is None and mem.probe is None
+        assert not hasattr(mem, "_bank_util")
+
+    def test_sim_keeps_no_instruments_when_off(self):
+        sim = ConventionalMemorySimulator(4, 4, rate=0.1, beta=9, seed=0)
+        sim.run(500)
+        assert not hasattr(sim, "_module_util")
+
+
+class TestInstrumentation:
+    def test_cfm_full_load_has_unit_bank_utilization(self):
+        metrics = MetricsRegistry()
+        mem, latencies = _full_load_cfm(n_procs=8, bank_cycle=2, cycles=160,
+                                        metrics=metrics)
+        beta = mem.cfg.block_access_time
+        assert set(latencies) == {beta}
+        fractions = metrics.fractions("cfm.bank")
+        assert len(fractions) == mem.cfg.n_banks
+        # Full load: every bank busy every slot once past the warmup
+        # (a bank's first address may come up to c-1 slots in) — the
+        # paper's 100%-utilization claim.
+        warmup = (mem.cfg.bank_cycle - 1) / 160
+        assert all(f >= 1.0 - warmup for f in fractions.values())
+        assert max(fractions.values()) == 1.0
+
+    def test_cfm_probe_event_stream_is_consistent(self):
+        probe = RecordingProbe()
+        _, latencies = _full_load_cfm(probe=probe, cycles=100)
+        issues = probe.select("cfm", "issue")
+        completes = probe.select("cfm", "complete")
+        assert len(completes) == len(latencies)
+        assert len(issues) >= len(completes)
+        for ev in completes:
+            assert ev.fields["latency"] == latencies[0]
+
+    def test_interleaved_module_utilization_tracked(self):
+        metrics = MetricsRegistry()
+        sim = ConventionalMemorySimulator(8, 8, rate=0.05, beta=17, seed=1,
+                                          metrics=metrics)
+        summary = sim.run(4_000)
+        assert summary.completed > 0
+        fractions = metrics.fractions("mem.module")
+        assert len(fractions) == 8
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+        assert any(f > 0.0 for f in fractions.values())
+        # Denominator is the full run for every module.
+        for m in range(8):
+            assert metrics.get(f"mem.module[{m}].util").total == 4_000
+
+    def test_sync_omega_switch_utilization(self):
+        from repro.network.synchronous import SynchronousOmegaNetwork
+
+        metrics = MetricsRegistry()
+        net = SynchronousOmegaNetwork(8, metrics=metrics)
+        for slot in range(8):
+            net.route({i: f"p{i}" for i in range(8)}, slot)
+        fractions = metrics.fractions("net.omega")
+        # Full permutation uses every switch of every stage, every slot.
+        assert len(fractions) == net.net.n_stages * net.net.switches_per_stage
+        assert all(f == 1.0 for f in fractions.values())
+
+    def test_crossbar_counters_and_utilization(self):
+        from repro.network.crossbar import ArbitratedCrossbar
+
+        metrics = MetricsRegistry()
+        xbar = ArbitratedCrossbar(4, metrics=metrics)
+        granted = xbar.arbitrate([(0, 2), (1, 2), (3, 0)])
+        assert len(granted) == 2
+        counters = metrics.counter("net.xbar")
+        assert counters["granted"] == 2 and counters["rejected"] == 1
+        assert metrics.get("net.xbar.out[2].util").fraction == 1.0
+        assert metrics.get("net.xbar.out[1].util").fraction == 0.0
+
+
+class TestBenchHarness:
+    def test_registry_names(self):
+        assert {"quick", "cfm", "interleaved", "partial", "network",
+                "cache"} <= set(BENCHMARKS)
+
+    def test_unknown_benchmark_raises_with_valid_names(self):
+        with pytest.raises(KeyError, match="quick"):
+            run_benchmark("nope")
+
+    def test_quick_doc_schema(self):
+        doc = run_benchmark("quick")
+        assert doc["schema"] == "repro-bench/1"
+        assert doc["quick"] is True
+        systems = [r["system"] for r in doc["runs"]]
+        assert "cfm" in systems and "interleaved" in systems
+        for run in doc["runs"]:
+            for key in ("params", "cycles", "completed", "retries",
+                        "conflicts", "throughput", "latency", "utilization",
+                        "metrics"):
+                assert key in run, f"{run['system']} missing {key}"
+        cfm = next(r for r in doc["runs"] if r["system"] == "cfm")
+        assert cfm["conflicts"] == 0 and cfm["retries"] == 0
+        assert cfm["latency"]["p50"] == cfm["params"]["beta"]
+        interleaved = next(r for r in doc["runs"]
+                           if r["system"] == "interleaved")
+        assert interleaved["conflicts"] > 0  # the baseline pays for banks
+
+    def test_write_benchmark_emits_json_file(self, tmp_path):
+        path = write_benchmark("quick", out_dir=tmp_path, quick=True)
+        assert path.name == "BENCH_quick.json"
+        doc = json.loads(path.read_text())
+        assert doc["bench"] == "quick"
+        assert doc["runs"]
+
+    def test_quick_benchmark_is_deterministic(self):
+        a = run_benchmark("quick")
+        b = run_benchmark("quick")
+        assert a == b

@@ -83,6 +83,52 @@ class TestEngine:
     def test_step_returns_false_when_empty(self):
         assert Engine().step() is False
 
+    def test_run_until_advances_now_on_empty_heap(self):
+        eng = Engine()
+        eng.run(until=10)
+        assert eng.now == 10
+
+    def test_run_until_advances_now_when_heap_all_cancelled(self):
+        # Regression: a heap holding only cancelled events used to leave
+        # `now` behind `until` (peek_time() -> None broke out of the loop
+        # without the empty-heap handling).
+        eng = Engine()
+        ev = eng.schedule(3, lambda: None)
+        ev.cancel()
+        eng.run(until=10)
+        assert eng.now == 10
+        assert eng.pending() == 0
+
+    def test_run_until_cancelled_past_until_still_advances(self):
+        eng = Engine()
+        live = []
+        eng.schedule(2, lambda: live.append("a"))
+        ev = eng.schedule(50, lambda: live.append("never"))
+        ev.cancel()
+        eng.run(until=10)
+        assert live == ["a"]
+        assert eng.now == 10
+
+    def test_run_until_never_moves_time_backwards(self):
+        eng = Engine()
+        eng.schedule(7, lambda: None)
+        eng.run()
+        assert eng.now == 7
+        eng.run(until=3)
+        assert eng.now == 7
+
+    def test_probe_observes_dispatches(self):
+        from repro.obs import RecordingProbe
+
+        eng = Engine()
+        probe = RecordingProbe()
+        eng.probe = probe
+        eng.schedule(2, lambda: None)
+        eng.schedule(5, lambda: None)
+        eng.run()
+        times = [ev.t for ev in probe.select("engine", "dispatch")]
+        assert times == [2, 5]
+
 
 class TestSlotClock:
     def test_subscribers_fire_each_slot_in_order(self):
@@ -120,3 +166,14 @@ class TestSlotClock:
         clk.reset()
         clk.advance(1)
         assert out == [1, 1]
+
+    def test_probe_observes_ticks_with_phase(self):
+        from repro.obs import RecordingProbe
+
+        clk = SlotClock(period=2)
+        probe = RecordingProbe()
+        clk.probe = probe
+        clk.advance(3)
+        ticks = probe.select("clock", "tick")
+        assert [ev.t for ev in ticks] == [1, 2, 3]
+        assert [ev.fields["phase"] for ev in ticks] == [1, 0, 1]

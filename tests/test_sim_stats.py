@@ -41,17 +41,21 @@ class TestRunningStats:
         assert s.minimum == 2.0
         assert s.maximum == 9.0
 
-    def test_empty_stats_raise(self):
+    def test_empty_stats_raise_uniformly(self):
+        # The empty-accumulator contract: every statistic raises, none
+        # silently returns a made-up value.
         s = RunningStats()
-        with pytest.raises(ValueError):
-            _ = s.mean
-        with pytest.raises(ValueError):
-            _ = s.minimum
+        for stat in ("mean", "variance", "stddev", "minimum", "maximum"):
+            with pytest.raises(ValueError, match="no samples"):
+                getattr(s, stat)
 
     def test_single_sample_zero_variance(self):
         s = RunningStats()
         s.add(3.0)
         assert s.variance == 0.0
+        assert s.stddev == 0.0
+        assert s.mean == 3.0
+        assert s.minimum == s.maximum == 3.0
 
 
 class TestHistogram:
@@ -75,10 +79,27 @@ class TestHistogram:
         h.add(1)
         with pytest.raises(ValueError):
             h.percentile(1.5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+
+    def test_percentile_extremes_are_min_and_max(self):
+        h = Histogram()
+        for v, c in ((3, 5), (7, 1), (100, 2)):
+            h.add(v, c)
+        assert h.percentile(0.0) == 3
+        assert h.percentile(1.0) == 100
+
+    def test_percentile_single_bucket(self):
+        h = Histogram()
+        h.add(42, 9)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 42
 
     def test_empty_histogram_raises(self):
         with pytest.raises(ValueError):
             Histogram().mean()
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5)
 
 
 class TestUtilization:
@@ -103,3 +124,19 @@ class TestRunSummary:
 
     def test_efficiency_zero_when_nothing_completed(self):
         assert RunSummary().efficiency(17) == 0.0
+
+    def test_as_dict_schema(self):
+        s = RunSummary(cycles=100, completed=4, retries=2, conflicts=1)
+        for lat in (10, 10, 20, 30):
+            s.latencies.add(lat)
+        d = s.as_dict()
+        assert d["cycles"] == 100 and d["completed"] == 4
+        assert d["retries"] == 2 and d["conflicts"] == 1
+        assert d["throughput"] == pytest.approx(0.04)
+        assert d["latency"]["mean"] == pytest.approx(17.5)
+        assert d["latency"]["p50"] == 10
+        assert d["latency"]["p99"] == 30
+
+    def test_as_dict_empty_latencies_are_none(self):
+        d = RunSummary(cycles=10).as_dict()
+        assert d["latency"] == {"mean": None, "p50": None, "p99": None}

@@ -67,6 +67,31 @@ class TestValidation:
         with pytest.raises(ValueError):
             Trace.loads(text)
 
+    def test_unknown_header_key_named_in_error(self):
+        # Regression: TraceHeader(**raw) used to raise an opaque TypeError.
+        t = make_trace()
+        text = t.dumps().replace('"version": 1', '"version": 1, "bogus": 7')
+        with pytest.raises(ValueError, match="unknown trace header key.*bogus"):
+            Trace.loads(text)
+
+    def test_missing_header_key_named_in_error(self):
+        t = make_trace()
+        text = t.dumps().replace('"n_procs": 4, ', "")
+        with pytest.raises(ValueError, match="missing trace header key.*n_procs"):
+            Trace.loads(text)
+
+    def test_non_object_header_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            Trace.loads("[1, 2, 3]\n")
+
+    def test_roundtrip_header_equality_after_validation(self):
+        # dumps -> loads must be the identity on both header and events.
+        t = make_trace(cycles=30, seed=7)
+        t2 = Trace.loads(t.dumps())
+        assert t2.header == t.header
+        assert t2.events == t.events
+        assert Trace.loads(t2.dumps()).dumps() == t.dumps()
+
 
 class TestReplayFairness:
     def test_identical_trace_drives_two_simulators(self):
