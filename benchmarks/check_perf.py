@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare a bench document against a baseline.
+
+Reads a ``repro-bench/1`` document that carries a ``timing`` section
+(``python -m repro bench quick --quick --timing``) and compares each run's
+ops/sec plus the total wall time against the checked-in baseline
+(``benchmarks/baseline_quick.json`` by default).  Exits 1 if any run's
+ops/sec dropped, or the total wall time grew, by more than the tolerance
+(default 30%).  ``--update`` rewrites the baseline from the given document
+instead — run it on the reference machine after an intentional perf
+change.
+
+Usage::
+
+    PYTHONPATH=src python -m repro bench quick --quick --timing --out out/
+    python benchmarks/check_perf.py out/BENCH_quick.json
+    python benchmarks/check_perf.py out/BENCH_quick.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline_quick.json"
+
+
+def load_timing(path: Path):
+    doc = json.loads(path.read_text())
+    timing = doc.get("timing")
+    if not timing:
+        raise SystemExit(
+            f"error: {path} has no 'timing' section "
+            "(run bench with --timing)"
+        )
+    return doc, timing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a bench document shows a perf regression "
+        "against the checked-in baseline.",
+    )
+    parser.add_argument("document", type=Path,
+                        help="BENCH_*.json with a timing section")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline file (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        metavar="FRAC",
+                        help="allowed fractional regression (default: 0.30)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this document")
+    args = parser.parse_args(argv)
+
+    doc, timing = load_timing(args.document)
+    if args.update:
+        baseline = {
+            "bench": doc.get("bench"),
+            "schema": doc.get("schema"),
+            "timing": timing,
+        }
+        args.baseline.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"error: no baseline at {args.baseline} (create one with "
+            "--update on the reference machine)"
+        )
+    base = json.loads(args.baseline.read_text())
+    base_timing = base["timing"]
+    if timing.get("jobs", 1) != base_timing.get("jobs", 1):
+        raise SystemExit(
+            "error: job counts differ (document "
+            f"{timing.get('jobs', 1)}, baseline "
+            f"{base_timing.get('jobs', 1)}) — pooled per-run times carry "
+            "worker startup and are not comparable across job counts"
+        )
+    tol = args.tolerance
+    failures = []
+
+    base_runs = base_timing.get("runs", [])
+    runs = timing.get("runs", [])
+    if len(runs) != len(base_runs):
+        failures.append(
+            f"run count changed: baseline {len(base_runs)}, got {len(runs)}"
+        )
+    for i, (b, r) in enumerate(zip(base_runs, runs)):
+        name = f"run[{i}] ({r.get('system', '?')})"
+        if r.get("system") != b.get("system"):
+            failures.append(
+                f"{name}: system changed (baseline {b.get('system')!r})"
+            )
+            continue
+        base_ops = float(b.get("ops_per_sec", 0.0))
+        ops = float(r.get("ops_per_sec", 0.0))
+        floor = base_ops * (1.0 - tol)
+        status = "ok"
+        if base_ops > 0 and ops < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: ops/sec {ops:,.0f} < {floor:,.0f} "
+                f"({tol:.0%} below baseline {base_ops:,.0f})"
+            )
+        print(f"{name}: {ops:,.0f} ops/s (baseline {base_ops:,.0f}) "
+              f"[{status}]")
+
+    base_wall = float(base_timing.get("wall_time_s", 0.0))
+    wall = float(timing.get("wall_time_s", 0.0))
+    ceiling = base_wall * (1.0 + tol)
+    if base_wall > 0 and wall > ceiling:
+        failures.append(
+            f"total wall time {wall:.3f}s > {ceiling:.3f}s "
+            f"({tol:.0%} above baseline {base_wall:.3f}s)"
+        )
+    print(f"total wall time: {wall:.3f}s (baseline {base_wall:.3f}s)")
+
+    if failures:
+        print("\nperf regression detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {tol:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -354,7 +354,9 @@ def _fail_unknown(kind: str, bad_id: str, valid) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.obs.bench import BENCHMARKS, write_benchmark
+    from repro.obs.bench import (
+        BENCHMARKS, benchmark_specs, write_benchmark, write_document,
+    )
 
     if args.list_benches:
         print("benchmarks:", " ".join(sorted(BENCHMARKS)))
@@ -364,7 +366,18 @@ def _cmd_bench(args) -> int:
     if unknown:
         return _fail_unknown("bench", unknown[0], BENCHMARKS)
     for name in names:
-        path = write_benchmark(name, out_dir=args.out, quick=args.quick)
+        if args.parallel > 1:
+            from repro.fastpath.parallel import sweep
+
+            doc = sweep(
+                benchmark_specs(name, quick=args.quick),
+                jobs=args.parallel, name=name,
+                quick=args.quick or name == "quick", timing=args.timing,
+            )
+            path = write_document(doc, name, out_dir=args.out)
+        else:
+            path = write_benchmark(name, out_dir=args.out, quick=args.quick,
+                                   timing=args.timing)
         print(f"wrote {path}")
     return 0
 
@@ -406,6 +419,15 @@ def main(argv=None) -> int:
     p_bench.add_argument(
         "--out", default=".", metavar="DIR",
         help="output directory for BENCH_*.json (default: cwd)",
+    )
+    p_bench.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan runs across N worker processes (results identical to "
+        "serial; default: 1)",
+    )
+    p_bench.add_argument(
+        "--timing", action="store_true",
+        help="add a wall-time/ops-per-sec 'timing' section to each document",
     )
     args = parser.parse_args(argv)
 

@@ -30,13 +30,19 @@ AddressTrackingController` implements the Chapter 4 rules.
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.block import Block, Word
 from repro.core.config import CFMConfig
+from repro.fastpath.tables import bank_orders, slot_bank_table
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import Probe
+
+#: The value an untouched bank location reads as; shared so the hot read
+#: path allocates nothing on a miss (Word is frozen, so sharing is safe).
+_INIT_WORD = Word(0, "init")
 
 
 class AccessKind(enum.Enum):
@@ -85,9 +91,13 @@ class ConflictError(RuntimeError):
     """Two accesses addressed the same bank in the same slot."""
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockAccess:
-    """One in-flight block access."""
+    """One in-flight block access.
+
+    ``slots=True``: these are allocated once per access and touched once
+    per slot — the dominant record type of the slot-accurate simulators.
+    """
 
     access_id: int
     proc: int
@@ -175,8 +185,20 @@ class CFMemory:
         self.check_conflicts = check_conflicts
         self.slot = 0
         self._next_id = 0
+        # The whole AT-space schedule, precomputed once per (b, c) shape:
+        # _table[slot % b][proc] is the bank proc addresses at that slot,
+        # _orders[first] the wrap-around visit sequence from bank `first`.
+        # Building the table also statically proves the schedule
+        # conflict-free (every row injective), which is what lets
+        # run_batch() drop the per-visit conflict dictionary.
+        self._table = slot_bank_table(config.banks_per_module, config.bank_cycle)
+        self._orders = bank_orders(config.banks_per_module)
         self.banks: List[Dict[int, Word]] = [dict() for _ in range(config.n_banks)]
+        #: Active accesses, kept sorted by processor — the deterministic
+        #: arbitration order — so tick() never re-sorts.
         self.active: List[BlockAccess] = []
+        # O(1) one-outstanding-access-per-processor enforcement.
+        self._proc_busy = [False] * config.n_procs
         self.completed: List[BlockAccess] = []
         self.aborted: List[BlockAccess] = []
         # Observability (both observational only — attaching them can never
@@ -200,7 +222,7 @@ class CFMemory:
         return self.cfg.n_banks
 
     def read_word(self, bank: int, offset: int) -> Word:
-        return self.banks[bank].get(offset, Word(0, "init"))
+        return self.banks[bank].get(offset, _INIT_WORD)
 
     def write_word(self, bank: int, offset: int, word: Word) -> None:
         self.banks[bank][offset] = word
@@ -234,7 +256,12 @@ class CFMemory:
         AT-space partition)."""
         if not 0 <= proc < self.cfg.n_procs:
             raise ValueError(f"proc {proc} out of range [0, {self.cfg.n_procs})")
-        if any(a.proc == proc for a in self.active):
+        if proc >= len(self._table[0]):
+            raise ValueError(
+                f"proc {proc} out of range for a module serving "
+                f"{self.cfg.procs_per_module_slot} processors"
+            )
+        if self._proc_busy[proc]:
             raise ValueError(f"processor {proc} already has an outstanding access")
         if kind.is_write:
             if data is None:
@@ -255,7 +282,8 @@ class CFMemory:
             on_finish=on_finish,
         )
         self._next_id += 1
-        self.active.append(acc)
+        self._proc_busy[proc] = True
+        insort(self.active, acc, key=lambda a: a.proc)
         if self.probe is not None:
             self.probe.emit(
                 "cfm", "issue", self.slot, access_id=acc.access_id,
@@ -268,6 +296,7 @@ class CFMemory:
     def _finish(self, acc: BlockAccess, state: AccessState, slot: int) -> None:
         acc.state = state
         self.active.remove(acc)
+        self._proc_busy[acc.proc] = False
         if state is AccessState.COMPLETED:
             acc.complete_slot = slot + self.cfg.bank_cycle - 1
             self.completed.append(acc)
@@ -303,12 +332,17 @@ class CFMemory:
         self.controller.on_slot(self, slot)
         banks_used: Dict[int, int] = {}
         visited: Optional[List[int]] = [] if self.metrics is not None else None
+        # The precomputed AT-space row for this slot replaces per-visit
+        # modular arithmetic (table lookups, no method dispatch).
+        row = self._table[slot % len(self._table)]
         # Processor order is the deterministic arbitration order; with the
         # AT-space schedule it is provably irrelevant (no shared banks).
-        for acc in sorted(list(self.active), key=lambda a: a.proc):
+        # `self.active` is maintained proc-sorted, so the snapshot needs no
+        # re-sort.
+        for acc in list(self.active):
             if acc.state is not AccessState.ACTIVE:
                 continue
-            bank = self.cfg.bank_for(acc.proc, slot)
+            bank = row[acc.proc]
             if visited is not None:
                 visited.append(bank)
             if self.check_conflicts:
@@ -366,6 +400,141 @@ class CFMemory:
     def run(self, slots: int) -> None:
         for _ in range(slots):
             self.tick()
+
+    # -- fast path ---------------------------------------------------------
+
+    def _fast_eligible(self) -> bool:
+        """May the batch engine stand in for tick()?
+
+        Requires: no observers (probes/metrics are defined per-slot, so
+        they pin the reference path) and a controller that overrides none
+        of the hooks — i.e. the access-control layer is provably inert.
+        """
+        if self.probe is not None or self.metrics is not None:
+            return False
+        ctrl = type(self.controller)
+        return (
+            ctrl.on_slot is AccessController.on_slot
+            and ctrl.on_bank is AccessController.on_bank
+            and ctrl.on_start is AccessController.on_start
+        )
+
+    def _batch_hazard(self) -> bool:
+        """Do two active accesses share an offset with a write involved?
+
+        Writes interleave with same-offset accesses *through the banks*,
+        bank by bank, so only the slot-by-slot path reproduces their
+        ordering (the Fig 4.1 behaviour).  Disjoint offsets — or
+        read-only sharing — cannot interact and may be batched.
+        """
+        seen: Dict[int, bool] = {}
+        for acc in self.active:
+            has_write = seen.get(acc.offset)
+            is_write = acc.kind.is_write
+            if has_write is not None and (has_write or is_write):
+                return True
+            seen[acc.offset] = is_write
+        return False
+
+    def run_batch(self, slots: int) -> None:
+        """Advance ``slots`` slots with results identical to :meth:`run`.
+
+        Three result-preserving accelerations, each falling back to
+        :meth:`tick` the moment its precondition breaks:
+
+        * **idle-slot skipping** — with nothing in flight the slot counter
+          leaps straight to the end;
+        * **per-access batching** — an undisturbed access is a straight
+          walk along a precomputed bank order, so every active access is
+          run forward to the earliest completion slot in one tight loop
+          (conflict checks are subsumed by the static row-injectivity
+          proof of the table itself);
+        * **completion-slot scheduling** — finish callbacks fire exactly
+          at their slot-accurate times, in processor order, so chained
+          re-issues land on the same slots as under :meth:`tick`.
+        """
+        if slots < 0:
+            raise ValueError(f"slots must be >= 0, got {slots}")
+        end = self.slot + slots
+        n_banks = self.cfg.banks_per_module
+        table = self._table
+        orders = self._orders
+        banks = self.banks
+        active = self.active
+        # Eligibility and the hazard set can only change through finish
+        # callbacks (issue/probe/controller swaps all happen there) or
+        # controller hooks on the slow path — so both are re-derived after
+        # those points rather than per round.
+        eligible = self._fast_eligible()
+        hazard = self._batch_hazard()
+        while self.slot < end:
+            if not eligible:
+                self.tick()
+                eligible = self._fast_eligible()
+                hazard = self._batch_hazard()
+                continue
+            if not active:
+                self.slot = end  # idle-slot skip
+                break
+            if hazard:
+                self.tick()
+                eligible = self._fast_eligible()
+                hazard = self._batch_hazard()
+                continue
+            slot = self.slot
+            # Earliest slot at which some access performs its last word.
+            next_finish = min(
+                slot + n_banks - acc.words_done - 1 for acc in active
+            )
+            target = min(next_finish, end - 1)
+            span = target - slot + 1
+            full = span == n_banks  # implies words_done == 0 for everyone
+            row = table[slot % n_banks]
+            finishers: List[BlockAccess] = []
+            # active cannot mutate inside this loop (callbacks only fire
+            # from _finish below), so no snapshot copy is needed.
+            for acc in active:
+                bank_now = row[acc.proc]
+                if acc.words_done == 0:
+                    acc.first_bank = bank_now
+                    acc.start_slot = slot
+                    # controller.on_start is the base no-op (checked by
+                    # _fast_eligible), so it is not called.
+                offset = acc.offset
+                order = orders[bank_now]
+                if acc.kind.is_write:
+                    data = acc.data
+                    assert data is not None
+                    words = data.words
+                    version = acc.version
+                    written = acc.banks_written
+                    seq = order if full else order[:span]
+                    for bank in seq:
+                        banks[bank][offset] = Word(words[bank].value, version)
+                        written.append(bank)
+                elif full:
+                    # Whole access in one round: build the result dict in
+                    # a single comprehension (the steady-state case).
+                    acc.result_words = {
+                        bank: banks[bank].get(offset, _INIT_WORD)
+                        for bank in order
+                    }
+                else:
+                    results = acc.result_words
+                    for bank in order[:span]:
+                        results[bank] = banks[bank].get(offset, _INIT_WORD)
+                acc.words_done += span
+                if acc.words_done == n_banks:
+                    finishers.append(acc)
+            # Completions observe the slot they finish in, exactly as
+            # under tick(); re-issues from callbacks join at target + 1.
+            self.slot = target
+            for acc in finishers:
+                self._finish(acc, AccessState.COMPLETED, target)
+            self.slot = target + 1
+            if finishers:
+                eligible = self._fast_eligible()
+                hazard = self._batch_hazard()
 
     def run_until_idle(self, max_slots: int = 100_000) -> int:
         """Tick until no access is active; returns slots elapsed."""

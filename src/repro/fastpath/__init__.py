@@ -1,0 +1,34 @@
+"""Fast-path simulation support.
+
+The paper's central observation — the CFM schedule is *statically
+determined* (at slot *t* processor *p* touches bank ``(t + c·p) mod b``,
+§3.1, Table 3.1) — means every per-slot modular computation the simulators
+perform can be replaced by a table lookup computed once per ``(b, c)``
+shape.  This package holds those tables plus the parallel bench runner;
+the slot-skipping and batch dispatch fast paths live on the components
+themselves (:meth:`repro.core.cfm.CFMemory.run_batch`,
+:meth:`repro.sim.engine.SlotClock.advance_until`,
+:meth:`repro.sim.engine.Engine.run_batch`).
+
+Every fast path is differentially tested against the slot-by-slot
+reference path for bit-identical traces, metrics, and bench payloads
+(``tests/test_fastpath.py``).
+"""
+
+from repro.fastpath.parallel import derive_seed, map_specs, sweep
+from repro.fastpath.tables import (
+    assert_conflict_free,
+    bank_orders,
+    shift_permutations,
+    slot_bank_table,
+)
+
+__all__ = [
+    "assert_conflict_free",
+    "bank_orders",
+    "derive_seed",
+    "map_specs",
+    "shift_permutations",
+    "slot_bank_table",
+    "sweep",
+]

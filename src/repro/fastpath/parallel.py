@@ -1,0 +1,98 @@
+"""Parallel sweep runner: fan run specs across worker processes.
+
+A benchmark sweep is embarrassingly parallel — every run spec
+(:func:`repro.obs.bench.run_spec`) is a pure function of its parameters,
+with all randomness derived from an explicit seed inside the spec.  This
+module maps specs across a :class:`multiprocessing.Pool` and merges the
+reports into one ``repro-bench/1`` document, bit-identical to a serial
+run of the same specs (asserted by the test suite for jobs ∈ {1, 2}).
+
+Worker functions are module-level so they pickle under the default
+``spawn``/``fork`` start methods; per-spec wall times ride back alongside
+the report and are merged into the document's opt-in ``timing`` section,
+never into ``runs``.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.bench import SCHEMA, run_spec
+
+RunReport = Dict[str, object]
+
+
+def derive_seed(base: int, *keys: object) -> int:
+    """A deterministic per-config seed: fold ``keys`` into ``base``.
+
+    Same derivation idiom as :func:`repro.sim.rng.derive_rng` (crc32 of the
+    key tuple) so sweep points get independent, reproducible streams no
+    matter which worker runs them or in what order."""
+    digest = zlib.crc32(repr(keys).encode("utf-8"))
+    return (int(base) * 0x9E3779B1 + digest) % (2**31 - 1)
+
+
+def _timed_run_spec(spec: Dict[str, object]) -> Tuple[RunReport, float]:
+    """Pool worker: one spec -> (report, wall seconds).  Module-level so it
+    pickles."""
+    t0 = time.perf_counter()
+    report = run_spec(spec)
+    return report, time.perf_counter() - t0
+
+
+def map_specs(
+    specs: Sequence[Dict[str, object]], jobs: int = 1
+) -> List[Tuple[RunReport, float]]:
+    """Run every spec, ``jobs`` at a time; results in spec order.
+
+    ``jobs <= 1`` runs inline (no pool, no pickling) — the degenerate case
+    the equivalence tests compare the pooled path against."""
+    if jobs <= 1 or len(specs) <= 1:
+        return [_timed_run_spec(s) for s in specs]
+    import multiprocessing as mp
+
+    with mp.Pool(processes=min(jobs, len(specs))) as pool:
+        return pool.map(_timed_run_spec, list(specs))
+
+
+def sweep(
+    specs: Sequence[Dict[str, object]],
+    jobs: int = 1,
+    name: str = "sweep",
+    quick: bool = False,
+    timing: bool = True,
+) -> Dict[str, object]:
+    """Run a spec list (optionally in parallel) into one bench document.
+
+    The document matches :func:`repro.obs.bench.run_benchmark` output:
+    ``runs`` holds the deterministic reports in spec order; wall-clock data
+    goes to the ``timing`` section only (dropped with ``timing=False`` so
+    documents can be compared across machines)."""
+    t0 = time.perf_counter()
+    results = map_specs(specs, jobs=jobs)
+    wall = time.perf_counter() - t0
+    doc: Dict[str, object] = {
+        "bench": name,
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "runs": [report for report, _ in results],
+    }
+    if timing:
+        doc["timing"] = {
+            "wall_time_s": wall,
+            "jobs": int(jobs),
+            "runs": [
+                {
+                    "system": report["system"],
+                    "wall_time_s": elapsed,
+                    "ops_per_sec": (
+                        int(report.get("completed", 0)) / elapsed
+                        if elapsed > 0 else 0.0
+                    ),
+                }
+                for report, elapsed in results
+            ],
+        }
+    return doc

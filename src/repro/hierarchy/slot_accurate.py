@@ -187,6 +187,7 @@ class SlotAccurateHierarchy:
         # The published (global-memory) value of each block, cluster-width.
         self.global_data: Dict[int, Block] = {}
         self._parked: List[Tuple[int, HierOp]] = []  # (ready_slot, op)
+        self._parked_next = -1  # earliest ready slot; -1 = nothing parked
         # In-flight intra-cluster requests, keyed by (cluster, offset):
         # the global controller consults this the way the L1 controller
         # consults processor records (§5.2.4, one level up).
@@ -252,7 +253,10 @@ class SlotAccurateHierarchy:
         # The intra-cluster attempt that discovers the L2 miss costs one
         # local block access (the first β_L of the 2β_L + β_G path).
         op.phase = HierPhase.DISCOVER
-        self._parked.append((self.slot + self.beta_local, op))
+        ready = self.slot + self.beta_local
+        self._parked.append((ready, op))
+        if self._parked_next < 0 or ready < self._parked_next:
+            self._parked_next = ready
 
     def _discovered(self, op: HierOp) -> None:
         cluster = self.cluster_of(op.gproc)
@@ -506,11 +510,16 @@ class SlotAccurateHierarchy:
     # -- engine ---------------------------------------------------------------------------
 
     def tick(self) -> None:
-        # Wake parked discovery attempts.
-        due = [op for (ready, op) in self._parked if ready <= self.slot]
-        self._parked = [(r, op) for (r, op) in self._parked if r > self.slot]
-        for op in due:
-            self._discovered(op)
+        # Wake parked discovery attempts (scanned only when the earliest
+        # ready slot has actually arrived — the common tick skips this).
+        if self._parked and self._parked_next <= self.slot:
+            due = [op for (ready, op) in self._parked if ready <= self.slot]
+            self._parked = [(r, op) for (r, op) in self._parked if r > self.slot]
+            self._parked_next = (
+                min(r for r, _ in self._parked) if self._parked else -1
+            )
+            for op in due:
+                self._discovered(op)
         for c in range(self.n_clusters):
             self._nc_step(c)
         for cs in self.clusters:

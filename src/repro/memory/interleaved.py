@@ -109,8 +109,26 @@ class RetryMemorySimulator:
             st.retries = 0
 
         module_busy = [-1] * self.n_modules if self.metrics is not None else None
+        # Idle-proc skipping: a processor with no access in service and no
+        # arrival this cycle executes the loop body as a pure no-op (and
+        # draws no randomness), so only engaged-or-arriving processors are
+        # visited — in ascending processor order, exactly like the full
+        # scan.  `engaged` tracks procs with an access in service (a
+        # non-empty queue implies one, so it needs no separate tracking).
+        # Arrival coordinates are extracted once: `arr_cols[starts[t]:
+        # starts[t+1]]` are the procs arriving at cycle t.
+        engaged: set = set()
+        arr_rows, arr_cols = np.nonzero(arrivals)
+        starts = np.searchsorted(arr_rows, np.arange(cycles + 1))
+        arr_cols_list = arr_cols.tolist()
+        starts_list = starts.tolist()
         for now in range(cycles):
-            for p in range(self.n_procs):
+            arriving = arr_cols_list[starts_list[now]:starts_list[now + 1]]
+            if engaged:
+                procs_now = sorted(engaged.union(arriving))
+            else:
+                procs_now = arriving
+            for p in procs_now:
                 st = procs[p]
                 # 1. Finish a granted access; pull the next one off the queue.
                 if st.active_module is not None and st.completion_at == now:
@@ -131,10 +149,13 @@ class RetryMemorySimulator:
                     if st.queue_len > 0:
                         st.queue_len -= 1
                         start_access(st, p, now)
+                    else:
+                        engaged.discard(p)
                 # 2. New arrival: start it, or queue it behind the active one.
                 if arrivals[now, p]:
                     if st.active_module is None:
                         start_access(st, p, now)
+                        engaged.add(p)
                     else:
                         st.queue_len += 1
                 # 3. (Re)try an ungranted access.

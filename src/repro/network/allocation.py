@@ -65,6 +65,9 @@ class AllocatedPartialCFSystem(PartialCFSystem):
         self._division_map = make_division_map(
             n_procs, self.divisions_per_module, strategy, seed
         )
+        # The precomputed division table is the source of truth for the
+        # base class's hot resource_key path — overwrite it with ours.
+        self._division = tuple(self._division_map)
 
     def division_of(self, proc: int) -> int:
         if not 0 <= proc < self.n_procs:

@@ -71,9 +71,18 @@ class OmegaNetwork:
         self.n_ports = n_ports
         self.n_stages = k
         self.switches_per_stage = n_ports // 2
+        # Paths are static per (src, dst) — memoized after first derivation.
+        self._path_cache: Dict[Tuple[int, int], List[PathHop]] = {}
 
     def route_path(self, src: int, dst: int) -> List[PathHop]:
-        """The unique path from ``src`` to ``dst`` (destination-bit routing)."""
+        """The unique path from ``src`` to ``dst`` (destination-bit routing).
+
+        Memoized: the topology is fixed, so each pair is derived once.
+        Callers must treat the returned list as read-only.
+        """
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
         if not 0 <= src < self.n_ports:
             raise ValueError(f"src {src} out of range")
         if not 0 <= dst < self.n_ports:
@@ -87,6 +96,7 @@ class OmegaNetwork:
             hops.append(PathHop(stage, switch, in_port, out_port))
             cur = (switch << 1) | out_port
         assert cur == dst, "destination-bit routing must land on dst"
+        self._path_cache[(src, dst)] = hops
         return hops
 
     def settings_for(self, pairs: Sequence[Tuple[int, int]]) -> List[List[Optional[int]]]:

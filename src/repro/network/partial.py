@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import CFMConfig
+from repro.fastpath.tables import shift_permutations
 from repro.network.omega import OmegaNetwork
 
 
@@ -127,10 +128,12 @@ class PartiallySynchronousOmega:
         """Bank within ``module`` the clock assigns ``proc`` at ``slot``.
 
         The clock-driven columns implement the per-module AT-space mapping
-        with the processor's contention-set index as its division."""
+        with the processor's contention-set index as its division; the
+        per-phase shift permutations are precomputed
+        (:func:`repro.fastpath.tables.shift_permutations`)."""
         division = self.contention_set(proc)
         bpm = self.banks_per_module
-        local = (slot + division) % bpm
+        local = shift_permutations(bpm)[slot % bpm][division]
         return module * bpm + local
 
     def header_fields(self) -> List[str]:
@@ -162,6 +165,12 @@ class PartialCFSystem:
         self.n_procs = n_procs
         self.n_modules = n_modules
         self.bank_cycle = bank_cycle
+        # Per-processor cluster/division, precomputed for the hot
+        # resource_key path of the retry simulators.  Subclasses that
+        # reassign divisions must overwrite ``self._division`` too.
+        per = self.config.procs_per_module_slot
+        self._division = tuple(p % per for p in range(n_procs))
+        self._cluster = tuple(p // per for p in range(n_procs))
 
     @property
     def divisions_per_module(self) -> int:
@@ -179,13 +188,13 @@ class PartialCFSystem:
     def cluster_of(self, proc: int) -> int:
         if not 0 <= proc < self.n_procs:
             raise ValueError(f"proc {proc} out of range")
-        return proc // self.divisions_per_module
+        return self._cluster[proc]
 
     def division_of(self, proc: int) -> int:
         """The AT-space division (= contention set) assigned to ``proc``."""
         if not 0 <= proc < self.n_procs:
             raise ValueError(f"proc {proc} out of range")
-        return proc % self.divisions_per_module
+        return self._division[proc]
 
     def local_module(self, proc: int) -> int:
         """The module co-located with ``proc``'s cluster."""
@@ -197,7 +206,7 @@ class PartialCFSystem:
         Two accesses conflict iff they target the same module *and* come
         from the same contention set while overlapping in time; members of
         one cluster never conflict (distinct divisions)."""
-        return (module, self.division_of(proc))
+        return (module, self._division[proc])
 
     def conflicts(self, proc_a: int, proc_b: int, module_a: int, module_b: int) -> bool:
         """Could simultaneous block accesses by a and b conflict?"""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.fastpath.tables import shift_permutations
 from repro.network.omega import OmegaNetwork
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import Probe
@@ -32,6 +33,8 @@ class SynchronousOmegaNetwork:
         self.net = OmegaNetwork(n_ports)
         self.n_ports = n_ports
         self._states: Dict[int, List[List[int]]] = {}
+        # One period of slot permutations, precomputed (shared per N).
+        self._perms = shift_permutations(n_ports)
         self.probe = probe
         self.metrics = metrics
         if metrics is not None:
@@ -48,14 +51,14 @@ class SynchronousOmegaNetwork:
         return self.net.n_stages
 
     def target(self, input_port: int, slot: int) -> int:
-        """The slot-defined destination: (t + i) mod N."""
+        """The slot-defined destination: (t + i) mod N (table lookup)."""
         if not 0 <= input_port < self.n_ports:
             raise ValueError(f"input port {input_port} out of range")
-        return (slot + input_port) % self.n_ports
+        return self._perms[slot % self.n_ports][input_port]
 
     def permutation(self, slot: int) -> List[int]:
         """The full connection permutation active at ``slot``."""
-        return [self.target(i, slot) for i in range(self.n_ports)]
+        return list(self._perms[slot % self.n_ports])
 
     def switch_states(self, slot: int) -> List[List[int]]:
         """states[column][switch] ∈ {0 straight, 1 interchange} at ``slot``.
@@ -77,15 +80,16 @@ class SynchronousOmegaNetwork:
 
         Contention is impossible by construction: the slot permutation is a
         bijection.  (Asserted anyway — the whole point of the design.)"""
+        row = self._perms[slot % self.n_ports]
         out: Dict[int, object] = {}
         for i, payload in payloads.items():
-            t = self.target(i, slot)
+            t = row[i]
             assert t not in out, "synchronous omega produced a collision"
             out[t] = payload
         if self.metrics is not None:
             used = set()
             for i in payloads:
-                for hop in self.net.route_path(i, self.target(i, slot)):
+                for hop in self.net.route_path(i, row[i]):
                     used.add((hop.stage, hop.switch))
             for s in range(self.net.n_stages):
                 for w in range(self.net.switches_per_stage):

@@ -260,81 +260,178 @@ def _run_cache(n_procs: int, rounds: int, seed: int = 0,
 
 
 # --------------------------------------------------------------------------
-# Benchmark registry
+# Specs: a run as data
+#
+# A *spec* is ``{"system": <SYSTEMS key>, "params": {<kwargs>}}`` — a plain
+# picklable description of one run, so a benchmark can be fanned out across
+# worker processes (:mod:`repro.fastpath.parallel`) as easily as run inline.
+# Results are a pure function of the spec (seeds live in the params), so
+# serial and parallel execution produce identical documents.
 
 
-def bench_quick(quick: bool = True) -> List[Dict[str, object]]:
-    """The smoke trajectory: one CFM run + one interleaved baseline."""
-    cycles = 2_000 if quick else 20_000
-    return [
-        _run_cfm(8, 2, cycles),
-        _run_interleaved(8, 8, rate=0.04, beta=17, cycles=cycles * 5),
-    ]
-
-
-def bench_cfm(quick: bool = False) -> List[Dict[str, object]]:
-    """Full-load CFM across the Table 3.3 shapes."""
-    shapes = [(4, 1), (8, 2), (16, 4)] if quick else [(4, 1), (8, 2), (16, 4), (32, 8)]
-    cycles = 1_000 if quick else 10_000
-    return [_run_cfm(n, c, cycles) for n, c in shapes]
-
-
-def bench_interleaved(quick: bool = False) -> List[Dict[str, object]]:
-    """Conventional-baseline rate sweep (the Fig 3.13 regime)."""
-    rates = (0.01, 0.04) if quick else (0.01, 0.02, 0.04, 0.06)
-    cycles = 5_000 if quick else 30_000
-    return [_run_interleaved(8, 8, rate=r, beta=17, cycles=cycles)
-            for r in rates]
-
-
-def bench_partial(quick: bool = False) -> List[Dict[str, object]]:
-    """Partially conflict-free sweep over locality λ (the Fig 3.14 regime)."""
-    locs = (0.0, 0.9) if quick else (0.0, 0.5, 0.9, 1.0)
-    cycles = 5_000 if quick else 30_000
-    return [_run_partial(64, 8, bank_cycle=1, rate=0.02, locality=lam,
-                         cycles=cycles) for lam in locs]
-
-
-def bench_network(quick: bool = False) -> List[Dict[str, object]]:
-    """Interconnect head-to-head: abort/retry circuit vs clock-driven omega."""
-    cycles = 2_000 if quick else 10_000
-    return [
-        _run_circuit(8, hold_cycles=17, rate=0.05, cycles=cycles),
-        _run_sync_omega(8, cycles=min(cycles, 2_000)),
-    ]
-
-
-def bench_cache(quick: bool = False) -> List[Dict[str, object]]:
-    """Coherence protocol op latency + the bank utilization underneath."""
-    rounds = 5 if quick else 25
-    return [_run_cache(4, rounds=rounds), _run_cache(8, rounds=rounds)]
-
-
-BENCHMARKS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
-    "quick": bench_quick,
-    "cfm": bench_cfm,
-    "interleaved": bench_interleaved,
-    "partial": bench_partial,
-    "network": bench_network,
-    "cache": bench_cache,
+SYSTEMS: Dict[str, Callable[..., Dict[str, object]]] = {
+    "cfm": _run_cfm,
+    "interleaved": _run_interleaved,
+    "partial": _run_partial,
+    "circuit_omega": _run_circuit,
+    "sync_omega": _run_sync_omega,
+    "cache": _run_cache,
 }
 
 
-def run_benchmark(name: str, quick: bool = False) -> Dict[str, object]:
-    """Run one registered benchmark and return its JSON document."""
-    if name not in BENCHMARKS:
+def run_spec(spec: Dict[str, object]) -> Dict[str, object]:
+    """Execute one run spec and return its run report."""
+    system = spec.get("system")
+    if system not in SYSTEMS:
         raise KeyError(
-            f"unknown benchmark {name!r} (valid: {' '.join(sorted(BENCHMARKS))})"
+            f"unknown system {system!r} (valid: {' '.join(sorted(SYSTEMS))})"
         )
-    runs = BENCHMARKS[name](quick or name == "quick")
-    return {"bench": name, "schema": SCHEMA,
-            "quick": bool(quick or name == "quick"), "runs": runs}
+    params = spec.get("params") or {}
+    return SYSTEMS[system](**params)
+
+
+def _spec(system: str, **params: object) -> Dict[str, object]:
+    return {"system": system, "params": params}
+
+
+# --------------------------------------------------------------------------
+# Benchmark registry (spec builders)
+
+
+def specs_quick(quick: bool = True) -> List[Dict[str, object]]:
+    """The smoke trajectory: one CFM run + one interleaved baseline."""
+    cycles = 2_000 if quick else 20_000
+    return [
+        _spec("cfm", n_procs=8, bank_cycle=2, cycles=cycles),
+        _spec("interleaved", n_procs=8, n_modules=8, rate=0.04, beta=17,
+              cycles=cycles * 5),
+    ]
+
+
+def specs_cfm(quick: bool = False) -> List[Dict[str, object]]:
+    """Full-load CFM across the Table 3.3 shapes."""
+    shapes = [(4, 1), (8, 2), (16, 4)] if quick else [(4, 1), (8, 2), (16, 4), (32, 8)]
+    cycles = 1_000 if quick else 10_000
+    return [_spec("cfm", n_procs=n, bank_cycle=c, cycles=cycles)
+            for n, c in shapes]
+
+
+def specs_interleaved(quick: bool = False) -> List[Dict[str, object]]:
+    """Conventional-baseline rate sweep (the Fig 3.13 regime)."""
+    rates = (0.01, 0.04) if quick else (0.01, 0.02, 0.04, 0.06)
+    cycles = 5_000 if quick else 30_000
+    return [_spec("interleaved", n_procs=8, n_modules=8, rate=r, beta=17,
+                  cycles=cycles) for r in rates]
+
+
+def specs_partial(quick: bool = False) -> List[Dict[str, object]]:
+    """Partially conflict-free sweep over locality λ (the Fig 3.14 regime)."""
+    locs = (0.0, 0.9) if quick else (0.0, 0.5, 0.9, 1.0)
+    cycles = 5_000 if quick else 30_000
+    return [_spec("partial", n_procs=64, n_modules=8, bank_cycle=1,
+                  rate=0.02, locality=lam, cycles=cycles) for lam in locs]
+
+
+def specs_network(quick: bool = False) -> List[Dict[str, object]]:
+    """Interconnect head-to-head: abort/retry circuit vs clock-driven omega."""
+    cycles = 2_000 if quick else 10_000
+    return [
+        _spec("circuit_omega", n_ports=8, hold_cycles=17, rate=0.05,
+              cycles=cycles),
+        _spec("sync_omega", n_ports=8, cycles=min(cycles, 2_000)),
+    ]
+
+
+def specs_cache(quick: bool = False) -> List[Dict[str, object]]:
+    """Coherence protocol op latency + the bank utilization underneath."""
+    rounds = 5 if quick else 25
+    return [_spec("cache", n_procs=4, rounds=rounds),
+            _spec("cache", n_procs=8, rounds=rounds)]
+
+
+BENCH_SPECS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
+    "quick": specs_quick,
+    "cfm": specs_cfm,
+    "interleaved": specs_interleaved,
+    "partial": specs_partial,
+    "network": specs_network,
+    "cache": specs_cache,
+}
+
+
+def benchmark_specs(name: str, quick: bool = False) -> List[Dict[str, object]]:
+    """The run specs of one registered benchmark."""
+    if name not in BENCH_SPECS:
+        raise KeyError(
+            f"unknown benchmark {name!r} (valid: {' '.join(sorted(BENCH_SPECS))})"
+        )
+    return BENCH_SPECS[name](quick or name == "quick")
+
+
+def _bench_runner(name: str) -> Callable[[bool], List[Dict[str, object]]]:
+    def run(quick: bool = False) -> List[Dict[str, object]]:
+        return [run_spec(s) for s in benchmark_specs(name, quick=quick)]
+    run.__name__ = f"bench_{name}"
+    run.__doc__ = BENCH_SPECS[name].__doc__
+    return run
+
+
+# Back-compat callable registry: name -> (quick) -> [run reports].
+BENCHMARKS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
+    name: _bench_runner(name) for name in BENCH_SPECS
+}
+
+
+def run_benchmark(name: str, quick: bool = False,
+                  timing: bool = False) -> Dict[str, object]:
+    """Run one registered benchmark and return its JSON document.
+
+    With ``timing=True`` the document gains a ``"timing"`` section — wall
+    time and completed-ops/sec per run plus totals.  Timing is opt-in and
+    lives outside ``runs`` so the default document stays deterministic
+    (two runs of the same benchmark compare equal)."""
+    specs = benchmark_specs(name, quick=quick)
+    doc: Dict[str, object] = {
+        "bench": name, "schema": SCHEMA,
+        "quick": bool(quick or name == "quick"),
+    }
+    if not timing:
+        doc["runs"] = [run_spec(s) for s in specs]
+        return doc
+    import time as _time
+
+    runs: List[Dict[str, object]] = []
+    per_run: List[Dict[str, object]] = []
+    t_total = _time.perf_counter()
+    for spec in specs:
+        t0 = _time.perf_counter()
+        report = run_spec(spec)
+        elapsed = _time.perf_counter() - t0
+        runs.append(report)
+        completed = int(report.get("completed", 0))
+        per_run.append({
+            "system": report["system"],
+            "wall_time_s": elapsed,
+            "ops_per_sec": completed / elapsed if elapsed > 0 else 0.0,
+        })
+    doc["runs"] = runs
+    doc["timing"] = {
+        "wall_time_s": _time.perf_counter() - t_total,
+        "runs": per_run,
+    }
+    return doc
 
 
 def write_benchmark(name: str, out_dir: Union[str, Path] = ".",
-                    quick: bool = False) -> Path:
+                    quick: bool = False, timing: bool = False) -> Path:
     """Run a benchmark and write ``BENCH_<name>.json``; returns the path."""
-    doc = run_benchmark(name, quick=quick)
+    doc = run_benchmark(name, quick=quick, timing=timing)
+    return write_document(doc, name, out_dir=out_dir)
+
+
+def write_document(doc: Dict[str, object], name: str,
+                   out_dir: Union[str, Path] = ".") -> Path:
+    """Write an already-built bench document as ``BENCH_<name>.json``."""
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     path = out / f"BENCH_{name}.json"
