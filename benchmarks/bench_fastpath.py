@@ -1,13 +1,22 @@
-"""Fast-path speedup microbench: batch engine vs slot-by-slot reference.
+"""Fast-path speedup microbench: batch engines vs slot-by-slot reference.
 
-The ISSUE-3 acceptance workload: the CFM under full load (every processor
-always has an outstanding block read, reissued from the completion
-callback) across the Table 3.3 shapes, run once through :meth:`CFMemory.
-run` and once through :meth:`CFMemory.run_batch`.  Asserts the two paths
-are bit-identical *and* that the batch engine clears >= 5x on the larger
-shapes — the differential-equivalence-plus-speedup proof, in one file.
+Three differential-equivalence-plus-speedup proofs, one per batched layer:
 
-Run standalone for the timing table::
+* **core** — the CFM under full load (every processor always has an
+  outstanding block read, reissued from the completion callback) across
+  the Table 3.3 shapes: :meth:`CFMemory.run_batch` vs :meth:`CFMemory.
+  run`, >= 5x on the larger shapes.
+* **coherence** — the cache protocol under full load (proc-private
+  offsets, every processor streaming loads and stores):
+  :meth:`CacheSystem.run_ops_batch` vs :meth:`CacheSystem.run_ops`,
+  >= 3x on the gated shape.
+* **hierarchy** — the two-level machine with all-local traffic (L2
+  seeded dirty): :meth:`SlotAccurateHierarchy.run_ops_batch` vs
+  :meth:`~SlotAccurateHierarchy.run_ops`, >= 2x.
+
+Every repeat asserts the two paths bit-identical before timing counts.
+
+Run standalone for the timing tables::
 
     PYTHONPATH=src python benchmarks/bench_fastpath.py
 
@@ -17,6 +26,7 @@ or through pytest (``pytest benchmarks/bench_fastpath.py -s``).
 from __future__ import annotations
 
 import gc
+import random
 import time
 from typing import List, Tuple
 
@@ -32,6 +42,17 @@ SHAPES = [(4, 1), (8, 2), (16, 4), (32, 8)]
 #: per-slot scan dominates.
 GATED_SHAPES = [(16, 4), (32, 8)]
 MIN_SPEEDUP = 5.0
+
+#: Coherence layer: (n_procs, bank_cycle) CacheSystem shapes; the gate
+#: applies to the last (largest) one.
+CACHE_SHAPES = [(8, 2), (16, 4)]
+MIN_CACHE_SPEEDUP = 3.0
+CACHE_ROUNDS = 60
+
+#: Hierarchy layer: (n_clusters, procs_per_cluster, bank_cycle).
+HIER_SHAPE = (4, 4, 8)
+MIN_HIER_SPEEDUP = 2.0
+HIER_ROUNDS = 40
 
 
 def _full_load(mem: CFMemory, log: List[Tuple[int, int, int]]) -> None:
@@ -113,7 +134,214 @@ def test_fastpath_equivalence(n_procs, bank_cycle):
     assert end_slow == end_fast
 
 
+# --------------------------------------------------------------------------
+# Coherence layer: CacheSystem.run_ops_batch vs run_ops
+
+
+def _cache_plan(n_procs: int, rounds: int, seed: int = 1):
+    """Full-load conflict-free op stream: every processor streams loads
+    and stores over its own four offsets, one op per round."""
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(rounds):
+        batch = []
+        for p in range(n_procs):
+            offset = p * 4 + rng.randrange(4)
+            if rng.random() < 0.5:
+                batch.append((p, "store", offset,
+                              {rng.randrange(n_procs): rng.randrange(1000)}))
+            else:
+                batch.append((p, "load", offset, None))
+        plan.append(batch)
+    return plan
+
+
+def _cache_fingerprint(sys_, ops):
+    return (
+        [(op.proc, op.kind.value, op.offset, op.issue_slot, op.done_slot,
+          op.was_hit, op.retries, op.memory_accesses,
+          None if op.result is None else [w.value for w in op.result.words])
+         for op in ops],
+        sys_.slot,
+        sys_.stats_local_hits, sys_.stats_memory_ops,
+    )
+
+
+def _run_cache_once(n_procs: int, bank_cycle: int, rounds: int, fast: bool):
+    from repro.cache.protocol import CacheSystem
+
+    sys_ = CacheSystem(n_procs, bank_cycle=bank_cycle)
+    plan = _cache_plan(n_procs, rounds)
+    all_ops = []
+    gc.collect()
+    gc.disable()
+    t0 = time.perf_counter()
+    for batch in plan:
+        ops = [sys_.load(p, off) if kind == "load"
+               else sys_.store(p, off, words)
+               for p, kind, off, words in batch]
+        if fast:
+            sys_.run_ops_batch(ops)
+        else:
+            sys_.run_ops(ops)
+        all_ops.extend(ops)
+    elapsed = time.perf_counter() - t0
+    gc.enable()
+    return _cache_fingerprint(sys_, all_ops), elapsed
+
+
+def measure_cache(rounds: int = CACHE_ROUNDS, repeats: int = 3):
+    rows = []
+    for n_procs, bank_cycle in CACHE_SHAPES:
+        t_slow = t_fast = float("inf")
+        for _ in range(repeats):
+            fp_slow, ts = _run_cache_once(n_procs, bank_cycle, rounds,
+                                          fast=False)
+            fp_fast, tf = _run_cache_once(n_procs, bank_cycle, rounds,
+                                          fast=True)
+            assert fp_slow == fp_fast, "batched epochs diverged from reference"
+            t_slow = min(t_slow, ts)
+            t_fast = min(t_fast, tf)
+        rows.append(((n_procs, bank_cycle), t_slow, t_fast,
+                     t_slow / t_fast if t_fast > 0 else float("inf")))
+    return rows
+
+
+def test_cache_batch_speedup():
+    from benchmarks._report import emit_table
+
+    rows = measure_cache()
+    emit_table(
+        f"Coherence full-load: run_ops vs run_ops_batch ({CACHE_ROUNDS} rounds)",
+        ["shape (n, c)", "slow (s)", "fast (s)", "speedup"],
+        [(f"({n}, {c})", f"{ts:.3f}", f"{tf:.3f}", f"{sp:.1f}x")
+         for (n, c), ts, tf, sp in rows],
+    )
+    shape, _, _, speedup = rows[-1]
+    assert speedup >= MIN_CACHE_SPEEDUP, (
+        f"batched epochs only {speedup:.1f}x on {shape}, "
+        f"need >= {MIN_CACHE_SPEEDUP}x"
+    )
+
+
+@pytest.mark.parametrize("n_procs,bank_cycle", CACHE_SHAPES)
+def test_cache_batch_equivalence(n_procs, bank_cycle):
+    fp_slow, _ = _run_cache_once(n_procs, bank_cycle, 12, fast=False)
+    fp_fast, _ = _run_cache_once(n_procs, bank_cycle, 12, fast=True)
+    assert fp_slow == fp_fast
+
+
+# --------------------------------------------------------------------------
+# Hierarchy layer: SlotAccurateHierarchy.run_ops_batch vs run_ops
+
+
+def _hier_plan(n_clusters: int, per: int, rounds: int, seed: int = 1):
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(rounds):
+        batch = []
+        for g in range(n_clusters * per):
+            offset = g * 4 + rng.randrange(4)
+            if rng.random() < 0.5:
+                batch.append((g, "store", offset,
+                              {rng.randrange(per): rng.randrange(1000)}))
+            else:
+                batch.append((g, "load", offset, None))
+        plan.append(batch)
+    return plan
+
+
+def _hier_fingerprint(h, ops):
+    return (
+        [(op.gproc, op.kind.value, op.offset, op.issue_slot, op.done_slot,
+          op.nc_fetches,
+          None if op.result is None else [w.value for w in op.result.words])
+         for op in ops],
+        [sorted((k, v.value) for k, v in d.items()) for d in h.l2],
+        h.slot,
+    )
+
+
+def _run_hier_once(n_clusters: int, per: int, bank_cycle: int, rounds: int,
+                   fast: bool):
+    from repro.cache.state import CacheLineState
+    from repro.core.block import Block
+    from repro.hierarchy.slot_accurate import SlotAccurateHierarchy
+
+    h = SlotAccurateHierarchy(n_clusters, per, bank_cycle=bank_cycle)
+    width = h._cluster_width()
+    for c in range(n_clusters):
+        for p in range(per):
+            base = (c * per + p) * 4
+            for off in range(base, base + 4):
+                h.clusters[c].mem.poke_block(
+                    off, Block.of_values([off + i for i in range(width)],
+                                         "seed"))
+                h.l2[c][off] = CacheLineState.DIRTY
+    plan = _hier_plan(n_clusters, per, rounds)
+    all_ops = []
+    gc.collect()
+    gc.disable()
+    t0 = time.perf_counter()
+    for batch in plan:
+        ops = [h.load(g, off) if kind == "load" else h.store(g, off, words)
+               for g, kind, off, words in batch]
+        if fast:
+            h.run_ops_batch(ops)
+        else:
+            h.run_ops(ops)
+        all_ops.extend(ops)
+    elapsed = time.perf_counter() - t0
+    gc.enable()
+    h.check_invariants()
+    return _hier_fingerprint(h, all_ops), elapsed
+
+
+def measure_hierarchy(rounds: int = HIER_ROUNDS, repeats: int = 3):
+    n_clusters, per, bank_cycle = HIER_SHAPE
+    t_slow = t_fast = float("inf")
+    for _ in range(repeats):
+        fp_slow, ts = _run_hier_once(n_clusters, per, bank_cycle, rounds,
+                                     fast=False)
+        fp_fast, tf = _run_hier_once(n_clusters, per, bank_cycle, rounds,
+                                     fast=True)
+        assert fp_slow == fp_fast, "hierarchy batch diverged from reference"
+        t_slow = min(t_slow, ts)
+        t_fast = min(t_fast, tf)
+    return t_slow, t_fast, t_slow / t_fast if t_fast > 0 else float("inf")
+
+
+def test_hierarchy_batch_speedup():
+    from benchmarks._report import emit_table
+
+    t_slow, t_fast, speedup = measure_hierarchy()
+    n_clusters, per, bank_cycle = HIER_SHAPE
+    emit_table(
+        f"Hierarchy all-local: run_ops vs run_ops_batch ({HIER_ROUNDS} rounds)",
+        ["shape (k, m, c)", "slow (s)", "fast (s)", "speedup"],
+        [(f"({n_clusters}, {per}, {bank_cycle})", f"{t_slow:.3f}",
+          f"{t_fast:.3f}", f"{speedup:.1f}x")],
+    )
+    assert speedup >= MIN_HIER_SPEEDUP, (
+        f"hierarchy batch only {speedup:.1f}x on {HIER_SHAPE}, "
+        f"need >= {MIN_HIER_SPEEDUP}x"
+    )
+
+
+def test_hierarchy_batch_equivalence():
+    fp_slow, _ = _run_hier_once(2, 4, 2, 10, fast=False)
+    fp_fast, _ = _run_hier_once(2, 4, 2, 10, fast=True)
+    assert fp_slow == fp_fast
+
+
 if __name__ == "__main__":
     for (n, c), t_slow, t_fast, speedup in measure():
-        print(f"(n={n:3d}, c={c:2d})  slow {t_slow:7.3f}s  "
+        print(f"core  (n={n:3d}, c={c:2d})  slow {t_slow:7.3f}s  "
               f"fast {t_fast:7.3f}s  {speedup:5.1f}x")
+    for (n, c), t_slow, t_fast, speedup in measure_cache():
+        print(f"cache (n={n:3d}, c={c:2d})  slow {t_slow:7.3f}s  "
+              f"fast {t_fast:7.3f}s  {speedup:5.1f}x")
+    k, m, c = HIER_SHAPE
+    t_slow, t_fast, speedup = measure_hierarchy()
+    print(f"hier  (k={k}, m={m}, c={c})  slow {t_slow:7.3f}s  "
+          f"fast {t_fast:7.3f}s  {speedup:5.1f}x")

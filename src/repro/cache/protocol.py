@@ -36,6 +36,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.block import Block, Word
 from repro.core.cfm import (
+    _INIT_WORD,
     AccessController,
     AccessKind,
     AccessState,
@@ -46,7 +47,11 @@ from repro.core.cfm import (
 from repro.core.config import CFMConfig
 from repro.cache.directory import CacheDirectory, CacheLine
 from repro.cache.state import CacheLineState
+from repro.sim.engine import SimulationTimeout
 from repro.tracking.att import AddressTrackingTable
+
+#: Sentinel "no upcoming event" slot for the batch classifiers.
+_FAR = 1 << 60
 
 
 class CpuOpKind(enum.Enum):
@@ -125,12 +130,21 @@ class _ProtocolController(AccessController):
         self._dead_ops: set = set()  # aborted ops: their entries are void
         self.triggered_writebacks = 0
         self.invalidations_sent = 0
+        # Cross-bank mirror of all live ATT entries, offset-keyed:
+        # offset -> [(op_id, last_visible_slot), ...].  Lets the batch
+        # classifier answer "any foreign entry for this offset, anywhere?"
+        # in O(1) instead of probing every bank's ATT.  Entries are
+        # age-filtered on read and garbage-collected lazily.
+        self._entry_index: Dict[int, List] = {}
+        self._index_sweep_at = 256
 
     # -- engine hooks -------------------------------------------------------
 
     def on_slot(self, mem: CFMemory, slot: int) -> None:
         for att in self.atts:
             att.prune(slot)
+        if len(self._entry_index) > self._index_sweep_at:
+            self._sweep_entry_index(slot)
         if len(self._dead_ops) > 4096:
             # Dead-op ids only matter while their entries are in some ATT.
             live_entries = {
@@ -143,6 +157,42 @@ class _ProtocolController(AccessController):
             self.atts[access.first_bank].insert(
                 access.offset, access.access_id, access.kind, slot
             )
+            capacity = self.atts[access.first_bank].capacity
+            self._entry_index.setdefault(access.offset, []).append(
+                (access.access_id, slot + capacity)
+            )
+
+    def _sweep_entry_index(self, slot: int) -> None:
+        index = self._entry_index
+        for offset in list(index):
+            live = [t for t in index[offset] if t[1] >= slot]
+            if live:
+                index[offset] = live
+            else:
+                del index[offset]
+        self._index_sweep_at = max(256, 2 * len(index))
+
+    def has_foreign_entry(self, offset: int, access_id: int, slot: int) -> bool:
+        """Any live ATT entry for ``offset`` from a different access?
+
+        Conservative w.r.t. Table 5.2: age windows and dead-op filtering
+        are ignored (a dead or out-of-window entry reads as "foreign"),
+        which can only push the caller onto the slow path, never let it
+        batch past a real interaction.
+        """
+        row = self._entry_index.get(offset)
+        if row is None:
+            return False
+        live = [t for t in row if t[1] >= slot]
+        if not live:
+            del self._entry_index[offset]
+            return False
+        if len(live) != len(row):
+            self._entry_index[offset] = live
+        for op_id, _exp in live:
+            if op_id != access_id:
+                return True
+        return False
 
     def on_bank(
         self, mem: CFMemory, access: BlockAccess, bank: int, slot: int
@@ -282,6 +332,7 @@ class CacheSystem:
         word_width: int = 32,
         probe=None,
         metrics=None,
+        hotpath=None,
     ):
         self.cfg = CFMConfig(
             n_procs=n_procs, bank_cycle=bank_cycle, word_width=word_width
@@ -298,6 +349,10 @@ class CacheSystem:
         self.stats_memory_ops = 0
         self.probe = probe
         self.metrics = metrics
+        #: Optional :class:`repro.obs.HotpathProfiler` counting how
+        #: :meth:`run_ops_batch` advanced time (layer ``"cache"``).  Purely
+        #: observational and — unlike probe/metrics — batch-compatible.
+        self.hotpath = hotpath
         if metrics is not None:
             self._op_latency = metrics.histogram("cache.op_latency")
             self._op_counters = metrics.counter("cache.ops")
@@ -407,12 +462,268 @@ class CacheSystem:
         start = self.slot
         while not done():
             if self.slot - start > max_slots:
-                raise RuntimeError("cache ops did not finish")
+                self._raise_timeout(max_slots)
             self.tick()
         return self.slot - start
 
     def run_ops(self, ops: List[CpuOp], max_slots: int = 200_000) -> None:
         self.run_until(lambda: all(op.done for op in ops), max_slots)
+
+    def _raise_timeout(self, max_slots: int) -> None:
+        stuck: List[str] = []
+        for p, st in enumerate(self.procs):
+            op = st.current_op
+            if op is not None:
+                stuck.append(
+                    f"proc {p} {op.kind.value}@{op.offset} "
+                    f"phase={op.phase.value} retries={op.retries} "
+                    f"reissue_at={st.reissue_at}"
+                )
+            if st.wb_queue:
+                stuck.append(f"proc {p} wb_queue={list(st.wb_queue)}")
+            if st.cpu_queue:
+                stuck.append(f"proc {p} {len(st.cpu_queue)} ops queued")
+        detail = "; ".join(stuck) if stuck else "no op in flight"
+        raise SimulationTimeout(
+            f"cache ops did not finish within {max_slots} slots "
+            f"(now at slot {self.slot}); stuck: {detail}",
+            slot=self.slot, max_slots=max_slots, stuck=stuck,
+        )
+
+    # -- batched epochs (stage-2 fastpath) -----------------------------------
+
+    def run_ops_batch(self, ops: List[CpuOp], max_slots: int = 200_000) -> None:
+        """Drive ``ops`` to completion, result-identical to :meth:`run_ops`.
+
+        Groups execution into AT-period *epochs*: whenever every in-flight
+        access is provably free of coherence interactions (no shared
+        offsets, no live foreign ATT entries, no remote cached copies) and
+        no processor-side event is due, the whole stretch up to the next
+        event is serviced in one pass over the precomputed bank orders —
+        exactly the walk :meth:`CFMemory.run_batch` performs — with
+        completion callbacks fired at their slot-accurate times.  Any slot
+        with potential coherence action (invalidations, write-backs,
+        retries, sync ops) falls back to :meth:`tick`.
+
+        The differential tests in ``tests/test_fastpath_stage2.py`` pin
+        completion streams, directory/memory state, and stats to the
+        per-slot reference.
+        """
+        start = self.slot
+        remaining = [op for op in ops if not op.done]
+        while remaining:
+            if self.slot - start > max_slots:
+                self._raise_timeout(max_slots)
+            self._batch_step()
+            remaining = [op for op in remaining if not op.done]
+
+    def _batch_step(self) -> None:
+        """Advance one epoch: a batch span, or one reference tick."""
+        hp = self.hotpath
+        if (
+            self.probe is not None
+            or self.metrics is not None
+            or self.mem.probe is not None
+            or self.mem.metrics is not None
+        ):
+            # Observers define per-slot event streams: stay on the
+            # reference path (same rule as CFMemory._fast_eligible).
+            if hp is not None:
+                hp.count("cache", "tick.observed")
+            self.tick()
+            return
+        slot = self.slot
+        cpu_next = self._cpu_next_slot(slot)
+        if cpu_next <= slot:
+            # A processor acts this very slot (issue, local-hit completion,
+            # write-back queue, reissue): expected per-slot work.
+            if hp is not None:
+                hp.count("cache", "tick.cpu")
+            self.tick()
+            return
+        mem_next = self._mem_next_finish(slot)
+        if mem_next < slot:
+            if hp is not None:
+                hp.count("cache", "tick.sync")
+            self.tick()
+            return
+        target = mem_next if mem_next < cpu_next - 1 else cpu_next - 1
+        if target >= _FAR - 1:
+            # No upcoming event at all: nothing can ever complete.  Tick so
+            # the slot counter moves and the timeout guard reports it.
+            if hp is not None:
+                hp.count("cache", "fallback.stall")
+            self.tick()
+            return
+        if self.mem.active:
+            if not self._batch_clean(slot):
+                if hp is not None:
+                    hp.count("cache", "fallback.hazard")
+                self.tick()
+                return
+            if hp is not None:
+                hp.count("cache", "batched_slots", target - slot + 1)
+        elif hp is not None:
+            hp.count("cache", "skipped_slots", target - slot + 1)
+        self._advance_span(target)
+
+    def _cpu_next_slot(self, slot: int) -> int:
+        """Earliest slot at which some processor state machine acts.
+
+        Mirrors :meth:`_advance_proc` case by case; returns ``slot`` when
+        a processor acts *now* and ``_FAR`` when nothing is scheduled.
+        """
+        nxt = _FAR
+        for st in self.procs:
+            op = st.current_op
+            lda = st.local_done_at
+            if op is not None and lda >= slot:
+                if lda < nxt:
+                    nxt = lda
+            if st.current_access is not None:
+                continue  # woken by the access's completion, a memory event
+            if st.wb_queue:
+                return slot  # triggered write-backs issue immediately
+            if op is None:
+                if st.cpu_queue:
+                    return slot  # a queued op issues this slot
+                continue
+            if lda >= slot:
+                continue  # only the scheduled local completion remains
+            if op.phase is OpPhase.MEMORY or op.phase is OpPhase.VICTIM_WB:
+                ev = st.reissue_at
+                if ev <= slot:
+                    return slot
+                if ev < nxt:
+                    nxt = ev
+                continue
+            return slot  # unmodelled in-between state: defer to tick()
+        return nxt
+
+    def _mem_next_finish(self, slot: int) -> int:
+        """Earliest completion slot among in-flight accesses.
+
+        ``_FAR`` when nothing is in flight; ``slot - 1`` (i.e. "tick now")
+        if any access has not performed its first word yet — its ATT
+        insertion must go through the reference path.
+        """
+        active = self.mem.active
+        if not active:
+            return _FAR
+        n_banks = self.cfg.n_banks
+        most_done = 0
+        for acc in active:
+            done = acc.words_done
+            if done == 0:
+                return slot - 1
+            if done > most_done:
+                most_done = done
+        return slot + n_banks - most_done - 1
+
+    def _batch_clean(self, slot: int) -> bool:
+        """Is every in-flight access provably free of coherence actions?
+
+        Sufficient conditions per access, derived from
+        :meth:`_ProtocolController.on_bank` (Table 5.2 + directory rules):
+
+        * offsets pairwise distinct, except plain READ/READ sharing (the
+          only same-offset pair with no rule and no data interleaving);
+        * no live ATT entry for the offset from any other access
+          (conservative superset of the Table 5.2 age windows);
+        * no remote directory holds the offset — DIRTY triggers a
+          write-back for any kind, and for READ_INVALIDATE even a VALID
+          copy means an invalidation must be performed in passing;
+        * WRITE_BACK accesses detect nothing themselves (Table 5.2) —
+          their interactions are covered by the *other* accesses' checks.
+
+        Waiting (not in-flight) remote ops need no check: the span ends
+        strictly before any of them acts, and in-passing rules only read
+        ``current_access``, never queued state.
+        """
+        dirs = self.dirs
+        n_procs = self.cfg.n_procs
+        ctrl = self.controller
+        active = self.mem.active
+        kinds: Dict[int, AccessKind] = {}
+        for acc in active:
+            prev = kinds.get(acc.offset)
+            if prev is not None and (
+                prev is not AccessKind.READ or acc.kind is not AccessKind.READ
+            ):
+                return False
+            kinds[acc.offset] = acc.kind
+        for acc in active:
+            kind = acc.kind
+            if kind is AccessKind.WRITE_BACK:
+                continue
+            offset = acc.offset
+            if ctrl.has_foreign_entry(offset, acc.access_id, slot):
+                return False
+            proc = acc.proc
+            if kind is AccessKind.READ_INVALIDATE:
+                for q in range(n_procs):
+                    if q != proc and dirs[q].lookup(offset) is not None:
+                        return False
+            else:  # READ: only a remote dirty copy triggers an action
+                for q in range(n_procs):
+                    if q != proc and (
+                        dirs[q].state_of(offset) is CacheLineState.DIRTY
+                    ):
+                        return False
+        return True
+
+    def _advance_span(self, target: int) -> int:
+        """Run every in-flight access forward through slot ``target``.
+
+        The exact inner loop of :meth:`CFMemory.run_batch`: each access is
+        a straight walk along its precomputed bank order (consecutive
+        slots visit consecutive banks), so the span is serviced per access
+        instead of per slot.  Completions all land exactly at ``target``
+        (the span never extends past the earliest finisher) and fire in
+        processor order with ``slot`` set the way :meth:`tick` would.
+
+        Returns the number of completions fired, so callers batching
+        *above* this layer (the hierarchy) know whether the cluster's
+        cached classification is still valid.
+        """
+        mem = self.mem
+        slot = mem.slot
+        active = mem.active
+        if active:
+            n_banks = mem.cfg.banks_per_module
+            orders = mem._orders
+            banks = mem.banks
+            row = mem._table[slot % n_banks]
+            span = target - slot + 1
+            finishers: List[BlockAccess] = []
+            for acc in active:
+                order = orders[row[acc.proc]]
+                offset = acc.offset
+                remaining = n_banks - acc.words_done
+                steps = span if span < remaining else remaining
+                if acc.kind.is_write:
+                    data = acc.data
+                    assert data is not None
+                    words = data.words
+                    version = acc.version
+                    written = acc.banks_written
+                    for bank in order[:steps]:
+                        banks[bank][offset] = Word(words[bank].value, version)
+                        written.append(bank)
+                else:
+                    results = acc.result_words
+                    for bank in order[:steps]:
+                        results[bank] = banks[bank].get(offset, _INIT_WORD)
+                acc.words_done += steps
+                if acc.words_done == n_banks:
+                    finishers.append(acc)
+            mem.slot = target
+            for acc in finishers:
+                mem._finish(acc, AccessState.COMPLETED, target)
+            mem.slot = target + 1
+            return len(finishers)
+        mem.slot = target + 1
+        return 0
 
     # -- per-processor state machine -------------------------------------------------
 

@@ -353,9 +353,28 @@ def _fail_unknown(kind: str, bad_id: str, valid) -> int:
     return 2
 
 
+def _print_hotpath(doc) -> None:
+    """One occupancy line per profiled run of a bench document."""
+    for run in doc.get("runs", []):
+        hp = run.get("hotpath")
+        if not hp:
+            continue
+        for layer, occ in hp.get("occupancy", {}).items():
+            fallbacks = sum(
+                n for event, n in hp["counters"].get(layer, {}).items()
+                if event.startswith("fallback.")
+            )
+            print(f"  hotpath {run['system']}/{layer}: "
+                  f"batched={occ['batched']} skipped={occ['skipped']} "
+                  f"ticked={occ['ticked']} "
+                  f"({occ['batched_frac']:.0%} off the slow path), "
+                  f"fallbacks={fallbacks}")
+
+
 def _cmd_bench(args) -> int:
     from repro.obs.bench import (
-        BENCHMARKS, benchmark_specs, write_benchmark, write_document,
+        BENCHMARKS, PROFILABLE_SYSTEMS, benchmark_specs, run_benchmark,
+        write_document,
     )
 
     if args.list_benches:
@@ -369,16 +388,22 @@ def _cmd_bench(args) -> int:
         if args.parallel > 1:
             from repro.fastpath.parallel import sweep
 
+            specs = benchmark_specs(name, quick=args.quick)
+            if args.profile:
+                for spec in specs:
+                    if spec["system"] in PROFILABLE_SYSTEMS:
+                        spec["params"]["profile"] = True
             doc = sweep(
-                benchmark_specs(name, quick=args.quick),
-                jobs=args.parallel, name=name,
+                specs, jobs=args.parallel, name=name,
                 quick=args.quick or name == "quick", timing=args.timing,
             )
-            path = write_document(doc, name, out_dir=args.out)
         else:
-            path = write_benchmark(name, out_dir=args.out, quick=args.quick,
-                                   timing=args.timing)
+            doc = run_benchmark(name, quick=args.quick, timing=args.timing,
+                                profile=args.profile)
+        path = write_document(doc, name, out_dir=args.out)
         print(f"wrote {path}")
+        if args.profile:
+            _print_hotpath(doc)
     return 0
 
 
@@ -428,6 +453,11 @@ def main(argv=None) -> int:
     p_bench.add_argument(
         "--timing", action="store_true",
         help="add a wall-time/ops-per-sec 'timing' section to each document",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="attach the hot-path profiler to runs that support it and "
+        "add a deterministic 'hotpath' section (counters + occupancy)",
     )
     args = parser.parse_args(argv)
 

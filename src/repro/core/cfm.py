@@ -39,6 +39,7 @@ from repro.core.config import CFMConfig
 from repro.fastpath.tables import bank_orders, slot_bank_table
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import Probe
+from repro.sim.engine import SimulationTimeout
 
 #: The value an untouched bank location reads as; shared so the hot read
 #: path allocates nothing on a miss (Word is frozen, so sharing is safe).
@@ -205,6 +206,10 @@ class CFMemory:
         # change a simulation result, and `is None` is the whole cost when off).
         self.probe = probe
         self.metrics = metrics
+        #: Optional :class:`repro.obs.HotpathProfiler`.  Unlike probe and
+        #: metrics this does *not* pin the per-slot path: it only counts
+        #: how run_batch() advanced time, never what the simulation did.
+        self.hotpath = None
         if metrics is not None:
             self._bank_util = [
                 metrics.utilization(f"cfm.bank[{k}].util")
@@ -467,16 +472,23 @@ class CFMemory:
         # those points rather than per round.
         eligible = self._fast_eligible()
         hazard = self._batch_hazard()
+        hp = self.hotpath
         while self.slot < end:
             if not eligible:
+                if hp is not None:
+                    hp.count("cfm", "tick.pinned")
                 self.tick()
                 eligible = self._fast_eligible()
                 hazard = self._batch_hazard()
                 continue
             if not active:
+                if hp is not None:
+                    hp.count("cfm", "skipped_slots", end - self.slot)
                 self.slot = end  # idle-slot skip
                 break
             if hazard:
+                if hp is not None:
+                    hp.count("cfm", "fallback.hazard")
                 self.tick()
                 eligible = self._fast_eligible()
                 hazard = self._batch_hazard()
@@ -532,6 +544,8 @@ class CFMemory:
             for acc in finishers:
                 self._finish(acc, AccessState.COMPLETED, target)
             self.slot = target + 1
+            if hp is not None:
+                hp.count("cfm", "batched_slots", span)
             if finishers:
                 eligible = self._fast_eligible()
                 hazard = self._batch_hazard()
@@ -541,7 +555,16 @@ class CFMemory:
         start = self.slot
         while self.active:
             if self.slot - start > max_slots:
-                raise RuntimeError(f"accesses still active after {max_slots} slots")
+                stuck = [
+                    f"proc {a.proc} {a.kind.value}@{a.offset} "
+                    f"words_done={a.words_done}"
+                    for a in self.active
+                ]
+                raise SimulationTimeout(
+                    f"accesses still active after {max_slots} slots: "
+                    + "; ".join(stuck),
+                    slot=self.slot, max_slots=max_slots, stuck=stuck,
+                )
             self.tick()
         return self.slot - start
 

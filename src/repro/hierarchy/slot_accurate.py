@@ -47,6 +47,10 @@ from repro.core.cfm import (
 from repro.core.config import CFMConfig
 from repro.hierarchy.controller import EventType, NetworkController
 from repro.hierarchy.hierarchical import IllegalStateCombination, _LEGAL
+from repro.sim.engine import SimulationTimeout
+
+#: Sentinel "no upcoming event" slot (matches repro.cache.protocol._FAR).
+_FAR = 1 << 60
 
 
 class HierOpKind(enum.Enum):
@@ -166,14 +170,15 @@ class SlotAccurateHierarchy:
     RETRY_DELAY = 2
 
     def __init__(self, n_clusters: int, procs_per_cluster: int,
-                 n_lines: int = 64):
+                 n_lines: int = 64, bank_cycle: int = 1, hotpath=None):
         if n_clusters < 2 or procs_per_cluster < 1:
             raise ValueError("need >= 2 clusters and >= 1 processor each")
         self.n_clusters = n_clusters
         self.per = procs_per_cluster
         self.n_procs = n_clusters * procs_per_cluster
         self.clusters = [
-            CacheSystem(procs_per_cluster, n_lines=n_lines)
+            CacheSystem(procs_per_cluster, bank_cycle=bank_cycle,
+                        n_lines=n_lines)
             for _ in range(n_clusters)
         ]
         self.global_controller = _GlobalController(self)
@@ -192,6 +197,13 @@ class SlotAccurateHierarchy:
         # the global controller consults this the way the L1 controller
         # consults processor records (§5.2.4, one level up).
         self._cluster_inflight: Dict[Tuple[int, int], List[HierOp]] = {}
+        self.hotpath = hotpath  # optional HotpathProfiler; never alters results
+        # Batch classifier memo, one (cpu_next, mem_next) pair per cluster,
+        # recorded only for hazard-free clusters.  Both are absolute slots,
+        # invariant while the cluster only streams (hazards need a state
+        # change), so the memo survives spans and is dropped on any tick,
+        # new issue, or completion in that cluster.
+        self._span_cache: List[Optional[Tuple[int, int]]] = [None] * n_clusters
         self.slot = 0
 
     # -- topology -----------------------------------------------------------
@@ -299,6 +311,7 @@ class SlotAccurateHierarchy:
     def _issue_cluster_op(self, op: HierOp) -> None:
         op.phase = HierPhase.CLUSTER
         cluster = self.cluster_of(op.gproc)
+        self._span_cache[cluster] = None
         local = self.local_of(op.gproc)
         cs = self.clusters[cluster]
         if op.kind is HierOpKind.LOAD:
@@ -510,6 +523,9 @@ class SlotAccurateHierarchy:
     # -- engine ---------------------------------------------------------------------------
 
     def tick(self) -> None:
+        # A reference slot may do anything; drop every batch memo.
+        for c in range(self.n_clusters):
+            self._span_cache[c] = None
         # Wake parked discovery attempts (scanned only when the earliest
         # ready slot has actually arrived — the common tick skips this).
         if self._parked and self._parked_next <= self.slot:
@@ -531,12 +547,146 @@ class SlotAccurateHierarchy:
         start = self.slot
         while not done():
             if self.slot - start > max_slots:
-                raise RuntimeError("hierarchical ops did not finish")
+                self._raise_timeout(max_slots)
             self.tick()
         return self.slot - start
 
     def run_ops(self, ops: List[HierOp], max_slots: int = 300_000) -> None:
         self.run_until(lambda: all(op.done for op in ops), max_slots)
+
+    def _raise_timeout(self, max_slots: int) -> None:
+        stuck: List[str] = []
+        for ready, op in self._parked:
+            stuck.append(
+                f"gproc {op.gproc} {op.kind.value}@{op.offset} "
+                f"parked until slot {ready}"
+            )
+        for c, nc in enumerate(self.ncs):
+            if nc.current is not None:
+                stuck.append(
+                    f"NC {c} {nc.current.kind.value}@{nc.current.offset} "
+                    f"retry_at={nc.retry_at}"
+                )
+            if len(nc.queue):
+                stuck.append(f"NC {c} {len(nc.queue)} events queued")
+        for (cluster, offset), ops in self._cluster_inflight.items():
+            for op in ops:
+                stuck.append(
+                    f"gproc {op.gproc} {op.kind.value}@{offset} "
+                    f"in flight in cluster {cluster}"
+                )
+        raise SimulationTimeout(
+            f"hierarchical ops did not finish within {max_slots} slots "
+            f"(slot {self.slot}): " + ("; ".join(stuck) or "no pending work"),
+            slot=self.slot, max_slots=max_slots, stuck=stuck,
+        )
+
+    # -- batched epochs (fastpath stage 2) ------------------------------------
+
+    def run_ops_batch(self, ops: List[HierOp], max_slots: int = 300_000) -> None:
+        """Drive ``ops`` to completion, batching conflict-free local spans.
+
+        Bit-identical to :meth:`run_ops`: every slot with hierarchy-level
+        work (NC transactions, parked wakeups, global traffic) runs through
+        the reference :meth:`tick`; only spans where *all* activity is
+        provably conflict-free intra-cluster streaming are leapt, reusing
+        each cluster's AT tables via ``CacheSystem._advance_span`` with the
+        three slot counters (hierarchy, clusters, global) kept in lockstep.
+        """
+        start = self.slot
+        remaining = [op for op in ops if not op.done]
+        while remaining:
+            if self.slot - start > max_slots:
+                self._raise_timeout(max_slots)
+            self._batch_step()
+            remaining = [op for op in remaining if not op.done]
+
+    def _batch_step(self) -> None:
+        hp = self.hotpath
+        slot = self.slot
+        if self._parked and self._parked_next <= slot:
+            if hp is not None:
+                hp.count("hier", "tick.cpu")
+            self.tick()
+            return
+        for nc in self.ncs:
+            if (
+                nc.current is not None
+                or len(nc.queue)
+                or nc.flushing_op is not None
+                or nc.global_access is not None
+            ):
+                if hp is not None:
+                    hp.count("hier", "tick.nc")
+                self.tick()
+                return
+        if self.global_mem.active:
+            # Inter-cluster traffic in flight: the global controller reads
+            # L2 directories and cluster inflight records every bank slot.
+            if hp is not None:
+                hp.count("hier", "fallback.global")
+            self.tick()
+            return
+        nxt = _FAR
+        if self._parked:
+            nxt = self._parked_next - 1  # span must stop before the wakeup
+        cache = self._span_cache
+        for c, cs in enumerate(self.clusters):
+            if (
+                cs.probe is not None or cs.metrics is not None
+                or cs.mem.probe is not None or cs.mem.metrics is not None
+            ):
+                if hp is not None:
+                    hp.count("hier", "tick.observed")
+                self.tick()
+                return
+            memo = cache[c]
+            if memo is None:
+                c_cpu = cs._cpu_next_slot(slot)
+                c_mem = cs._mem_next_finish(slot)
+                if c_mem < slot:
+                    if hp is not None:
+                        hp.count("hier", "tick.sync")
+                    self.tick()
+                    return
+                if c_cpu > slot:
+                    if cs.mem.active and not cs._batch_clean(slot):
+                        if hp is not None:
+                            hp.count("hier", "fallback.hazard")
+                        self.tick()
+                        return
+                    cache[c] = (c_cpu, c_mem)
+            else:
+                c_cpu, c_mem = memo
+            if c_cpu <= slot:
+                # The cluster's processor-side event is due this very slot
+                # (cached events are absolute, so this also catches a span
+                # that just landed on one).
+                if hp is not None:
+                    hp.count("hier", "tick.cpu")
+                self.tick()
+                return
+            if c_cpu - 1 < nxt:
+                nxt = c_cpu - 1
+            if c_mem < nxt:
+                nxt = c_mem
+        if nxt >= _FAR - 1:
+            if hp is not None:
+                hp.count("hier", "fallback.stall")
+            self.tick()
+            return
+        target = nxt
+        # Lockstep leap: the hierarchy slot must equal ``target`` while the
+        # cluster spans fire their finishers, so _cluster_done records the
+        # same done_slot the reference path would.
+        self.slot = target
+        for c, cs in enumerate(self.clusters):
+            if cs._advance_span(target):
+                cache[c] = None  # completions changed directory state
+        self.global_mem.slot = target + 1  # its on_slot is the base no-op
+        self.slot = target + 1
+        if hp is not None:
+            hp.count("hier", "batched_slots", target - slot + 1)
 
     # -- invariants ---------------------------------------------------------------------------
 

@@ -10,12 +10,16 @@ Three layers, all off by default and zero-cost when disabled:
 * :mod:`repro.obs.bench` — the unified benchmark registry behind
   ``python -m repro bench``, writing ``BENCH_<name>.json`` trajectories.
   (Imported lazily: ``from repro.obs import bench``.)
+* :mod:`repro.obs.hotpath` — :class:`HotpathProfiler`, deterministic
+  batch/tick/fallback counters for the stage-2 fastpath layers; unlike
+  probes it never forces the per-slot path (``repro bench --profile``).
 
 :mod:`repro.obs.artifacts` additionally mirrors every table/series the
 reporting layer prints into structured records (see ``REPRO_BENCH_JSONL``).
 """
 
 from repro.obs.artifacts import artifacts, drain_artifacts, record_artifact
+from repro.obs.hotpath import HotpathProfiler
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import (
     CountingProbe,
@@ -28,6 +32,7 @@ from repro.obs.probe import (
 )
 
 __all__ = [
+    "HotpathProfiler",
     "MetricsRegistry",
     "Probe",
     "ProbeEvent",

@@ -226,37 +226,154 @@ def _run_sync_omega(n_ports: int, cycles: int,
 
 
 def _run_cache(n_procs: int, rounds: int, seed: int = 0,
+               workload: str = "mix", profile: bool = False,
                probe: Optional[Probe] = None) -> Dict[str, object]:
-    """Coherent-cache op mix (loads + stores over a small shared set)."""
+    """Coherent-cache op stream, dispatched through the batched epochs.
+
+    ``workload="mix"`` is the original loads+stores over a small shared
+    set; ``"private"`` gives every processor its own offsets (conflict-free
+    — the regime where the batch path must never fall back).  Results are
+    bit-identical to the per-slot reference either way; ``profile=True``
+    additionally attaches a :class:`HotpathProfiler` and exports its
+    counters under ``"hotpath"``.
+    """
     from repro.cache.protocol import CacheSystem
+    from repro.obs.hotpath import HotpathProfiler
     from repro.sim.rng import derive_rng
     from repro.sim.stats import RunSummary
 
+    if workload not in ("mix", "private"):
+        raise ValueError(f"unknown cache workload {workload!r}")
+    # Metrics pin every slot to the per-slot reference path (tick.observed)
+    # — with the profiler attached the registry stays off, so the batch
+    # path actually runs and there is something to profile.
     metrics = MetricsRegistry()
-    sys_ = CacheSystem(n_procs, probe=probe, metrics=metrics)
+    hotpath = HotpathProfiler() if profile else None
+    sys_ = CacheSystem(n_procs, probe=probe,
+                       metrics=None if profile else metrics,
+                       hotpath=hotpath)
     rng = derive_rng(seed, "bench.cache", n_procs, rounds)
     summary = RunSummary()
     ops = []
     for _ in range(rounds):
         for p in range(n_procs):
-            offset = int(rng.integers(0, 4))
+            if workload == "private":
+                offset = p * 4 + int(rng.integers(0, 4))
+            else:
+                offset = int(rng.integers(0, 4))
             if rng.random() < 0.3:
                 ops.append(sys_.store(p, offset, {0: p + 1}))
             else:
                 ops.append(sys_.load(p, offset))
     start = sys_.slot
-    sys_.run_ops(ops)
+    sys_.run_ops_batch(ops)
     summary.cycles = sys_.slot - start
     summary.completed = len(ops)
     for op in ops:
         summary.latencies.add(op.latency)
-    return _run_report(
+    report = _run_report(
         "cache",
         {"n_procs": n_procs, "rounds": rounds, "seed": seed,
-         "workload": "load_store_mix", "local_hits": sys_.stats_local_hits,
+         "workload": "load_store_mix" if workload == "mix"
+         else "private_stream",
+         "local_hits": sys_.stats_local_hits,
          "memory_ops": sys_.stats_memory_ops},
         summary, metrics, "cfm.bank",
     )
+    if hotpath is not None:
+        report["hotpath"] = {
+            "counters": hotpath.snapshot(),
+            "occupancy": hotpath.occupancy(),
+        }
+    return report
+
+
+def _run_hierarchy(n_clusters: int, procs_per_cluster: int, rounds: int,
+                   seed: int = 0, bank_cycle: int = 1,
+                   workload: str = "local", profile: bool = False,
+                   probe: Optional[Probe] = None) -> Dict[str, object]:
+    """Two-level hierarchy op stream through the batched epochs.
+
+    ``workload="local"`` seeds every processor's private offsets DIRTY in
+    its cluster's L2, so all traffic stays intra-cluster (conflict-free:
+    zero fallbacks expected); ``"global"`` shares unseeded offsets across
+    clusters, exercising the NC fetch/write-back chains (mostly slow
+    path, by construction).  ``probe`` is accepted for signature parity
+    but unused — the hierarchy's clusters are internal.
+    """
+    from repro.cache.state import CacheLineState
+    from repro.core.block import Block
+    from repro.hierarchy.slot_accurate import SlotAccurateHierarchy
+    from repro.obs.hotpath import HotpathProfiler
+    from repro.sim.rng import derive_rng
+    from repro.sim.stats import RunSummary
+
+    if workload not in ("local", "global"):
+        raise ValueError(f"unknown hierarchy workload {workload!r}")
+    hotpath = HotpathProfiler() if profile else None
+    hier = SlotAccurateHierarchy(
+        n_clusters, procs_per_cluster, bank_cycle=bank_cycle,
+        hotpath=hotpath,
+    )
+    if workload == "local":
+        width = hier._cluster_width()
+        for c in range(n_clusters):
+            for p in range(procs_per_cluster):
+                base = (c * procs_per_cluster + p) * 4
+                for off in range(base, base + 4):
+                    hier.clusters[c].mem.poke_block(
+                        off, Block.of_values([off + i for i in range(width)],
+                                             "seed"))
+                    hier.l2[c][off] = CacheLineState.DIRTY
+    rng = derive_rng(seed, "bench.hierarchy", n_clusters, procs_per_cluster,
+                     rounds)
+    summary = RunSummary()
+    ops = []
+    for _ in range(rounds):
+        round_ops = []
+        for g in range(hier.n_procs):
+            if workload == "local":
+                offset = g * 4 + int(rng.integers(0, 4))
+            else:
+                offset = int(rng.integers(0, 6))
+            if rng.random() < 0.5:
+                round_ops.append(hier.store(
+                    g, offset, {int(rng.integers(0, procs_per_cluster)):
+                                g + 1}))
+            else:
+                round_ops.append(hier.load(g, offset))
+        hier.run_ops_batch(round_ops)
+        ops.extend(round_ops)
+    summary.cycles = hier.slot
+    summary.completed = len(ops)
+    for op in ops:
+        summary.latencies.add(op.latency)
+    metrics = MetricsRegistry()  # the hierarchy carries no registry (yet)
+    report = _run_report(
+        "hierarchy",
+        {"n_clusters": n_clusters, "procs_per_cluster": procs_per_cluster,
+         "bank_cycle": bank_cycle, "rounds": rounds, "seed": seed,
+         "workload": f"{workload}_stream",
+         "nc_invalidations": hier.global_controller.invalidations_sent,
+         "nc_l2_writebacks": hier.global_controller.triggered_l2_writebacks},
+        summary, metrics, "cfm.bank",
+    )
+    # A block access occupies every bank of its cluster CFM for exactly
+    # one slot, so memory-op counts ARE per-bank busy slots — utilization
+    # without attaching a registry (which would pin the per-slot path).
+    util: Dict[str, float] = {}
+    if hier.slot:
+        for c, cs in enumerate(hier.clusters):
+            util[f"cluster[{c}].bank"] = cs.stats_memory_ops / hier.slot
+    if util:
+        util["mean"] = sum(util.values()) / len(util)
+    report["utilization"] = util
+    if hotpath is not None:
+        report["hotpath"] = {
+            "counters": hotpath.snapshot(),
+            "occupancy": hotpath.occupancy(),
+        }
+    return report
 
 
 # --------------------------------------------------------------------------
@@ -276,7 +393,11 @@ SYSTEMS: Dict[str, Callable[..., Dict[str, object]]] = {
     "circuit_omega": _run_circuit,
     "sync_omega": _run_sync_omega,
     "cache": _run_cache,
+    "hierarchy": _run_hierarchy,
 }
+
+#: Systems whose runners accept ``profile=True`` (``repro bench --profile``).
+PROFILABLE_SYSTEMS = frozenset({"cache", "hierarchy"})
 
 
 def run_spec(spec: Dict[str, object]) -> Dict[str, object]:
@@ -299,12 +420,16 @@ def _spec(system: str, **params: object) -> Dict[str, object]:
 
 
 def specs_quick(quick: bool = True) -> List[Dict[str, object]]:
-    """The smoke trajectory: one CFM run + one interleaved baseline."""
+    """The smoke trajectory: CFM + interleaved baseline + one run through
+    each batched layer (cache protocol, two-level hierarchy)."""
     cycles = 2_000 if quick else 20_000
+    rounds = 4 if quick else 20
     return [
         _spec("cfm", n_procs=8, bank_cycle=2, cycles=cycles),
         _spec("interleaved", n_procs=8, n_modules=8, rate=0.04, beta=17,
               cycles=cycles * 5),
+        _spec("cache", n_procs=4, rounds=rounds),
+        _spec("hierarchy", n_clusters=2, procs_per_cluster=2, rounds=rounds),
     ]
 
 
@@ -349,6 +474,29 @@ def specs_cache(quick: bool = False) -> List[Dict[str, object]]:
             _spec("cache", n_procs=8, rounds=rounds)]
 
 
+def specs_hierarchy(quick: bool = False) -> List[Dict[str, object]]:
+    """Two-level hierarchy: all-local streaming vs cross-cluster sharing."""
+    rounds = 6 if quick else 30
+    return [
+        _spec("hierarchy", n_clusters=2, procs_per_cluster=4, rounds=rounds,
+              workload="local"),
+        _spec("hierarchy", n_clusters=2, procs_per_cluster=2, rounds=rounds,
+              workload="global"),
+    ]
+
+
+def specs_hotpath(quick: bool = False) -> List[Dict[str, object]]:
+    """Conflict-free workloads with the profiler attached: every
+    ``fallback.*`` counter must stay zero (CI's bench-profile gate)."""
+    rounds = 6 if quick else 30
+    return [
+        _spec("cache", n_procs=8, rounds=rounds, workload="private",
+              profile=True),
+        _spec("hierarchy", n_clusters=2, procs_per_cluster=4, rounds=rounds,
+              bank_cycle=2, workload="local", profile=True),
+    ]
+
+
 BENCH_SPECS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
     "quick": specs_quick,
     "cfm": specs_cfm,
@@ -356,6 +504,8 @@ BENCH_SPECS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
     "partial": specs_partial,
     "network": specs_network,
     "cache": specs_cache,
+    "hierarchy": specs_hierarchy,
+    "hotpath": specs_hotpath,
 }
 
 
@@ -383,14 +533,21 @@ BENCHMARKS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
 
 
 def run_benchmark(name: str, quick: bool = False,
-                  timing: bool = False) -> Dict[str, object]:
+                  timing: bool = False,
+                  profile: bool = False) -> Dict[str, object]:
     """Run one registered benchmark and return its JSON document.
 
     With ``timing=True`` the document gains a ``"timing"`` section — wall
     time and completed-ops/sec per run plus totals.  Timing is opt-in and
     lives outside ``runs`` so the default document stays deterministic
-    (two runs of the same benchmark compare equal)."""
+    (two runs of the same benchmark compare equal).  With ``profile=True``
+    every run whose system supports it gains a ``"hotpath"`` section —
+    batch/tick/fallback counters, also deterministic."""
     specs = benchmark_specs(name, quick=quick)
+    if profile:
+        for spec in specs:
+            if spec["system"] in PROFILABLE_SYSTEMS:
+                spec["params"]["profile"] = True  # type: ignore[index]
     doc: Dict[str, object] = {
         "bench": name, "schema": SCHEMA,
         "quick": bool(quick or name == "quick"),
@@ -423,9 +580,10 @@ def run_benchmark(name: str, quick: bool = False,
 
 
 def write_benchmark(name: str, out_dir: Union[str, Path] = ".",
-                    quick: bool = False, timing: bool = False) -> Path:
+                    quick: bool = False, timing: bool = False,
+                    profile: bool = False) -> Path:
     """Run a benchmark and write ``BENCH_<name>.json``; returns the path."""
-    doc = run_benchmark(name, quick=quick, timing=timing)
+    doc = run_benchmark(name, quick=quick, timing=timing, profile=profile)
     return write_document(doc, name, out_dir=out_dir)
 
 

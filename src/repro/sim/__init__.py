@@ -15,7 +15,7 @@ This subpackage is the substrate every simulator in the reproduction runs on:
   the paper's assumed access patterns (uniform rate *r*, hot-spot, locality λ).
 """
 
-from repro.sim.engine import Engine, Event, SlotClock
+from repro.sim.engine import Engine, Event, SimulationTimeout, SlotClock
 from repro.sim.procs import Delay, Halt, Process, Scheduler, SchedulerDeadlock
 from repro.sim.rng import derive_rng, make_rng
 from repro.sim.stats import (
@@ -35,6 +35,7 @@ from repro.sim.workload import (
 __all__ = [
     "Engine",
     "Event",
+    "SimulationTimeout",
     "SlotClock",
     "Process",
     "Scheduler",

@@ -33,6 +33,23 @@ import itertools
 from typing import Callable, List, Optional
 
 
+class SimulationTimeout(RuntimeError):
+    """A bounded run exceeded its ``max_slots`` budget without finishing.
+
+    Subclasses :class:`RuntimeError` so existing ``except RuntimeError``
+    callers keep working; carries enough structure (``slot``, ``max_slots``,
+    ``stuck``) for a driver to report *what* is wedged, not just that
+    something is.
+    """
+
+    def __init__(self, message: str, *, slot: int, max_slots: int,
+                 stuck: Optional[List[str]] = None) -> None:
+        super().__init__(message)
+        self.slot = slot
+        self.max_slots = max_slots
+        self.stuck = list(stuck or [])
+
+
 class Event:
     """A scheduled callback.
 

@@ -14,7 +14,7 @@
 """
 
 from repro.tracking.access_control import AddressTrackingController, PriorityMode
-from repro.tracking.att import AddressTrackingTable, ATTEntry
+from repro.tracking.att import AddressTrackingTable, AssociativeScanATT, ATTEntry
 from repro.tracking.atomic import CFMDriver, SwapOperation, WriteOperation, ReadOperation
 from repro.tracking.locks import SpinLockSystem
 from repro.tracking.passive import PassiveWakeupLockSystem
@@ -22,6 +22,7 @@ from repro.tracking.passive import PassiveWakeupLockSystem
 __all__ = [
     "PassiveWakeupLockSystem",
     "AddressTrackingTable",
+    "AssociativeScanATT",
     "ATTEntry",
     "AddressTrackingController",
     "PriorityMode",

@@ -56,9 +56,23 @@ _SWAP_KINDS = (AccessKind.SWAP_READ, AccessKind.SWAP_WRITE)
 
 
 class AddressTrackingController(AccessController):
-    """ATT-based access control for a CFM module."""
+    """ATT-based access control for a CFM module.
 
-    def __init__(self, n_banks: int, mode: PriorityMode = PriorityMode.LATEST_WINS):
+    ``att_cls`` selects the table implementation: the ring queue (default)
+    or :class:`repro.tracking.att.AssociativeScanATT`, the reference scan
+    model the differential tests compare against.
+    """
+
+    #: ``on_slot`` only garbage-collects (ATT lookups age-filter, so expiry
+    #: is invisible) — batch drivers may skip it over leapt slots.
+    ON_SLOT_IS_GC = True
+
+    def __init__(
+        self,
+        n_banks: int,
+        mode: PriorityMode = PriorityMode.LATEST_WINS,
+        att_cls=AddressTrackingTable,
+    ):
         if n_banks < 2:
             raise ValueError("address tracking needs at least 2 banks")
         self.mode = mode
@@ -66,7 +80,7 @@ class AddressTrackingController(AccessController):
         # Capacity m−1 (§4.1.2): ages 1..m−1 are visible, exactly the window
         # in which a same-block access can interleave.
         self.atts: List[AddressTrackingTable] = [
-            AddressTrackingTable(n_banks - 1) for _ in range(n_banks)
+            att_cls(n_banks - 1) for _ in range(n_banks)
         ]
         self.aborts = 0
         self.restarts = 0
@@ -77,6 +91,16 @@ class AddressTrackingController(AccessController):
     def on_slot(self, mem: CFMemory, slot: int) -> None:
         for att in self.atts:
             att.prune(slot)
+
+    def next_interesting(self, slot: int) -> Optional[int]:
+        """Earliest upcoming slot at which any ATT would expire an entry.
+
+        ``SlotClock.advance_until``-compatible hint: per-slot maintenance
+        is pure GC before that slot, so a clock may leap straight to it.
+        """
+        upcoming = [att.next_interesting(slot) for att in self.atts]
+        live = [u for u in upcoming if u is not None]
+        return min(live) if live else None
 
     def on_start(self, mem: CFMemory, access: BlockAccess, slot: int) -> None:
         if access.kind.is_write:

@@ -22,16 +22,20 @@ configurable delay.
 from __future__ import annotations
 
 import enum
+import heapq
+import itertools
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.block import Block
 from repro.core.cfm import (
+    AccessController,
     AccessKind,
     AccessState,
     BlockAccess,
     CFMemory,
     ControlAction,
 )
+from repro.sim.engine import SimulationTimeout
 
 
 class OpStatus(enum.Enum):
@@ -43,11 +47,20 @@ class OpStatus(enum.Enum):
 
 
 class CFMDriver:
-    """Ticks a :class:`CFMemory` and re-issues deferred operations."""
+    """Ticks a :class:`CFMemory` and re-issues deferred operations.
+
+    Deferred callbacks live in a heap keyed ``(due_slot, seq)`` — O(log n)
+    per defer and O(1) to peek the next due slot — instead of a linear
+    rescan of the whole list every tick.  ``seq`` preserves insertion order
+    among same-slot callbacks, so firing order is identical to the old
+    list scan (the driver ticks every slot, so at most one due slot is
+    ever pending at once).
+    """
 
     def __init__(self, mem: CFMemory):
         self.mem = mem
-        self._deferred: List[Tuple[int, Callable[[], None]]] = []
+        self._deferred: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
 
     @property
     def slot(self) -> int:
@@ -57,24 +70,56 @@ class CFMDriver:
         """Run ``fn`` just before the tick ``delay`` slots from now."""
         if delay < 1:
             raise ValueError("delay must be >= 1")
-        self._deferred.append((self.mem.slot + delay, fn))
+        heapq.heappush(self._deferred, (self.mem.slot + delay, next(self._seq), fn))
+
+    def next_due(self) -> Optional[int]:
+        """Slot of the earliest deferred callback (``None`` if none)."""
+        return self._deferred[0][0] if self._deferred else None
 
     def tick(self) -> None:
-        due = [f for (s, f) in self._deferred if s <= self.mem.slot]
-        self._deferred = [(s, f) for (s, f) in self._deferred if s > self.mem.slot]
-        for fn in due:
-            fn()
+        dq = self._deferred
+        while dq and dq[0][0] <= self.mem.slot:
+            heapq.heappop(dq)[2]()
         self.mem.tick()
 
     def run(self, slots: int) -> None:
         for _ in range(slots):
             self.tick()
 
+    def _leap_safe(self) -> bool:
+        """True when idle slots are provably uneventful and skippable.
+
+        Requires no in-flight accesses, no observers pinning the per-slot
+        event stream, and a controller whose ``on_slot`` is either the base
+        no-op or declared GC-only (``ON_SLOT_IS_GC``) — matching the
+        contract :meth:`SlotClock.advance_until` hints carry.
+        """
+        mem = self.mem
+        if mem.active or mem.probe is not None or mem.metrics is not None:
+            return False
+        ctrl = mem.controller
+        return (
+            type(ctrl).on_slot is AccessController.on_slot
+            or getattr(type(ctrl), "ON_SLOT_IS_GC", False)
+        )
+
     def run_until(self, done: Callable[[], bool], max_slots: int = 100_000) -> int:
         start = self.mem.slot
         while not done():
             if self.mem.slot - start > max_slots:
-                raise RuntimeError(f"operations did not finish in {max_slots} slots")
+                raise SimulationTimeout(
+                    f"operations did not finish in {max_slots} slots "
+                    f"(slot {self.mem.slot}, {len(self._deferred)} deferred, "
+                    f"{len(self.mem.active)} in flight)",
+                    slot=self.mem.slot, max_slots=max_slots,
+                )
+            # Idle leap: with nothing in flight, the next event is the next
+            # deferred re-issue — jump straight to it instead of ticking
+            # through provably empty slots.
+            if self._deferred and self._leap_safe():
+                nxt = self._deferred[0][0]
+                if nxt > self.mem.slot + 1:
+                    self.mem.slot = nxt - 1
             self.tick()
         return self.mem.slot - start
 

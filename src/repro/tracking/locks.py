@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.core.block import Block
 from repro.core.cfm import AccessKind, CFMemory
 from repro.core.config import CFMConfig
+from repro.sim.engine import SimulationTimeout
 from repro.tracking.access_control import AddressTrackingController, PriorityMode
 from repro.tracking.atomic import CFMDriver, OpStatus, ReadOperation, SwapOperation, WriteOperation
 
@@ -135,10 +136,12 @@ class SpinLockSystem:
         lock_offset: int = 0,
         cs_cycles: int = 4,
         contenders: Optional[List[int]] = None,
+        att_cls=None,
     ):
         self.config = CFMConfig(n_procs=n_procs, bank_cycle=bank_cycle)
+        kwargs = {} if att_cls is None else {"att_cls": att_cls}
         self.controller = AddressTrackingController(
-            self.config.n_banks, mode=PriorityMode.FIRST_WINS
+            self.config.n_banks, mode=PriorityMode.FIRST_WINS, **kwargs
         )
         self.mem = CFMemory(self.config, controller=self.controller)
         self.driver = CFMDriver(self.mem)
@@ -157,7 +160,15 @@ class SpinLockSystem:
         start = self.driver.slot
         while any(c.state is not _ClientState.DONE for c in self.clients):
             if self.driver.slot - start > max_slots:
-                raise RuntimeError("lock clients did not all finish")
+                stuck = [
+                    f"proc {c.proc} {c.state.value}"
+                    for c in self.clients if c.state is not _ClientState.DONE
+                ]
+                raise SimulationTimeout(
+                    f"lock clients did not all finish in {max_slots} slots: "
+                    + ", ".join(stuck),
+                    slot=self.driver.slot, max_slots=max_slots, stuck=stuck,
+                )
             for c in self.clients:
                 c.step()
             self.driver.tick()

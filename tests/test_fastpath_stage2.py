@@ -1,0 +1,345 @@
+"""Stage-2 fastpath: batched protocol epochs must be bit-identical.
+
+:meth:`CacheSystem.run_ops_batch` and
+:meth:`SlotAccurateHierarchy.run_ops_batch` reuse the precomputed AT
+tables to leap conflict-free spans, falling back to the per-slot
+reference ``tick()`` whenever the classifier cannot prove a span clean.
+Everything here is differential: the same workload runs once through the
+reference and once through the batch path, and *every* observable —
+op streams with issue/done slots, hit/retry/access counts, directory
+states, bank contents with versions, controller counters, the final slot
+— must match exactly.  The profiler rides along on some runs to pin that
+attaching it never changes results, and that conflict-free workloads
+never touch a ``fallback.*`` counter.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.protocol import CacheSystem
+from repro.cache.state import CacheLineState
+from repro.core.block import Block
+from repro.hierarchy.slot_accurate import SlotAccurateHierarchy
+from repro.obs.hotpath import HotpathProfiler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import RecordingProbe
+from repro.sim.engine import SimulationTimeout
+
+SHAPES = [(4, 1), (8, 2), (16, 4)]
+
+
+# --------------------------------------------------------------------------
+# Cache-layer workloads (plans are (proc, kind, offset, words) scripts)
+
+
+def _plan_shared(n_procs, rounds, seed):
+    """Loads + stores over a small shared set: hazard-rich."""
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(rounds):
+        batch = []
+        for p in range(n_procs):
+            off = rng.randrange(4)
+            if rng.random() < 0.4:
+                batch.append((p, "store", off, {rng.randrange(n_procs): p + 1}))
+            else:
+                batch.append((p, "load", off, None))
+        plan.append(batch)
+    return plan
+
+
+def _plan_private(n_procs, rounds, seed):
+    """Proc-private offsets: conflict-free, the batch path's home turf."""
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(rounds):
+        batch = []
+        for p in range(n_procs):
+            off = p * 4 + rng.randrange(4)
+            if rng.random() < 0.5:
+                batch.append((p, "store", off, {rng.randrange(n_procs): p + 1}))
+            else:
+                batch.append((p, "load", off, None))
+        plan.append(batch)
+    return plan
+
+
+def _plan_hit_heavy(n_procs, rounds, seed):
+    """Each proc re-reads one private line: local hits, no memory traffic
+    after the first fill."""
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(rounds):
+        batch = []
+        for p in range(n_procs):
+            if rng.random() < 0.2:
+                batch.append((p, "store", p, {0: p + 1}))
+            else:
+                batch.append((p, "load", p, None))
+        plan.append(batch)
+    return plan
+
+
+def _plan_sync(n_procs, rounds, seed):
+    """Acquire -> flush pairs over a shared lock line plus background
+    loads — the sync-op path (wb_disabled lines) through the batcher.
+    Every acquire is immediately paired with its flush: an unmatched
+    acquire pins the line and livelocks every other op, by design."""
+    rng = random.Random(seed)
+    plan = []
+    for r in range(rounds):
+        owner = r % n_procs
+        batch = [(owner, "acquire", 0, None), (owner, "flush", 0, None)]
+        for p in range(n_procs):
+            if p != owner:
+                batch.append((p, "load", 1 + rng.randrange(3), None))
+        plan.append(batch)
+    return plan
+
+
+def _run_cache_plan(n_procs, bank_cycle, plan, batch, probe=None,
+                    metrics=None, hotpath=None):
+    sys_ = CacheSystem(n_procs, bank_cycle=bank_cycle, probe=probe,
+                       metrics=metrics, hotpath=hotpath)
+    all_ops = []
+    for round_ops in plan:
+        ops = []
+        for p, kind, off, words in round_ops:
+            if kind == "load":
+                ops.append(sys_.load(p, off))
+            elif kind == "store":
+                ops.append(sys_.store(p, off, words))
+            elif kind == "acquire":
+                ops.append(sys_.acquire(p, off))
+            else:
+                ops.append(sys_.flush(p, off))
+        if batch:
+            sys_.run_ops_batch(ops)
+        else:
+            sys_.run_ops(ops)
+        all_ops.extend(ops)
+    sys_.check_coherence_invariant()
+    return sys_, all_ops
+
+
+def _fingerprint(sys_, ops):
+    n_offsets = 4 * sys_.cfg.n_procs + 4
+    return {
+        "ops": [(op.proc, op.kind.value, op.offset, op.issue_slot,
+                 op.done_slot, op.was_hit, op.retries, op.memory_accesses,
+                 None if op.result is None
+                 else [(w.value, w.version) for w in op.result.words])
+                for op in ops],
+        "dirs": [
+            [(off, line.state.value, line.wb_disabled)
+             for off in range(n_offsets)
+             if (line := d.lookup(off)) is not None]
+            for d in sys_.dirs
+        ],
+        "banks": [
+            sorted((off, w.value, w.version) for off, w in bank.items())
+            for bank in sys_.mem.banks
+        ],
+        "stats": (sys_.stats_local_hits, sys_.stats_memory_ops),
+        "ctrl": (sys_.controller.triggered_writebacks,
+                 sys_.controller.invalidations_sent),
+        "slot": sys_.slot,
+    }
+
+
+PLANS = {
+    "shared": _plan_shared,
+    "private": _plan_private,
+    "hit_heavy": _plan_hit_heavy,
+    "sync": _plan_sync,
+}
+
+
+@pytest.mark.parametrize("workload", sorted(PLANS))
+@pytest.mark.parametrize("n_procs,bank_cycle", SHAPES)
+def test_cache_batch_bit_identical(workload, n_procs, bank_cycle):
+    plan = PLANS[workload](n_procs, rounds=6, seed=n_procs * 10 + bank_cycle)
+    ref_sys, ref_ops = _run_cache_plan(n_procs, bank_cycle, plan, batch=False)
+    bat_sys, bat_ops = _run_cache_plan(n_procs, bank_cycle, plan, batch=True)
+    assert _fingerprint(ref_sys, ref_ops) == _fingerprint(bat_sys, bat_ops)
+
+
+def test_cache_batch_with_probe_matches_unprobed():
+    """Observers pin the per-slot path — results must still be identical,
+    and the probe must see the same event stream as a reference run."""
+    plan = _plan_shared(4, rounds=4, seed=3)
+    ref_probe = RecordingProbe()
+    ref_sys, ref_ops = _run_cache_plan(4, 1, plan, batch=False,
+                                       probe=ref_probe)
+    bat_probe = RecordingProbe()
+    bat_sys, bat_ops = _run_cache_plan(4, 1, plan, batch=True,
+                                       probe=bat_probe)
+    assert _fingerprint(ref_sys, ref_ops) == _fingerprint(bat_sys, bat_ops)
+    assert [(e.source, e.event, e.t) for e in ref_probe.events] == \
+           [(e.source, e.event, e.t) for e in bat_probe.events]
+
+
+def test_cache_batch_with_metrics_matches_bare():
+    plan = _plan_private(4, rounds=4, seed=5)
+    bare_sys, bare_ops = _run_cache_plan(4, 1, plan, batch=True)
+    reg = MetricsRegistry()
+    obs_sys, obs_ops = _run_cache_plan(4, 1, plan, batch=True, metrics=reg)
+    assert _fingerprint(bare_sys, bare_ops) == _fingerprint(obs_sys, obs_ops)
+    assert reg.snapshot()  # the registry really was fed
+
+
+def test_cache_batch_timeout_names_stuck_op():
+    sys_ = CacheSystem(4)
+    op = sys_.acquire(0, 0)  # unmatched acquire: others can never finish
+    sys_.run_ops([op])
+    blocked = sys_.store(1, 0, {0: 9})
+    with pytest.raises(SimulationTimeout) as exc:
+        sys_.run_ops_batch([blocked], max_slots=500)
+    assert "proc 1" in str(exc.value)
+    assert exc.value.max_slots == 500
+    assert any("proc 1" in s for s in exc.value.stuck)
+
+
+def test_cache_reference_timeout_is_simulation_timeout():
+    """run_ops hitting max_slots raises the same descriptive error (and
+    stays a RuntimeError for pre-existing callers)."""
+    sys_ = CacheSystem(4)
+    sys_.run_ops([sys_.acquire(0, 0)])
+    blocked = sys_.store(1, 0, {0: 9})
+    with pytest.raises(RuntimeError) as exc:
+        sys_.run_ops([blocked], max_slots=500)
+    assert isinstance(exc.value, SimulationTimeout)
+    assert "proc 1" in str(exc.value)
+
+
+# --------------------------------------------------------------------------
+# Hierarchy layer
+
+
+def _seed_local(hier, n_clusters, per):
+    width = hier._cluster_width()
+    for c in range(n_clusters):
+        for p in range(per):
+            base = (c * per + p) * 4
+            for off in range(base, base + 4):
+                hier.clusters[c].mem.poke_block(
+                    off,
+                    Block.of_values([off + i for i in range(width)], "seed"),
+                )
+                hier.l2[c][off] = CacheLineState.DIRTY
+
+
+def _hier_plan(n_clusters, per, rounds, seed, local):
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(rounds):
+        batch = []
+        for g in range(n_clusters * per):
+            off = g * 4 + rng.randrange(4) if local else rng.randrange(6)
+            if rng.random() < 0.5:
+                batch.append((g, "store", off,
+                              {rng.randrange(per): rng.randrange(100)}))
+            else:
+                batch.append((g, "load", off, None))
+        plan.append(batch)
+    return plan
+
+
+def _run_hier_plan(n_clusters, per, plan, batch, local, hotpath=None):
+    hier = SlotAccurateHierarchy(n_clusters, per, hotpath=hotpath)
+    if local:
+        _seed_local(hier, n_clusters, per)
+    all_ops = []
+    for round_ops in plan:
+        ops = [hier.load(g, off) if kind == "load"
+               else hier.store(g, off, words)
+               for g, kind, off, words in round_ops]
+        if batch:
+            hier.run_ops_batch(ops)
+        else:
+            hier.run_ops(ops)
+        all_ops.extend(ops)
+    hier.check_invariants()
+    return hier, all_ops
+
+
+def _hier_fingerprint(hier, ops):
+    return {
+        "ops": [(op.gproc, op.kind.value, op.offset, op.issue_slot,
+                 op.done_slot, op.nc_fetches,
+                 None if op.result is None
+                 else [(w.value, w.version) for w in op.result.words])
+                for op in ops],
+        "l2": [sorted((k, v.value) for k, v in d.items()) for d in hier.l2],
+        "gdata": sorted((k, [w.value for w in b.words])
+                        for k, b in hier.global_data.items()),
+        "gc": (hier.global_controller.invalidations_sent,
+               hier.global_controller.triggered_l2_writebacks),
+        "slot": hier.slot,
+    }
+
+
+@pytest.mark.parametrize("local", [True, False],
+                         ids=["local_seeded", "global_shared"])
+@pytest.mark.parametrize("n_clusters,per", [(2, 2), (4, 2), (2, 4)])
+def test_hierarchy_batch_bit_identical(local, n_clusters, per):
+    plan = _hier_plan(n_clusters, per, rounds=6,
+                      seed=n_clusters * 10 + per, local=local)
+    ref = _run_hier_plan(n_clusters, per, plan, batch=False, local=local)
+    bat = _run_hier_plan(n_clusters, per, plan, batch=True, local=local)
+    assert _hier_fingerprint(*ref) == _hier_fingerprint(*bat)
+
+
+def test_hierarchy_timeout_is_simulation_timeout():
+    hier = SlotAccurateHierarchy(2, 2)
+    op = hier.load(0, 0)
+    with pytest.raises(RuntimeError) as exc:
+        hier.run_ops([op], max_slots=3)  # the L2-miss path needs far more
+    assert isinstance(exc.value, SimulationTimeout)
+    assert exc.value.max_slots == 3
+
+
+# --------------------------------------------------------------------------
+# Hot-path profiler semantics
+
+
+def test_profiler_never_changes_results():
+    plan = _plan_shared(8, rounds=5, seed=11)
+    bare = _run_cache_plan(8, 2, plan, batch=True)
+    hp = HotpathProfiler()
+    profiled = _run_cache_plan(8, 2, plan, batch=True, hotpath=hp)
+    assert _fingerprint(*bare) == _fingerprint(*profiled)
+    assert sum(sum(ev.values()) for ev in hp.snapshot().values()) > 0
+
+
+def test_profiler_counters_deterministic():
+    plan = _plan_private(8, rounds=5, seed=13)
+    snaps = []
+    for _ in range(2):
+        hp = HotpathProfiler()
+        _run_cache_plan(8, 2, plan, batch=True, hotpath=hp)
+        snaps.append(hp.snapshot())
+    assert snaps[0] == snaps[1]
+
+
+def test_conflict_free_workloads_never_fall_back():
+    """The CI bench-profile gate, as a unit test: private cache traffic
+    and seeded-local hierarchy traffic must keep fallback.* at zero."""
+    hp = HotpathProfiler()
+    plan = _plan_private(8, rounds=6, seed=17)
+    _run_cache_plan(8, 2, plan, batch=True, hotpath=hp)
+    hplan = _hier_plan(2, 4, rounds=6, seed=19, local=True)
+    _run_hier_plan(2, 4, hplan, batch=True, local=True, hotpath=hp)
+    assert hp.fallbacks() == {"cache": 0, "hier": 0}
+    assert hp.get("cache", "batched_slots") > 0
+    assert hp.get("hier", "batched_slots") > 0
+
+
+def test_profiler_occupancy_shape():
+    hp = HotpathProfiler()
+    hp.count("cache", "batched_slots", 90)
+    hp.count("cache", "tick.cpu", 10)
+    occ = hp.occupancy()["cache"]
+    assert occ["batched"] == 90 and occ["ticked"] == 10
+    assert occ["batched_frac"] == pytest.approx(0.9)
