@@ -30,9 +30,11 @@ refilled; stores require exclusivity.
 from __future__ import annotations
 
 import enum
+import heapq
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.block import Block, Word
 from repro.core.cfm import (
@@ -333,6 +335,7 @@ class CacheSystem:
         probe=None,
         metrics=None,
         hotpath=None,
+        faults=None,
     ):
         self.cfg = CFMConfig(
             n_procs=n_procs, bank_cycle=bank_cycle, word_width=word_width
@@ -343,6 +346,22 @@ class CacheSystem:
         self.mem = CFMemory(
             self.cfg, controller=self.controller, probe=probe, metrics=metrics
         )
+        #: Optional :class:`repro.faults.FaultInjector`, shared with the
+        #: underlying engine: bank faults fire at the bank visits, while
+        #: completion faults (delay/loss) are applied here, at the point
+        #: where the engine's finish callback re-enters the protocol.
+        self.faults = faults
+        if faults is not None:
+            self.mem.faults = faults
+        # The profiler flows down too: the claim discipline (satellite of
+        # the exclusive-counting invariant) attributes each slot to the
+        # layer actually driving time.
+        if hotpath is not None:
+            self.mem.hotpath = hotpath
+        # Delayed completion deliveries, keyed (due_slot, seq); drained at
+        # the top of tick() so a delayed fill lands at a deterministic slot.
+        self._delayed: List[Tuple[int, int, Callable[[], None]]] = []
+        self._delay_seq = itertools.count()
         self.dirs = [CacheDirectory(p, n_lines) for p in range(n_procs)]
         self.procs = [_ProcState(directory=self.dirs[p]) for p in range(n_procs)]
         self.stats_local_hits = 0
@@ -450,6 +469,9 @@ class CacheSystem:
 
     def tick(self) -> None:
         slot = self.slot
+        dq = self._delayed
+        while dq and dq[0][0] <= slot:
+            heapq.heappop(dq)[2]()
         for p, st in enumerate(self.procs):
             self._advance_proc(p, st, slot)
         self.mem.tick()
@@ -510,16 +532,30 @@ class CacheSystem:
         per-slot reference.
         """
         start = self.slot
-        remaining = [op for op in ops if not op.done]
-        while remaining:
-            if self.slot - start > max_slots:
-                self._raise_timeout(max_slots)
-            self._batch_step()
-            remaining = [op for op in remaining if not op.done]
+        hp = self.hotpath
+        token = hp.claim("cache") if hp is not None else None
+        try:
+            remaining = [op for op in ops if not op.done]
+            while remaining:
+                if self.slot - start > max_slots:
+                    self._raise_timeout(max_slots)
+                self._batch_step()
+                remaining = [op for op in remaining if not op.done]
+        finally:
+            if hp is not None:
+                hp.release(token)
 
     def _batch_step(self) -> None:
         """Advance one epoch: a batch span, or one reference tick."""
         hp = self.hotpath
+        if self.faults is not None and self.faults.active:
+            # Live fault injection is defined per-slot (fault windows,
+            # delayed deliveries): the whole run stays on the reference
+            # path.  A zero plan does not reach here.
+            if hp is not None:
+                hp.count("cache", "tick.faults")
+            self.tick()
+            return
         if (
             self.probe is not None
             or self.metrics is not None
@@ -853,6 +889,28 @@ class CacheSystem:
     # -- completion handlers --------------------------------------------------------
 
     def _access_finished(self, p: int, op: CpuOp, acc: BlockAccess) -> None:
+        faults = self.faults
+        if faults is not None and faults.active and acc.state is AccessState.COMPLETED:
+            fate = faults.completion_fate(p, self.slot)
+            if fate == "lost":
+                # The completion never reaches the processor: leave its
+                # state untouched so it wedges, and let the run_until
+                # timeout forensics escalate it by name — a lost message
+                # must never look like a clean retry.
+                faults.count("completion.lost")
+                return
+            if fate is not None:
+                _, delay = fate
+                faults.count("completion.delayed")
+                heapq.heappush(
+                    self._delayed,
+                    (self.slot + delay, next(self._delay_seq),
+                     lambda: self._access_finished_now(p, op, acc)),
+                )
+                return
+        self._access_finished_now(p, op, acc)
+
+    def _access_finished_now(self, p: int, op: CpuOp, acc: BlockAccess) -> None:
         st = self.procs[p]
         st.current_access = None
         if acc.state is AccessState.ABORTED:
@@ -862,6 +920,8 @@ class CacheSystem:
             return
         assert acc.complete_slot is not None
         done_slot = acc.complete_slot  # includes the c−1 pipeline drain
+        if done_slot < self.slot:
+            done_slot = self.slot  # a delayed delivery completes on arrival
         block = acc.result
         if acc.kind is AccessKind.READ:
             if op.invalidate_on_fill:
@@ -885,7 +945,19 @@ class CacheSystem:
     def _writeback_finished(self, p: int, op: Optional[CpuOp], acc: BlockAccess) -> None:
         st = self.procs[p]
         st.current_access = None
-        assert acc.state is AccessState.COMPLETED, "write-back cannot abort"
+        if acc.state is AccessState.ABORTED:
+            # Only an injected bank fault can abort a write-back (it
+            # detects nothing protocol-wise, Table 5.2): reissue it.
+            assert acc.fault is not None, "write-back cannot abort without a fault"
+            if op is not None:
+                op.retries += 1
+                st.reissue_at = self.slot + 1
+                return
+            # Triggered write-back: re-queue the offset; it re-issues with
+            # the usual wb_queue priority.
+            if acc.offset not in st.wb_queue:
+                st.wb_queue.appendleft(acc.offset)
+            return
         line = self.dirs[p].lookup(acc.offset)
         if line is not None:
             line.state = CacheLineState.VALID

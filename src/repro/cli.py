@@ -381,9 +381,12 @@ def _cmd_bench(args) -> int:
         print("benchmarks:", " ".join(sorted(BENCHMARKS)))
         return 0
     names = args.names or (["quick"] if args.quick else sorted(BENCHMARKS))
+    if args.faults and "faults" not in names:
+        names = list(names) + ["faults"]
     unknown = [n for n in names if n not in BENCHMARKS]
     if unknown:
         return _fail_unknown("bench", unknown[0], BENCHMARKS)
+    status = 0
     for name in names:
         if args.parallel > 1:
             from repro.fastpath.parallel import sweep
@@ -402,9 +405,20 @@ def _cmd_bench(args) -> int:
                                 profile=args.profile)
         path = write_document(doc, name, out_dir=args.out)
         print(f"wrote {path}")
+        # Partial failure: the document (with every surviving run) is
+        # already on disk; name the failed specs on stderr and exit 1.
+        for failure in doc.get("failures", []):
+            spec = failure.get("spec", {})
+            first_line = str(failure.get("error", "")).splitlines()[0]
+            print(
+                f"error: bench spec failed: {spec.get('system')} "
+                f"{spec.get('params')}: {first_line}",
+                file=sys.stderr,
+            )
+            status = 1
         if args.profile:
             _print_hotpath(doc)
-    return 0
+    return status
 
 
 def main(argv=None) -> int:
@@ -458,6 +472,11 @@ def main(argv=None) -> int:
         "--profile", action="store_true",
         help="attach the hot-path profiler to runs that support it and "
         "add a deterministic 'hotpath' section (counters + occupancy)",
+    )
+    p_bench.add_argument(
+        "--faults", action="store_true",
+        help="also run the 'faults' chaos benchmark (zero-fault "
+        "bit-identity + seeded fault sweeps with typed-error outcomes)",
     )
     args = parser.parse_args(argv)
 

@@ -116,6 +116,8 @@ class BlockAccess:
     start_slot: int = -1  # slot of the current collection attempt
     restarts: int = 0
     final_action: Optional[ControlAction] = None  # ABORT vs RETRY, when aborted
+    fault: Optional[str] = None  # injected-fault kind that hit this access
+    fault_delay: int = 0  # extra drain slots from a slow-bank fault
     complete_slot: Optional[int] = None
     result_words: Dict[int, Word] = field(default_factory=dict)
     banks_written: List[int] = field(default_factory=list)
@@ -210,6 +212,15 @@ class CFMemory:
         #: metrics this does *not* pin the per-slot path: it only counts
         #: how run_batch() advanced time, never what the simulation did.
         self.hotpath = None
+        #: Optional :class:`repro.faults.FaultInjector`.  An attached
+        #: injector with a zero plan is a strict no-op (and keeps the batch
+        #: path); an active one pins the per-slot path and drives the tick
+        #: hooks below.
+        self.faults = None
+        # Degraded mode: the dead bank and the survivor that shadows it
+        # (serves its word in passing) once degrade_bank() has fired.
+        self._dead_bank: Optional[int] = None
+        self._shadow_bank: Optional[int] = None
         if metrics is not None:
             self._bank_util = [
                 metrics.utilization(f"cfm.bank[{k}].util")
@@ -303,7 +314,9 @@ class CFMemory:
         self.active.remove(acc)
         self._proc_busy[acc.proc] = False
         if state is AccessState.COMPLETED:
-            acc.complete_slot = slot + self.cfg.bank_cycle - 1
+            # fault_delay is the extra drain a slow-bank fault imposed; it
+            # is 0 on every unfaulted access, keeping this line inert.
+            acc.complete_slot = slot + self.cfg.bank_cycle - 1 + acc.fault_delay
             self.completed.append(acc)
         else:
             self.aborted.append(acc)
@@ -334,6 +347,22 @@ class CFMemory:
     def tick(self) -> None:
         """Advance one slot: every active access performs one word."""
         slot = self.slot
+        faults = self.faults
+        f_stuck = None
+        if faults is not None and faults.active:
+            f_stuck = faults.stuck_banks(slot)
+            if self._dead_bank is None:
+                dead = faults.dead_bank_due(slot)
+                if dead is not None:
+                    if self.active:
+                        # Cannot reconfigure the schedule mid-access: the
+                        # dying bank behaves as stuck until in-flight
+                        # accesses drain (they abort on touching it).
+                        f_stuck = f_stuck | {dead}
+                    else:
+                        self.degrade_bank(dead)
+            if not f_stuck:
+                f_stuck = None
         self.controller.on_slot(self, slot)
         banks_used: Dict[int, int] = {}
         visited: Optional[List[int]] = [] if self.metrics is not None else None
@@ -358,6 +387,16 @@ class CFMemory:
                         f"at slot {slot} — AT-space violated"
                     )
                 banks_used[bank] = acc.proc
+            if f_stuck is not None and bank in f_stuck:
+                # A stuck bank cannot accept the address: the access aborts
+                # for re-issue by its owner (the RETRY path the recovery
+                # layer's bounded backoff rides on).
+                faults.count("bank.stuck_abort")
+                acc.fault = "bank_stuck"
+                acc.restarts += 1
+                acc.final_action = ControlAction.RETRY
+                self._finish(acc, AccessState.ABORTED, slot)
+                continue
             if acc.words_done == 0:
                 acc.first_bank = bank
                 acc.start_slot = slot
@@ -390,7 +429,26 @@ class CFMemory:
             else:
                 acc.result_words[bank] = self.read_word(bank, acc.offset)
             acc.words_done += 1
+            if self._dead_bank is not None and bank == self._shadow_bank:
+                # Degraded mode: the shadow bank serves the dead bank's
+                # word during its own visit, so block width stays b on a
+                # b-1 schedule.
+                dead = self._dead_bank
+                if acc.kind.is_write:
+                    self.write_word(
+                        dead, acc.offset, Word(acc.data[dead].value, acc.version)
+                    )
+                    acc.banks_written.append(dead)
+                else:
+                    acc.result_words[dead] = self.read_word(dead, acc.offset)
+                acc.words_done += 1
             if acc.words_done == self.n_banks:
+                if faults is not None and faults.active:
+                    extra = faults.completion_extra(slot)
+                    if extra:
+                        acc.fault = acc.fault or "bank_slow"
+                        acc.fault_delay = extra
+                        faults.count("bank.slow_drain", extra)
                 self._finish(acc, AccessState.COMPLETED, slot)
         if visited is not None:
             busy_until = self._bank_busy_until
@@ -406,16 +464,68 @@ class CFMemory:
         for _ in range(slots):
             self.tick()
 
+    # -- degraded mode -----------------------------------------------------
+
+    def degrade_bank(self, dead_bank: int) -> None:
+        """Remap ``dead_bank`` out: switch to the ``b-1`` AT schedule.
+
+        The module keeps serving full-width blocks on the surviving banks,
+        with the dead bank's successor serving its word in passing (see
+        :mod:`repro.faults.degrade`, which re-proves the reduced schedule
+        conflict-free).  Raises :class:`DegradedModeError` when no such
+        schedule exists (``c = 1``), when accesses are in flight, or when
+        the module is already degraded.
+        """
+        from repro.faults.degrade import degraded_slot_bank_table, shadow_bank_for
+        from repro.faults.errors import DegradedModeError
+
+        if self._dead_bank is not None:
+            raise DegradedModeError(
+                f"module already degraded (bank {self._dead_bank} dead); "
+                f"cannot also lose bank {dead_bank}",
+                slot=self.slot,
+            )
+        if self.active:
+            raise DegradedModeError(
+                f"cannot switch to the degraded schedule with "
+                f"{len(self.active)} accesses in flight",
+                slot=self.slot,
+            )
+        # May itself raise DegradedModeError: with c = 1 all b processors
+        # cannot share b-1 surviving banks conflict-free.
+        self._table = degraded_slot_bank_table(
+            self.cfg.banks_per_module, self.cfg.bank_cycle, dead_bank
+        )
+        self._dead_bank = dead_bank
+        self._shadow_bank = shadow_bank_for(self.n_banks, dead_bank)
+        if self.faults is not None:
+            self.faults.count("bank.degraded")
+        if self.probe is not None:
+            self.probe.emit(
+                "cfm", "degrade", self.slot, dead_bank=dead_bank,
+                shadow_bank=self._shadow_bank,
+            )
+
+    @property
+    def degraded(self) -> bool:
+        return self._dead_bank is not None
+
     # -- fast path ---------------------------------------------------------
 
     def _fast_eligible(self) -> bool:
         """May the batch engine stand in for tick()?
 
         Requires: no observers (probes/metrics are defined per-slot, so
-        they pin the reference path) and a controller that overrides none
-        of the hooks — i.e. the access-control layer is provably inert.
+        they pin the reference path), no live fault injection (fault
+        windows and the degraded schedule are defined per-slot too), and a
+        controller that overrides none of the hooks — i.e. the
+        access-control layer is provably inert.
         """
         if self.probe is not None or self.metrics is not None:
+            return False
+        if self._dead_bank is not None:
+            return False
+        if self.faults is not None and self.faults.active:
             return False
         ctrl = type(self.controller)
         return (
@@ -473,82 +583,90 @@ class CFMemory:
         eligible = self._fast_eligible()
         hazard = self._batch_hazard()
         hp = self.hotpath
-        while self.slot < end:
-            if not eligible:
+        # Claim the shared profiler: while this driver advances time, inner
+        # or sibling layers' slot counters are suppressed, so each slot is
+        # attributed to exactly one layer.
+        token = hp.claim("cfm") if hp is not None else None
+        try:
+            while self.slot < end:
+                if not eligible:
+                    if hp is not None:
+                        hp.count("cfm", "tick.pinned")
+                    self.tick()
+                    eligible = self._fast_eligible()
+                    hazard = self._batch_hazard()
+                    continue
+                if not active:
+                    if hp is not None:
+                        hp.count("cfm", "skipped_slots", end - self.slot)
+                    self.slot = end  # idle-slot skip
+                    break
+                if hazard:
+                    if hp is not None:
+                        hp.count("cfm", "fallback.hazard")
+                    self.tick()
+                    eligible = self._fast_eligible()
+                    hazard = self._batch_hazard()
+                    continue
+                slot = self.slot
+                # Earliest slot at which some access performs its last word.
+                next_finish = min(
+                    slot + n_banks - acc.words_done - 1 for acc in active
+                )
+                target = min(next_finish, end - 1)
+                span = target - slot + 1
+                full = span == n_banks  # implies words_done == 0 for everyone
+                row = table[slot % n_banks]
+                finishers: List[BlockAccess] = []
+                # active cannot mutate inside this loop (callbacks only fire
+                # from _finish below), so no snapshot copy is needed.
+                for acc in active:
+                    bank_now = row[acc.proc]
+                    if acc.words_done == 0:
+                        acc.first_bank = bank_now
+                        acc.start_slot = slot
+                        # controller.on_start is the base no-op (checked by
+                        # _fast_eligible), so it is not called.
+                    offset = acc.offset
+                    order = orders[bank_now]
+                    if acc.kind.is_write:
+                        data = acc.data
+                        assert data is not None
+                        words = data.words
+                        version = acc.version
+                        written = acc.banks_written
+                        seq = order if full else order[:span]
+                        for bank in seq:
+                            banks[bank][offset] = Word(words[bank].value, version)
+                            written.append(bank)
+                    elif full:
+                        # Whole access in one round: build the result dict in
+                        # a single comprehension (the steady-state case).
+                        acc.result_words = {
+                            bank: banks[bank].get(offset, _INIT_WORD)
+                            for bank in order
+                        }
+                    else:
+                        results = acc.result_words
+                        for bank in order[:span]:
+                            results[bank] = banks[bank].get(offset, _INIT_WORD)
+                    acc.words_done += span
+                    if acc.words_done == n_banks:
+                        finishers.append(acc)
+                # Completions observe the slot they finish in, exactly as
+                # under tick(); re-issues from callbacks join at target + 1.
+                self.slot = target
+                for acc in finishers:
+                    self._finish(acc, AccessState.COMPLETED, target)
+                self.slot = target + 1
                 if hp is not None:
-                    hp.count("cfm", "tick.pinned")
-                self.tick()
-                eligible = self._fast_eligible()
-                hazard = self._batch_hazard()
-                continue
-            if not active:
-                if hp is not None:
-                    hp.count("cfm", "skipped_slots", end - self.slot)
-                self.slot = end  # idle-slot skip
-                break
-            if hazard:
-                if hp is not None:
-                    hp.count("cfm", "fallback.hazard")
-                self.tick()
-                eligible = self._fast_eligible()
-                hazard = self._batch_hazard()
-                continue
-            slot = self.slot
-            # Earliest slot at which some access performs its last word.
-            next_finish = min(
-                slot + n_banks - acc.words_done - 1 for acc in active
-            )
-            target = min(next_finish, end - 1)
-            span = target - slot + 1
-            full = span == n_banks  # implies words_done == 0 for everyone
-            row = table[slot % n_banks]
-            finishers: List[BlockAccess] = []
-            # active cannot mutate inside this loop (callbacks only fire
-            # from _finish below), so no snapshot copy is needed.
-            for acc in active:
-                bank_now = row[acc.proc]
-                if acc.words_done == 0:
-                    acc.first_bank = bank_now
-                    acc.start_slot = slot
-                    # controller.on_start is the base no-op (checked by
-                    # _fast_eligible), so it is not called.
-                offset = acc.offset
-                order = orders[bank_now]
-                if acc.kind.is_write:
-                    data = acc.data
-                    assert data is not None
-                    words = data.words
-                    version = acc.version
-                    written = acc.banks_written
-                    seq = order if full else order[:span]
-                    for bank in seq:
-                        banks[bank][offset] = Word(words[bank].value, version)
-                        written.append(bank)
-                elif full:
-                    # Whole access in one round: build the result dict in
-                    # a single comprehension (the steady-state case).
-                    acc.result_words = {
-                        bank: banks[bank].get(offset, _INIT_WORD)
-                        for bank in order
-                    }
-                else:
-                    results = acc.result_words
-                    for bank in order[:span]:
-                        results[bank] = banks[bank].get(offset, _INIT_WORD)
-                acc.words_done += span
-                if acc.words_done == n_banks:
-                    finishers.append(acc)
-            # Completions observe the slot they finish in, exactly as
-            # under tick(); re-issues from callbacks join at target + 1.
-            self.slot = target
-            for acc in finishers:
-                self._finish(acc, AccessState.COMPLETED, target)
-            self.slot = target + 1
+                    hp.count("cfm", "batched_slots", span)
+                if finishers:
+                    eligible = self._fast_eligible()
+                    hazard = self._batch_hazard()
+        finally:
             if hp is not None:
-                hp.count("cfm", "batched_slots", span)
-            if finishers:
-                eligible = self._fast_eligible()
-                hazard = self._batch_hazard()
+                hp.release(token)
 
     def run_until_idle(self, max_slots: int = 100_000) -> int:
         """Tick until no access is active; returns slots elapsed."""

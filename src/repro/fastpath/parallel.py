@@ -11,17 +11,26 @@ Worker functions are module-level so they pickle under the default
 ``spawn``/``fork`` start methods; per-spec wall times ride back alongside
 the report and are merged into the document's opt-in ``timing`` section,
 never into ``runs``.
+
+A spec that raises inside a worker no longer surfaces as a raw
+multiprocessing traceback killing the whole sweep: the worker catches the
+exception and sends it back as data, the surviving runs are preserved in
+the document, and failures are listed in its ``failures`` section (the CLI
+prints them to stderr and exits 1).
 """
 
 from __future__ import annotations
 
 import time
+import traceback
 import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.bench import SCHEMA, run_spec
 
 RunReport = Dict[str, object]
+#: (report or None, wall seconds, error string or None) per spec.
+SpecResult = Tuple[Optional[RunReport], float, Optional[str]]
 
 
 def derive_seed(base: int, *keys: object) -> int:
@@ -34,17 +43,22 @@ def derive_seed(base: int, *keys: object) -> int:
     return (int(base) * 0x9E3779B1 + digest) % (2**31 - 1)
 
 
-def _timed_run_spec(spec: Dict[str, object]) -> Tuple[RunReport, float]:
-    """Pool worker: one spec -> (report, wall seconds).  Module-level so it
-    pickles."""
+def _timed_run_spec(spec: Dict[str, object]) -> SpecResult:
+    """Pool worker: one spec -> (report, wall seconds, error).  Module-level
+    so it pickles; exceptions come back as strings, not tracebacks that kill
+    the pool."""
     t0 = time.perf_counter()
-    report = run_spec(spec)
-    return report, time.perf_counter() - t0
+    try:
+        report = run_spec(spec)
+    except Exception as exc:
+        tb = traceback.format_exc(limit=8)
+        return None, time.perf_counter() - t0, f"{type(exc).__name__}: {exc}\n{tb}"
+    return report, time.perf_counter() - t0, None
 
 
 def map_specs(
     specs: Sequence[Dict[str, object]], jobs: int = 1
-) -> List[Tuple[RunReport, float]]:
+) -> List[SpecResult]:
     """Run every spec, ``jobs`` at a time; results in spec order.
 
     ``jobs <= 1`` runs inline (no pool, no pickling) — the degenerate case
@@ -69,7 +83,10 @@ def sweep(
     The document matches :func:`repro.obs.bench.run_benchmark` output:
     ``runs`` holds the deterministic reports in spec order; wall-clock data
     goes to the ``timing`` section only (dropped with ``timing=False`` so
-    documents can be compared across machines)."""
+    documents can be compared across machines).  Specs that raised are
+    dropped from ``runs``/``timing`` and reported — spec and error string —
+    in a ``failures`` section, so one bad spec costs its own report, not
+    the sweep's."""
     t0 = time.perf_counter()
     results = map_specs(specs, jobs=jobs)
     wall = time.perf_counter() - t0
@@ -77,8 +94,15 @@ def sweep(
         "bench": name,
         "schema": SCHEMA,
         "quick": bool(quick),
-        "runs": [report for report, _ in results],
+        "runs": [report for report, _, err in results if err is None],
     }
+    failures = [
+        {"spec": dict(spec), "error": err}
+        for spec, (_, _, err) in zip(specs, results)
+        if err is not None
+    ]
+    if failures:
+        doc["failures"] = failures
     if timing:
         doc["timing"] = {
             "wall_time_s": wall,
@@ -92,7 +116,8 @@ def sweep(
                         if elapsed > 0 else 0.0
                     ),
                 }
-                for report, elapsed in results
+                for report, elapsed, err in results
+                if err is None
             ],
         }
     return doc

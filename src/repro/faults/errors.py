@@ -1,0 +1,74 @@
+"""Typed fault and recovery errors.
+
+Every error a fault-injected run may surface is a subclass of
+:class:`FaultError` (or :class:`repro.sim.engine.SimulationTimeout`, the
+escalation path for wedged runs).  The chaos harness's core invariant —
+*complete or raise a typed error, never hang or silently corrupt* — is
+stated in terms of exactly these types, so anything else escaping a
+seeded-fault run is a bug, not a fault outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected-fault outcome.
+
+    ``kind`` names the fault family (``bank``, ``network``, ``nc``,
+    ``completion``, ``recovery``); ``slot`` is the simulation slot at
+    which the error was raised, when known.
+    """
+
+    kind: str = "fault"
+
+    def __init__(self, message: str, *, slot: Optional[int] = None):
+        super().__init__(message)
+        self.slot = slot
+
+
+class BankFaultError(FaultError):
+    """A memory bank fault could not be absorbed by retry or degradation."""
+
+    kind = "bank"
+
+
+class DegradedModeError(BankFaultError):
+    """The degraded ``b-1`` AT schedule cannot serve this configuration.
+
+    Raised when a dead bank cannot be remapped: with ``c = 1`` the module
+    serves ``n = b`` processors, and no row-injective schedule over the
+    ``b - 1`` surviving banks exists (``n > b - 1``).  The typed error is
+    the honest outcome — the module cannot degrade gracefully and must be
+    taken out of service instead.
+    """
+
+
+class NetworkFaultError(FaultError):
+    """An omega switch/link fault exhausted the routing retry budget."""
+
+    kind = "network"
+
+
+class NCStallError(FaultError):
+    """A network-controller stall exceeded its escalation budget."""
+
+    kind = "nc"
+
+
+class CompletionFaultError(FaultError):
+    """A delayed or lost completion could not be recovered."""
+
+    kind = "completion"
+
+
+class RetryExhaustedError(FaultError):
+    """Bounded per-op retry gave up: the fault outlasted the backoff budget."""
+
+    kind = "recovery"
+
+    def __init__(self, message: str, *, slot: Optional[int] = None,
+                 attempts: int = 0):
+        super().__init__(message, slot=slot)
+        self.attempts = attempts

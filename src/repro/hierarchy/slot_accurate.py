@@ -170,21 +170,31 @@ class SlotAccurateHierarchy:
     RETRY_DELAY = 2
 
     def __init__(self, n_clusters: int, procs_per_cluster: int,
-                 n_lines: int = 64, bank_cycle: int = 1, hotpath=None):
+                 n_lines: int = 64, bank_cycle: int = 1, hotpath=None,
+                 faults=None):
         if n_clusters < 2 or procs_per_cluster < 1:
             raise ValueError("need >= 2 clusters and >= 1 processor each")
         self.n_clusters = n_clusters
         self.per = procs_per_cluster
         self.n_procs = n_clusters * procs_per_cluster
+        # The profiler is shared down the whole stack (clusters and the
+        # global module); the claim discipline keeps the slot attribution
+        # exclusive to whichever layer is driving.
         self.clusters = [
             CacheSystem(procs_per_cluster, bank_cycle=bank_cycle,
-                        n_lines=n_lines)
+                        n_lines=n_lines, hotpath=hotpath)
             for _ in range(n_clusters)
         ]
         self.global_controller = _GlobalController(self)
         self.global_mem = CFMemory(
             CFMConfig(n_procs=n_clusters), controller=self.global_controller
         )
+        if hotpath is not None:
+            self.global_mem.hotpath = hotpath
+        #: Optional :class:`repro.faults.FaultInjector`: at this level it
+        #: drives NC stalls; bank/completion faults belong to the cluster
+        #: and module layers (attach the injector there via chaos harness).
+        self.faults = faults
         self.l2: List[Dict[int, S]] = [dict() for _ in range(n_clusters)]
         self.ncs = [
             _NCState(queue=NetworkController(c)) for c in range(n_clusters)
@@ -371,6 +381,15 @@ class SlotAccurateHierarchy:
     # -- the NC state machines --------------------------------------------------------------
 
     def _nc_step(self, cluster: int) -> None:
+        if (
+            self.faults is not None
+            and self.faults.active
+            and self.faults.nc_stalled(cluster, self.slot)
+        ):
+            # The controller is frozen for this window: nothing is popped,
+            # nothing issued; queued events simply wait it out.
+            self.faults.count("nc.stalled")
+            return
         nc = self.ncs[cluster]
         if nc.current is None:
             if len(nc.queue) == 0:
@@ -594,16 +613,28 @@ class SlotAccurateHierarchy:
         three slot counters (hierarchy, clusters, global) kept in lockstep.
         """
         start = self.slot
-        remaining = [op for op in ops if not op.done]
-        while remaining:
-            if self.slot - start > max_slots:
-                self._raise_timeout(max_slots)
-            self._batch_step()
-            remaining = [op for op in remaining if not op.done]
+        hp = self.hotpath
+        token = hp.claim("hier") if hp is not None else None
+        try:
+            remaining = [op for op in ops if not op.done]
+            while remaining:
+                if self.slot - start > max_slots:
+                    self._raise_timeout(max_slots)
+                self._batch_step()
+                remaining = [op for op in remaining if not op.done]
+        finally:
+            if hp is not None:
+                hp.release(token)
 
     def _batch_step(self) -> None:
         hp = self.hotpath
         slot = self.slot
+        if self.faults is not None and self.faults.active:
+            # Live fault windows are per-slot definitions: reference path.
+            if hp is not None:
+                hp.count("hier", "tick.faults")
+            self.tick()
+            return
         if self._parked and self._parked_next <= slot:
             if hp is not None:
                 hp.count("hier", "tick.cpu")

@@ -61,7 +61,7 @@ class PartiallySynchronousOmega:
     """An omega network with ``circuit_columns`` routed columns followed by
     clock-driven columns (Fig 3.11)."""
 
-    def __init__(self, n_ports: int, circuit_columns: int):
+    def __init__(self, n_ports: int, circuit_columns: int, faults=None):
         self.net = OmegaNetwork(n_ports)
         if not 0 <= circuit_columns <= self.net.n_stages:
             raise ValueError(
@@ -70,6 +70,25 @@ class PartiallySynchronousOmega:
             )
         self.n_ports = n_ports
         self.circuit_columns = circuit_columns
+        #: Optional :class:`repro.faults.FaultInjector`: ``module_drop``
+        #: events make whole modules unreachable through the circuit-
+        #: switched columns (:meth:`module_available` answers per slot).
+        self.faults = faults
+
+    def module_available(self, module: int, slot: int) -> bool:
+        """Can the circuit-switched columns reach ``module`` at ``slot``?
+
+        Always true without an active injector; a ``module_drop`` window
+        makes every path into the module's subtree unavailable — callers
+        must hold the request and retry after the window."""
+        if not 0 <= module < self.n_modules:
+            raise ValueError(f"module {module} out of range")
+        if self.faults is None or not self.faults.active:
+            return True
+        if self.faults.module_blocked(module, slot):
+            self.faults.count("net.module_blocked")
+            return False
+        return True
 
     @property
     def clock_columns(self) -> int:

@@ -29,6 +29,7 @@ class SynchronousOmegaNetwork:
         n_ports: int,
         probe: Optional[Probe] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults=None,
     ):
         self.net = OmegaNetwork(n_ports)
         self.n_ports = n_ports
@@ -37,6 +38,10 @@ class SynchronousOmegaNetwork:
         self._perms = shift_permutations(n_ports)
         self.probe = probe
         self.metrics = metrics
+        #: Optional :class:`repro.faults.FaultInjector`: dropped links and
+        #: switches sever input→output paths; :meth:`route` silently drops
+        #: the affected payloads (the sender retries next period).
+        self.faults = faults
         if metrics is not None:
             self._switch_util = [
                 [
@@ -81,11 +86,26 @@ class SynchronousOmegaNetwork:
         Contention is impossible by construction: the slot permutation is a
         bijection.  (Asserted anyway — the whole point of the design.)"""
         row = self._perms[slot % self.n_ports]
+        faults = self.faults
+        dropped = 0
         out: Dict[int, object] = {}
         for i, payload in payloads.items():
             t = row[i]
+            if (
+                faults is not None
+                and faults.active
+                and faults.input_blocked(self.net, i, t, slot)
+            ):
+                # A dead link/switch on the path: the payload is lost in
+                # the fabric for this slot; the same shift recurs one
+                # period later, so the sender's retry takes a live path
+                # once the fault window ends.
+                dropped += 1
+                continue
             assert t not in out, "synchronous omega produced a collision"
             out[t] = payload
+        if dropped:
+            faults.count("net.dropped", dropped)
         if self.metrics is not None:
             used = set()
             for i in payloads:

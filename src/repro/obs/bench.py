@@ -376,6 +376,53 @@ def _run_hierarchy(n_clusters: int, procs_per_cluster: int, rounds: int,
     return report
 
 
+def _run_faults(trials: int = 3, seed: int = 0, quick: bool = False,
+                probe: Optional[Probe] = None) -> Dict[str, object]:
+    """Chaos differential sweep: seeded fault plans across every layer.
+
+    Two gates ride in the report: ``zero_fault_identical`` (a zero plan is
+    bit-identical to no fault machinery, reference and batch) and the
+    per-run outcomes, each of which must be ``completed`` or a typed
+    error name (``fault_outcomes`` aggregates them; CI's fault-smoke job
+    asserts both).  ``probe`` accepted for signature parity, unused.
+    """
+    from repro.faults.chaos import chaos_sweep, differential_zero_fault
+    from repro.sim.stats import RunSummary
+
+    metrics = MetricsRegistry()
+    identical = differential_zero_fault(seed)
+    runs = chaos_sweep(seed, trials=trials, quick=quick)
+    summary = RunSummary()
+    counters: Dict[str, int] = {}
+    outcomes: Dict[str, int] = {}
+    for r in runs:
+        summary.cycles += int(r["slots"])  # total simulated slots
+        outcomes[str(r["outcome"])] = outcomes.get(str(r["outcome"]), 0) + 1
+        if r["outcome"] == "completed":
+            summary.completed += 1
+        else:
+            summary.retries += 1  # typed-error outcomes, in schema terms
+        for k, v in r["counters"].items():  # type: ignore[union-attr]
+            counters[k] = counters.get(k, 0) + int(v)
+    report = _run_report(
+        "faults_chaos",
+        {"trials": trials, "seed": seed, "quick": bool(quick),
+         "workload": "chaos_sweep", "n_runs": len(runs)},
+        summary, metrics, "cfm.bank",
+    )
+    report["zero_fault_identical"] = identical
+    report["fault_outcomes"] = dict(sorted(outcomes.items()))
+    report["fault_counters"] = dict(sorted(counters.items()))
+    report["fault_runs"] = [
+        {"layer": r["layer"], "shape": r["shape"], "outcome": r["outcome"],
+         "typed": r["typed"], "slots": r["slots"],
+         "counters": r["counters"], "plan_seed": r["plan"]["seed"],
+         "plan_kinds": r["plan"]["kinds"]}
+        for r in runs
+    ]
+    return report
+
+
 # --------------------------------------------------------------------------
 # Specs: a run as data
 #
@@ -394,6 +441,7 @@ SYSTEMS: Dict[str, Callable[..., Dict[str, object]]] = {
     "sync_omega": _run_sync_omega,
     "cache": _run_cache,
     "hierarchy": _run_hierarchy,
+    "faults_chaos": _run_faults,
 }
 
 #: Systems whose runners accept ``profile=True`` (``repro bench --profile``).
@@ -497,6 +545,13 @@ def specs_hotpath(quick: bool = False) -> List[Dict[str, object]]:
     ]
 
 
+def specs_faults(quick: bool = False) -> List[Dict[str, object]]:
+    """Chaos differential sweep: zero-fault bit-identity + seeded fault
+    plans that must complete or raise typed errors (CI's fault-smoke gate)."""
+    trials = 2 if quick else 4
+    return [_spec("faults_chaos", trials=trials, seed=0, quick=quick)]
+
+
 BENCH_SPECS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
     "quick": specs_quick,
     "cfm": specs_cfm,
@@ -506,6 +561,7 @@ BENCH_SPECS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
     "cache": specs_cache,
     "hierarchy": specs_hierarchy,
     "hotpath": specs_hotpath,
+    "faults": specs_faults,
 }
 
 

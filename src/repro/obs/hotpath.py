@@ -41,15 +41,59 @@ from typing import Dict, Optional
 
 
 class HotpathProfiler:
-    """Deterministic per-layer counters of batch/tick/fallback decisions."""
+    """Deterministic per-layer counters of batch/tick/fallback decisions.
 
-    __slots__ = ("_counts",)
+    **Exclusive counting.**  One profiler may be shared down a layer stack
+    (hierarchy → clusters → their CFMemory engines): each batch driver
+    claims the profiler for the duration of its run (:meth:`claim` /
+    :meth:`release`), and while claimed, :meth:`count` drops events from
+    every *other* layer.  A slot is therefore attributed to exactly one
+    layer — the one actually driving time — and per-layer counter sums
+    equal the slots that layer advanced, never more (the invariant
+    ``tests/test_fastpath_stage2.py`` asserts).  :meth:`note` bypasses the
+    claim for auxiliary, non-slot counters (e.g. fault-injection tallies).
+    """
+
+    __slots__ = ("_counts", "_owner")
 
     def __init__(self) -> None:
         self._counts: Dict[str, Dict[str, int]] = {}
+        self._owner: Optional[str] = None
+
+    def claim(self, layer: str) -> Optional[str]:
+        """Make ``layer`` the driving layer; returns a release token.
+
+        Returns ``None`` (a no-op token) when another layer already holds
+        the claim — the outer driver keeps ownership and the inner layer's
+        slot counters are suppressed for the duration."""
+        if self._owner is None:
+            self._owner = layer
+            return layer
+        return None
+
+    def release(self, token: Optional[str]) -> None:
+        """Release a claim made with :meth:`claim` (``None`` is a no-op)."""
+        if token is not None and self._owner == token:
+            self._owner = None
 
     def count(self, layer: str, event: str, n: int = 1) -> None:
-        """Add ``n`` to ``layer``'s ``event`` counter."""
+        """Add ``n`` to ``layer``'s ``event`` counter.
+
+        Dropped when another layer holds the driving claim: each advanced
+        slot is counted by exactly one layer."""
+        if self._owner is not None and layer != self._owner:
+            return
+        layer_counts = self._counts.get(layer)
+        if layer_counts is None:
+            layer_counts = self._counts[layer] = {}
+        layer_counts[event] = layer_counts.get(event, 0) + n
+
+    def note(self, layer: str, event: str, n: int = 1) -> None:
+        """Add to a counter regardless of the driving claim.
+
+        For auxiliary tallies that are not slot-advancement decisions
+        (fault-injection events, recovery retries): these may legitimately
+        occur inside another layer's driving span."""
         layer_counts = self._counts.get(layer)
         if layer_counts is None:
             layer_counts = self._counts[layer] = {}

@@ -103,15 +103,45 @@ class CFMDriver:
             or getattr(type(ctrl), "ON_SLOT_IS_GC", False)
         )
 
+    def _stuck_report(self) -> List[str]:
+        """Forensics for a wedged run: in-flight accesses AND parked ops.
+
+        The deferred heap holds bound methods of driver operations (e.g.
+        ``SwapOperation.start``); naming them by processor/offset/attempts
+        is what turns "3 deferred" into an actionable report when a run
+        times out with everything parked.
+        """
+        stuck = [
+            f"proc {a.proc} {a.kind.value}@{a.offset} "
+            f"words_done={a.words_done}"
+            for a in self.mem.active
+        ]
+        for due, _seq, fn in sorted(self._deferred):
+            target = getattr(fn, "__self__", None)
+            proc = getattr(target, "proc", None)
+            offset = getattr(target, "offset", None)
+            if target is not None and proc is not None and offset is not None:
+                attempts = getattr(target, "attempts", 0)
+                stuck.append(
+                    f"deferred {type(target).__name__} proc {proc}@{offset} "
+                    f"attempts={attempts} due slot {due}"
+                )
+            else:
+                name = getattr(fn, "__name__", repr(fn))
+                stuck.append(f"deferred callback {name} due slot {due}")
+        return stuck
+
     def run_until(self, done: Callable[[], bool], max_slots: int = 100_000) -> int:
         start = self.mem.slot
         while not done():
             if self.mem.slot - start > max_slots:
+                stuck = self._stuck_report()
+                detail = f": {'; '.join(stuck)}" if stuck else ""
                 raise SimulationTimeout(
                     f"operations did not finish in {max_slots} slots "
                     f"(slot {self.mem.slot}, {len(self._deferred)} deferred, "
-                    f"{len(self.mem.active)} in flight)",
-                    slot=self.mem.slot, max_slots=max_slots,
+                    f"{len(self.mem.active)} in flight)" + detail,
+                    slot=self.mem.slot, max_slots=max_slots, stuck=stuck,
                 )
             # Idle leap: with nothing in flight, the next event is the next
             # deferred re-issue — jump straight to it instead of ticking

@@ -452,6 +452,23 @@ class TestParallelSweep:
         pooled.pop("timing")
         assert serial == pooled
 
+    def test_failed_spec_preserves_survivors_and_reports(self):
+        """One bad spec costs its own report, not the sweep: survivors
+        stay in ``runs`` (in spec order), the failure lands in the
+        ``failures`` section as data — identically under a pool."""
+        from repro.fastpath.parallel import sweep
+
+        bad = {"system": "no_such_system", "params": {}}
+        specs = [self.SPECS[0], bad, self.SPECS[1]]
+        for jobs in (1, 2):
+            doc = sweep(specs, jobs=jobs, name="t")
+            assert [r["system"] for r in doc["runs"]] == [
+                "cfm", "interleaved"]
+            (failure,) = doc["failures"]
+            assert failure["spec"] == bad
+            assert "no_such_system" in failure["error"]
+            assert len(doc["timing"]["runs"]) == 2  # no timing for failures
+
     def test_timing_section_is_separable(self):
         from repro.fastpath.parallel import sweep
 

@@ -343,3 +343,47 @@ def test_profiler_occupancy_shape():
     occ = hp.occupancy()["cache"]
     assert occ["batched"] == 90 and occ["ticked"] == 10
     assert occ["batched_frac"] == pytest.approx(0.9)
+
+
+def test_profiler_counter_sum_equals_cache_slots():
+    """Exclusive counting, invariant form: the cache layer's counter sum
+    (batched + skipped + ticked) equals exactly the slots it advanced —
+    the inner CFM engine, sharing the profiler, contributes nothing."""
+    hp = HotpathProfiler()
+    plan = _plan_shared(8, rounds=5, seed=23)
+    sys_, _ = _run_cache_plan(8, 2, plan, batch=True, hotpath=hp)
+    occ = hp.occupancy()["cache"]
+    assert occ["batched"] + occ["skipped"] + occ["ticked"] == sys_.slot
+    assert "cfm" not in hp.snapshot()
+
+
+def test_profiler_counter_sum_equals_hier_slots():
+    hp = HotpathProfiler()
+    hplan = _hier_plan(2, 4, rounds=6, seed=19, local=False)
+    hier, _ = _run_hier_plan(2, 4, hplan, batch=True, local=False,
+                             hotpath=hp)
+    occ = hp.occupancy()["hier"]
+    assert occ["batched"] + occ["skipped"] + occ["ticked"] == hier.slot
+    for inner in ("cache", "cfm"):
+        assert inner not in hp.snapshot()
+
+
+def test_shared_profiler_attributes_each_slot_to_one_layer():
+    """One profiler shared down the stack: slots driven by the cache batch
+    engine land under "cache"; a subsequent direct CFM batch run on the
+    same profiler lands under "cfm" — each exactly covering the slots that
+    layer advanced while driving."""
+    hp = HotpathProfiler()
+    plan = _plan_private(8, rounds=4, seed=31)
+    sys_, _ = _run_cache_plan(8, 2, plan, batch=True, hotpath=hp)
+    cache_slots = sys_.slot
+    assert "cfm" not in hp.snapshot()
+
+    before = sys_.mem.slot
+    sys_.mem.run_batch(40)  # now the CFM engine drives time itself
+    occ = hp.occupancy()
+    cache = occ["cache"]
+    assert cache["batched"] + cache["skipped"] + cache["ticked"] == cache_slots
+    cfm = occ["cfm"]
+    assert cfm["batched"] + cfm["skipped"] + cfm["ticked"] \
+        == sys_.mem.slot - before == 40

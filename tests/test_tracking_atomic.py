@@ -168,3 +168,47 @@ class TestPriorityOverReads:
         d.run_until(lambda: s.done)
         assert s.total_latency == 16  # undisturbed 2β
         d.run_until(lambda: all(r.done for r in readers))
+
+
+class TestTimeoutForensics:
+    """SimulationTimeout from the driver must name what is wedged —
+    including operations parked on the deferred heap, not just the
+    memory's active accesses."""
+
+    def test_timeout_names_deferred_recovery_ops(self):
+        from repro.faults import RecoveringOp
+        from repro.sim.engine import SimulationTimeout
+
+        d, _ = make_driver()
+        op = RecoveringOp(d, 1, 2)
+        op.attempts = 3  # as if parked after three failed issues
+        d.defer(100, op.start)
+        with pytest.raises(SimulationTimeout) as exc:
+            d.run_until(lambda: False, max_slots=5)
+        msg = str(exc.value)
+        assert "deferred RecoveringOp proc 1@2 attempts=3" in msg
+        assert any("RecoveringOp proc 1@2" in s for s in exc.value.stuck)
+
+    def test_timeout_reports_plain_callbacks_by_name(self):
+        from repro.sim.engine import SimulationTimeout
+
+        d, _ = make_driver()
+
+        def poke_later():
+            pass
+
+        d.defer(100, poke_later)
+        with pytest.raises(SimulationTimeout) as exc:
+            d.run_until(lambda: False, max_slots=5)
+        assert "deferred callback poke_later" in str(exc.value)
+
+    def test_timeout_still_names_active_accesses(self):
+        from repro.sim.engine import SimulationTimeout
+
+        d, _ = make_driver()
+        # An access that never finishes within the budget: issue and bound
+        # the run to fewer slots than a block access needs.
+        ReadOperation(d, 2, 1).start()
+        with pytest.raises(SimulationTimeout) as exc:
+            d.run_until(lambda: False, max_slots=3)
+        assert "proc 2" in str(exc.value)

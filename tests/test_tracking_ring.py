@@ -169,6 +169,59 @@ def test_driver_workload_identical_under_both_tables(n_procs, bank_cycle):
 
 
 # --------------------------------------------------------------------------
+# Window-boundary pinning: GC and visibility at exact window multiples
+
+
+@pytest.mark.parametrize("capacity", [3, 7, 15, 31])
+def test_entry_visibility_ends_exactly_at_capacity_age(capacity):
+    """The expiry edge, pinned on both tables: an entry inserted at slot s
+    is visible (and prune-immune) through s+capacity, gone at s+capacity+1.
+    """
+    for att_cls in (AddressTrackingTable, AssociativeScanATT):
+        att = att_cls(capacity)
+        att.insert(0, 1, AccessKind.WRITE, 10)
+        assert att.has_entry(0, 10 + capacity)
+        assert not att.has_entry(0, 10 + capacity + 1)
+        att.prune(10 + capacity)  # still within the window: kept
+        assert len(att) == 1
+        att.prune(10 + capacity + 1)  # one past: GC drops it
+        assert len(att) == 0
+
+
+@pytest.mark.parametrize("n_procs,bank_cycle", SHAPES)
+def test_boundary_straddling_scripts_identical(n_procs, bank_cycle):
+    """Ring == scan at slots straddling multiples of the ATT window.
+
+    The suspicious zone for the ring queue's pop-from-the-left GC is the
+    exact expiry edge.  Every insert, prune, and lookup in these scripts
+    lands on k*window + {-1, 0, +1} — the (b, c) shapes give windows 4,
+    16, 64, and 256 — and every observable must match the associative
+    scan, including prunes issued one slot early and one slot late.
+    """
+    capacity = n_procs * bank_cycle - 1  # the m-1 window of §4.1.2
+    window = capacity + 1
+    events = []
+    op_id = 0
+    for k in range(1, 4):
+        base = k * window
+        for d in (-1, 0, 1):
+            events.append(("insert", k % 3, op_id, AccessKind.WRITE,
+                           base + d))
+            op_id += 1
+        for d in (-1, 0, 1):
+            events.append(("lookup", k % 3, base + d, None))
+            events.append(("has", k % 3, base + d, None))
+        # Prune straddling the straddled inserts' expiry edge.
+        for d in (-1, 0, 1):
+            events.append(("prune", base + window + d))
+            events.append(("lookup", k % 3, base + window + d, None))
+            events.append(("at", base + window + d))
+    ring = _table_trace(AddressTrackingTable, events, capacity)
+    scan = _table_trace(AssociativeScanATT, events, capacity)
+    assert ring == scan
+
+
+# --------------------------------------------------------------------------
 # Lock-system equivalence: grant order and latencies
 
 
