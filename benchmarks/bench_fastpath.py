@@ -54,6 +54,12 @@ HIER_SHAPE = (4, 4, 8)
 MIN_HIER_SPEEDUP = 2.0
 HIER_ROUNDS = 40
 
+#: Stage 3: shapes the vectorized engine is gated on, with the slot count
+#: per shape (a few full rotations of the b=n·c bank cycle each, so the
+#: epoch planner and the whole-block read memo both get exercised).
+VECTOR_SHAPES = [((64, 16), 4 * 64 * 16), ((128, 32), 3 * 128 * 32)]
+MIN_VECTOR_SPEEDUP = 10.0
+
 
 def _full_load(mem: CFMemory, log: List[Tuple[int, int, int]]) -> None:
     def reissue(acc):
@@ -334,6 +340,73 @@ def test_hierarchy_batch_equivalence():
     assert fp_slow == fp_fast
 
 
+# --------------------------------------------------------------------------
+# Stage 3: vectorized epoch engine vs slot-by-slot reference
+
+
+def _run_engine_once(n_procs: int, bank_cycle: int, slots: int, engine: str):
+    mem = CFMemory(CFMConfig(n_procs=n_procs, bank_cycle=bank_cycle))
+    log: List[Tuple[int, int, int]] = []
+    _full_load(mem, log)
+    gc.collect()
+    gc.disable()
+    t0 = time.perf_counter()
+    mem.run_engine(slots, engine=engine)
+    elapsed = time.perf_counter() - t0
+    gc.enable()
+    return log, mem.slot, elapsed
+
+
+def measure_vector(repeats: int = 3):
+    """(shape, reference s, vectorized s, speedup) per gated shape.
+
+    Each repeat runs all three engines and asserts their completion logs
+    bit-identical before the timing counts; the speedup compared is the
+    vectorized engine against the slot-by-slot reference."""
+    from repro.fastpath.engine import (
+        ENGINE_BATCH, ENGINE_REFERENCE, ENGINE_VECTORIZED,
+    )
+
+    rows = []
+    for (n_procs, bank_cycle), slots in VECTOR_SHAPES:
+        t_ref = t_vec = float("inf")
+        for _ in range(repeats):
+            log_ref, end_ref, ts = _run_engine_once(
+                n_procs, bank_cycle, slots, ENGINE_REFERENCE)
+            log_bat, end_bat, _ = _run_engine_once(
+                n_procs, bank_cycle, slots, ENGINE_BATCH)
+            log_vec, end_vec, tv = _run_engine_once(
+                n_procs, bank_cycle, slots, ENGINE_VECTORIZED)
+            assert log_ref == log_bat == log_vec, (
+                "engines diverged on the full-load workload")
+            assert end_ref == end_bat == end_vec == slots
+            t_ref = min(t_ref, ts)
+            t_vec = min(t_vec, tv)
+        rows.append(((n_procs, bank_cycle), slots, t_ref, t_vec,
+                     t_ref / t_vec if t_vec > 0 else float("inf")))
+    return rows
+
+
+def test_vector_engine_speedup():
+    from benchmarks._report import emit_table
+    from repro.fastpath.engine import vector_available
+
+    if not vector_available():
+        pytest.skip("numpy unavailable; vectorized engine gated off")
+    rows = measure_vector()
+    emit_table(
+        "CFM full-load: reference vs vectorized engine",
+        ["shape (n, c)", "slots", "ref (s)", "vec (s)", "speedup"],
+        [(f"({n}, {c})", str(slots), f"{ts:.3f}", f"{tv:.3f}", f"{sp:.1f}x")
+         for (n, c), slots, ts, tv, sp in rows],
+    )
+    for (n, c), _, _, _, speedup in rows:
+        assert speedup >= MIN_VECTOR_SPEEDUP, (
+            f"vectorized engine only {speedup:.1f}x on ({n}, {c}), "
+            f"need >= {MIN_VECTOR_SPEEDUP}x"
+        )
+
+
 if __name__ == "__main__":
     for (n, c), t_slow, t_fast, speedup in measure():
         print(f"core  (n={n:3d}, c={c:2d})  slow {t_slow:7.3f}s  "
@@ -345,3 +418,8 @@ if __name__ == "__main__":
     t_slow, t_fast, speedup = measure_hierarchy()
     print(f"hier  (k={k}, m={m}, c={c})  slow {t_slow:7.3f}s  "
           f"fast {t_fast:7.3f}s  {speedup:5.1f}x")
+    from repro.fastpath.engine import vector_available
+    if vector_available():
+        for (n, c), slots, t_ref, t_vec, speedup in measure_vector():
+            print(f"vec   (n={n:3d}, c={c:2d})  ref  {t_ref:7.3f}s  "
+                  f"vec  {t_vec:7.3f}s  {speedup:5.1f}x  ({slots} slots)")

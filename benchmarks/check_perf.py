@@ -29,6 +29,7 @@ DEFAULT_BASELINE = Path(__file__).parent / "baseline_quick.json"
 
 def load_timing(path: Path):
     doc = json.loads(path.read_text())
+    reject_partial(doc, str(path))
     timing = doc.get("timing")
     if not timing:
         raise SystemExit(
@@ -36,6 +37,22 @@ def load_timing(path: Path):
             "(run bench with --timing)"
         )
     return doc, timing
+
+
+def reject_partial(doc, label: str) -> None:
+    """Refuse documents from sweeps with worker failures.
+
+    A partial document is missing the failed specs' runs, so both its
+    per-run list and its total wall time undercount the real workload —
+    comparing against it (or baking it into a baseline) silently lowers
+    the bar."""
+    if doc.get("partial") or doc.get("failures"):
+        n = len(doc.get("failures", []) or [])
+        raise SystemExit(
+            f"error: {label} is a partial bench document ({n} failed "
+            "spec(s)) — fix the failures and re-run before comparing or "
+            "updating a baseline"
+        )
 
 
 def main(argv=None) -> int:
@@ -73,6 +90,7 @@ def main(argv=None) -> int:
             "--update on the reference machine)"
         )
     base = json.loads(args.baseline.read_text())
+    reject_partial(base, str(args.baseline))
     base_timing = base["timing"]
     if timing.get("jobs", 1) != base_timing.get("jobs", 1):
         raise SystemExit(

@@ -223,7 +223,7 @@ class CFMBindingSystem:
     def run(self, max_slots: int = 400_000) -> List[BindRecord]:
         start = self.cache.slot
         while any(c.phase is not _Phase.DONE for c in self._clients):
-            if self.cache.slot - start > max_slots:
+            if self.cache.slot - start >= max_slots:
                 raise RuntimeError("binding clients did not finish")
             for c in self._clients:
                 c.step_machine()

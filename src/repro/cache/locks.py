@@ -189,7 +189,7 @@ class CacheLockSystem:
             c.start()
         start = self.cache.slot
         while any(c.phase is not _Phase.DONE for c in self.clients):
-            if self.cache.slot - start > max_slots:
+            if self.cache.slot - start >= max_slots:
                 raise RuntimeError("lock clients did not finish")
             for c in self.clients:
                 c.step()
@@ -221,7 +221,7 @@ class MultiLockSystem:
             c.start()
         start = self.cache.slot
         while any(c.phase is not _Phase.DONE for c in self.clients):
-            if self.cache.slot - start > max_slots:
+            if self.cache.slot - start >= max_slots:
                 raise RuntimeError("multi-lock clients did not finish")
             for c in self.clients:
                 c.step()

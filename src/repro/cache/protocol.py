@@ -49,6 +49,11 @@ from repro.core.cfm import (
 from repro.core.config import CFMConfig
 from repro.cache.directory import CacheDirectory, CacheLine
 from repro.cache.state import CacheLineState
+from repro.fastpath.engine import (
+    ENGINE_BATCH,
+    ENGINE_REFERENCE,
+    resolve_engine,
+)
 from repro.sim.engine import SimulationTimeout
 from repro.tracking.att import AddressTrackingTable
 
@@ -336,10 +341,14 @@ class CacheSystem:
         metrics=None,
         hotpath=None,
         faults=None,
+        engine: Optional[str] = None,
     ):
         self.cfg = CFMConfig(
             n_procs=n_procs, bank_cycle=bank_cycle, word_width=word_width
         )
+        #: Engine strategy used by :meth:`run_ops_engine` when none is
+        #: passed per call; validated here so a bad name fails early.
+        self.engine = resolve_engine(engine)
         self.controller = _ProtocolController(self)
         # The shared probe/metrics flow down into the block-access engine,
         # so one registry sees both protocol ops and bank utilization.
@@ -481,9 +490,15 @@ class CacheSystem:
             self.tick()
 
     def run_until(self, done: Callable[[], bool], max_slots: int = 200_000) -> int:
+        """Tick until ``done()``; strict timeout at ``start + max_slots``.
+
+        The guard fires the moment ``max_slots`` slots have elapsed — the
+        repo-wide boundary every reference and batch driver shares, so all
+        engines raise :class:`SimulationTimeout` at the identical slot.
+        """
         start = self.slot
         while not done():
-            if self.slot - start > max_slots:
+            if self.slot - start >= max_slots:
                 self._raise_timeout(max_slots)
             self.tick()
         return self.slot - start
@@ -531,22 +546,55 @@ class CacheSystem:
         completion streams, directory/memory state, and stats to the
         per-slot reference.
         """
+        self._run_ops_fast(ops, max_slots, vector=False)
+
+    def run_ops_vector(self, ops: List[CpuOp], max_slots: int = 200_000) -> None:
+        """Drive ``ops`` to completion via the stage-3 vectorized engine.
+
+        Identical classification to :meth:`run_ops_batch` — same hazard
+        checks, same per-slot fallbacks — but interaction-free spans are
+        serviced by :func:`repro.fastpath.vector.advance_span` (the numpy
+        epoch planner) instead of the per-access Python walk.
+        """
+        self._run_ops_fast(ops, max_slots, vector=True)
+
+    def run_ops_engine(self, ops: List[CpuOp], max_slots: int = 200_000,
+                       engine: Optional[str] = None) -> None:
+        """Drive ``ops`` under the selected engine strategy.
+
+        ``engine`` overrides the instance default for this call only; all
+        strategies produce bit-identical observable results (invariant 10).
+        """
+        name = resolve_engine(engine, default=self.engine)
+        if name == ENGINE_REFERENCE:
+            self.run_ops(ops, max_slots)
+        elif name == ENGINE_BATCH:
+            self.run_ops_batch(ops, max_slots)
+        else:
+            self.run_ops_vector(ops, max_slots)
+
+    def _run_ops_fast(self, ops: List[CpuOp], max_slots: int,
+                      vector: bool) -> None:
         start = self.slot
+        limit = start + max_slots  # strict bound: no epoch may reach it
         hp = self.hotpath
         token = hp.claim("cache") if hp is not None else None
         try:
             remaining = [op for op in ops if not op.done]
             while remaining:
-                if self.slot - start > max_slots:
+                if self.slot - start >= max_slots:
                     self._raise_timeout(max_slots)
-                self._batch_step()
+                self._batch_step(limit, vector)
                 remaining = [op for op in remaining if not op.done]
         finally:
             if hp is not None:
                 hp.release(token)
 
-    def _batch_step(self) -> None:
-        """Advance one epoch: a batch span, or one reference tick."""
+    def _batch_step(self, limit: int = _FAR, vector: bool = False) -> None:
+        """Advance one epoch: a batch span, or one reference tick.
+
+        ``limit`` is the first slot the epoch must not reach (the caller's
+        timeout boundary); ``vector`` selects the numpy span walk."""
         hp = self.hotpath
         if self.faults is not None and self.faults.active:
             # Live fault injection is defined per-slot (fault windows,
@@ -554,6 +602,14 @@ class CacheSystem:
             # path.  A zero plan does not reach here.
             if hp is not None:
                 hp.count("cache", "tick.faults")
+            self.tick()
+            return
+        if self.mem._dead_bank is not None:
+            # The degraded b-1 schedule is defined per-slot (reduced
+            # period, shadow-bank double words): the span walk would index
+            # the period-(b-1) table with a mod-b phase.  Reference path.
+            if hp is not None:
+                hp.count("cache", "tick.degraded")
             self.tick()
             return
         if (
@@ -591,11 +647,23 @@ class CacheSystem:
                 hp.count("cache", "fallback.stall")
             self.tick()
             return
+        if target >= limit:
+            # Never let an epoch cross the caller's timeout boundary: the
+            # span ends at limit - 1 so the guard fires at the identical
+            # slot the reference loop would.
+            target = limit - 1
         if self.mem.active:
             if not self._batch_clean(slot):
                 if hp is not None:
                     hp.count("cache", "fallback.hazard")
                 self.tick()
+                return
+            if vector:
+                from repro.fastpath.vector import advance_span
+
+                if hp is not None:
+                    hp.count("cache", "vector.batched_slots", target - slot + 1)
+                advance_span(self.mem, target)
                 return
             if hp is not None:
                 hp.count("cache", "batched_slots", target - slot + 1)

@@ -373,8 +373,8 @@ def _print_hotpath(doc) -> None:
 
 def _cmd_bench(args) -> int:
     from repro.obs.bench import (
-        BENCHMARKS, PROFILABLE_SYSTEMS, benchmark_specs, run_benchmark,
-        write_document,
+        BENCHMARKS, ENGINE_SYSTEMS, PROFILABLE_SYSTEMS, benchmark_specs,
+        run_benchmark, write_document,
     )
 
     if args.list_benches:
@@ -396,13 +396,17 @@ def _cmd_bench(args) -> int:
                 for spec in specs:
                     if spec["system"] in PROFILABLE_SYSTEMS:
                         spec["params"]["profile"] = True
+            if args.engine is not None:
+                for spec in specs:
+                    if spec["system"] in ENGINE_SYSTEMS:
+                        spec["params"]["engine"] = args.engine
             doc = sweep(
                 specs, jobs=args.parallel, name=name,
                 quick=args.quick or name == "quick", timing=args.timing,
             )
         else:
             doc = run_benchmark(name, quick=args.quick, timing=args.timing,
-                                profile=args.profile)
+                                profile=args.profile, engine=args.engine)
         path = write_document(doc, name, out_dir=args.out)
         print(f"wrote {path}")
         # Partial failure: the document (with every surviving run) is
@@ -477,6 +481,13 @@ def main(argv=None) -> int:
         "--faults", action="store_true",
         help="also run the 'faults' chaos benchmark (zero-fault "
         "bit-identity + seeded fault sweeps with typed-error outcomes)",
+    )
+    p_bench.add_argument(
+        "--engine", choices=["reference", "batch", "vectorized"],
+        default=None, metavar="ENGINE",
+        help="engine strategy for runs that sit behind the engine seam "
+        "(cfm/cache/hierarchy): reference, batch, or vectorized; "
+        "results are bit-identical across engines",
     )
     args = parser.parse_args(argv)
 

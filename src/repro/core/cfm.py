@@ -36,6 +36,11 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.block import Block, Word
 from repro.core.config import CFMConfig
+from repro.fastpath.engine import (
+    ENGINE_BATCH,
+    ENGINE_REFERENCE,
+    resolve_engine,
+)
 from repro.fastpath.tables import bank_orders, slot_bank_table
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import Probe
@@ -176,6 +181,7 @@ class CFMemory:
         check_conflicts: bool = True,
         probe: Optional[Probe] = None,
         metrics: Optional[MetricsRegistry] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if config.n_modules != 1:
             raise ValueError(
@@ -186,8 +192,15 @@ class CFMemory:
         self.cfg = config
         self.controller = controller or PermissiveController()
         self.check_conflicts = check_conflicts
+        #: Engine strategy used by :meth:`run_engine` when none is passed
+        #: per call; validated here so a bad name fails at construction.
+        self.engine = resolve_engine(engine)
         self.slot = 0
         self._next_id = 0
+        # Monotone write counter: bumped on every write_word so the
+        # vectorized engine can detect stores made behind its back (finish
+        # callbacks poking blocks) and drop its memoized reads.
+        self._write_stamp = 0
         # The whole AT-space schedule, precomputed once per (b, c) shape:
         # _table[slot % b][proc] is the bank proc addresses at that slot,
         # _orders[first] the wrap-around visit sequence from bank `first`.
@@ -241,6 +254,7 @@ class CFMemory:
         return self.banks[bank].get(offset, _INIT_WORD)
 
     def write_word(self, bank: int, offset: int, word: Word) -> None:
+        self._write_stamp += 1
         self.banks[bank][offset] = word
 
     def peek_block(self, offset: int) -> Block:
@@ -668,11 +682,43 @@ class CFMemory:
             if hp is not None:
                 hp.release(token)
 
+    def run_vector(self, slots: int) -> None:
+        """Advance ``slots`` slots via the stage-3 numpy epoch engine.
+
+        Results are bit-identical to :meth:`run` and :meth:`run_batch`;
+        any hazard hands the remaining window to :meth:`run_batch` (see
+        :mod:`repro.fastpath.vector`).
+        """
+        from repro.fastpath.vector import run_vector
+
+        run_vector(self, slots)
+
+    def run_engine(self, slots: int, engine: Optional[str] = None) -> None:
+        """Advance ``slots`` slots under the selected engine strategy.
+
+        ``engine`` overrides the instance default for this call only; all
+        strategies produce bit-identical observable results (invariant 10).
+        """
+        name = resolve_engine(engine, default=self.engine)
+        if name == ENGINE_REFERENCE:
+            self.run(slots)
+        elif name == ENGINE_BATCH:
+            self.run_batch(slots)
+        else:
+            self.run_vector(slots)
+
     def run_until_idle(self, max_slots: int = 100_000) -> int:
-        """Tick until no access is active; returns slots elapsed."""
+        """Tick until no access is active; returns slots elapsed.
+
+        Raises :class:`SimulationTimeout` the moment ``max_slots`` slots
+        have elapsed with accesses still active — strict semantics: the
+        loop may tick slots ``start .. start + max_slots - 1`` and the
+        timeout fires at slot ``start + max_slots``, the same boundary
+        every driver loop in the repo uses.
+        """
         start = self.slot
         while self.active:
-            if self.slot - start > max_slots:
+            if self.slot - start >= max_slots:
                 stuck = [
                     f"proc {a.proc} {a.kind.value}@{a.offset} "
                     f"words_done={a.words_done}"

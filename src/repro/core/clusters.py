@@ -218,6 +218,6 @@ class ClusterSystem:
     def run_until_done(self, n_requests: int, max_slots: int = 100_000) -> None:
         start = self.slot
         while len(self.completed) < n_requests:
-            if self.slot - start > max_slots:
+            if self.slot - start >= max_slots:
                 raise RuntimeError("remote requests did not complete")
             self.tick()

@@ -102,7 +102,7 @@ class MultiModuleCFM:
     def run_until_idle(self, max_slots: int = 100_000) -> None:
         start = self.slot
         while any(m.active for m in self.modules):
-            if self.slot - start > max_slots:
+            if self.slot - start >= max_slots:
                 raise RuntimeError("multi-module accesses did not finish")
             self.tick()
 

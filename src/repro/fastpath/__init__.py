@@ -10,13 +10,29 @@ themselves (:meth:`repro.core.cfm.CFMemory.run_batch`,
 :meth:`repro.sim.engine.SlotClock.advance_until`,
 :meth:`repro.sim.engine.Engine.run_batch`).
 
+Stage 3 adds the engine-strategy seam: :mod:`repro.fastpath.engine`
+names the three interchangeable strategies (``reference`` / ``batch`` /
+``vectorized``) every batched layer dispatches through, and
+:mod:`repro.fastpath.vector` implements the vectorized one — whole
+epochs planned as numpy gathers over the same tables.
+
 Every fast path is differentially tested against the slot-by-slot
 reference path for bit-identical traces, metrics, and bench payloads
-(``tests/test_fastpath.py``).
+(``tests/test_fastpath.py``, ``tests/test_fastpath_stage3.py``).
 """
 
+from repro.fastpath.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_BATCH,
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    ENGINES,
+    resolve_engine,
+    vector_available,
+)
 from repro.fastpath.parallel import derive_seed, map_specs, sweep
 from repro.fastpath.tables import (
+    TABLE_CACHE_SIZE,
     assert_conflict_free,
     bank_orders,
     shift_permutations,
@@ -24,11 +40,19 @@ from repro.fastpath.tables import (
 )
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_BATCH",
+    "ENGINE_REFERENCE",
+    "ENGINE_VECTORIZED",
+    "ENGINES",
+    "TABLE_CACHE_SIZE",
     "assert_conflict_free",
     "bank_orders",
     "derive_seed",
     "map_specs",
+    "resolve_engine",
     "shift_permutations",
     "slot_bank_table",
     "sweep",
+    "vector_available",
 ]

@@ -1,0 +1,73 @@
+"""Engine-strategy registry: one seam for every slot-advancing layer.
+
+Each batched layer (:class:`repro.core.cfm.CFMemory`,
+:class:`repro.cache.protocol.CacheSystem`,
+:class:`repro.hierarchy.slot_accurate.SlotAccurateHierarchy`) can advance
+time three ways, all bit-identical on their observable results:
+
+``reference``
+    The per-slot tick loop — the paper's semantics, one slot at a time.
+    Always available, always correct, the differential oracle.
+``batch``
+    The stage-2 epoch batcher: prove a span interaction-free, replay it
+    in one pass over the precomputed bank orders (the default).
+``vectorized``
+    The stage-3 numpy epoch engine (:mod:`repro.fastpath.vector`): the
+    whole epoch plan — completion slots, bank occupancy, membership
+    windows — computed as array gathers, falling back to ``batch`` the
+    moment a hazard (same-offset write interleaving, an active fault
+    plan, a degraded bank, any observer) breaks the static proof.
+
+Layers accept an ``engine=`` constructor argument and expose a
+``run_*_engine`` dispatcher; ``repro bench --engine=`` threads the choice
+through the bench harness.  This module is deliberately dependency-free
+(no ``repro.*`` imports) so the registry can be consulted from any layer
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+ENGINE_REFERENCE = "reference"
+ENGINE_BATCH = "batch"
+ENGINE_VECTORIZED = "vectorized"
+
+#: Every selectable engine strategy, in fallback order (vectorized falls
+#: back to batch, batch falls back to reference ticks).
+ENGINES: Tuple[str, ...] = (ENGINE_REFERENCE, ENGINE_BATCH, ENGINE_VECTORIZED)
+
+#: The engine layers use when none is configured — the stage-2 batcher,
+#: preserving the behaviour of every pre-existing ``run_ops_batch`` caller.
+DEFAULT_ENGINE = ENGINE_BATCH
+
+
+def vector_available() -> bool:
+    """Is the vectorized engine usable (numpy importable) in this process?"""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy ships with the repo deps
+        return False
+    return True
+
+
+def resolve_engine(name: Optional[str],
+                   default: str = DEFAULT_ENGINE) -> str:
+    """Validate an engine name; ``None`` resolves to ``default``.
+
+    Raises ``ValueError`` for unknown names and for ``vectorized`` when
+    numpy is not importable — the engines never degrade silently to a
+    different strategy than the one asked for.
+    """
+    if name is None:
+        name = default
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r} (valid: {' '.join(ENGINES)})"
+        )
+    if name == ENGINE_VECTORIZED and not vector_available():
+        raise ValueError(
+            "vectorized engine requires numpy, which is not importable; "
+            "use 'batch' or 'reference'"
+        )
+    return name

@@ -102,7 +102,11 @@ def sweep(
         if err is not None
     ]
     if failures:
+        # A document missing runs is not a valid comparison target: mark it
+        # so downstream consumers (check_perf.py) refuse to treat it as a
+        # complete sweep or bake it into a baseline.
         doc["failures"] = failures
+        doc["partial"] = True
     if timing:
         doc["timing"] = {
             "wall_time_s": wall,

@@ -4,7 +4,11 @@ The AT-space mapping is periodic with period *b* (the module's bank
 count): the bank visited by processor *p* at slot *t* depends only on
 ``t mod b``.  One time period therefore fully describes the schedule, and
 the whole period fits in a ``b × (b/c)`` tuple-of-tuples that is computed
-once per machine shape and shared process-wide (``lru_cache``).
+once per machine shape and shared process-wide (``lru_cache``, bounded at
+:data:`TABLE_CACHE_SIZE` shapes so a long sweep over many shapes — or the
+degraded re-proofs of :mod:`repro.faults.degrade` — cannot grow table
+memory forever; engines hold direct references to their tables, so an
+eviction only ever costs a rebuild, never correctness).
 
 Three tables cover every consumer:
 
@@ -31,8 +35,14 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Tuple
 
+#: Bound on each table cache: comfortably above any one sweep's working
+#: set of machine shapes, finite so unbounded shape exploration cannot
+#: leak memory.  Shared by :mod:`repro.faults.degrade` and
+#: :mod:`repro.fastpath.vector` for their derived tables.
+TABLE_CACHE_SIZE = 128
 
-@lru_cache(maxsize=None)
+
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
 def slot_bank_table(n_banks: int, bank_cycle: int) -> Tuple[Tuple[int, ...], ...]:
     """Per-phase bank permutations: ``table[t % b][p] == (t + c·p) % b``.
 
@@ -75,7 +85,7 @@ def assert_conflict_free(n_banks: int, bank_cycle: int) -> None:
     slot_bank_table(n_banks, bank_cycle)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
 def bank_orders(n_banks: int) -> Tuple[Tuple[int, ...], ...]:
     """``orders[first]``: the wrap-around visit sequence starting at ``first``.
 
@@ -91,7 +101,7 @@ def bank_orders(n_banks: int) -> Tuple[Tuple[int, ...], ...]:
     )
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
 def shift_permutations(n_ports: int) -> Tuple[Tuple[int, ...], ...]:
     """``perms[t % N][i] = (t + i) mod N`` — the slot permutations of the
     synchronous omega network (§3.2.1), one period's worth."""

@@ -110,7 +110,7 @@ def fingerprint_hier(hier, ops) -> Tuple:
 # Fixed differential workloads (one per layer)
 
 
-def _drive_cfm(mem: CFMemory, batch: bool) -> Tuple:
+def _drive_cfm(mem: CFMemory, engine: str) -> Tuple:
     """A fixed write-then-read workload; returns the fingerprint."""
     n = mem.cfg.n_procs
     b = mem.n_banks
@@ -119,7 +119,7 @@ def _drive_cfm(mem: CFMemory, batch: bool) -> Tuple:
     for p in range(n):
         mem.issue(p, AccessKind.WRITE, p % 3,
                   data=Block.of_values([p * 100 + k for k in range(b)], f"v{p}"))
-    mem.run_batch(span) if batch else mem.run(span)
+    mem.run_engine(span, engine=engine)
     for p in range(n):
         mem.issue(
             p, AccessKind.READ, (p + 1) % 3,
@@ -127,16 +127,16 @@ def _drive_cfm(mem: CFMemory, batch: bool) -> Tuple:
                 (a.proc, tuple(w.value for w in a.result.words))
             ),
         )
-    mem.run_batch(span) if batch else mem.run(span)
+    mem.run_engine(span, engine=engine)
     return fingerprint_cfm(mem, results)
 
 
-def _cfm_fingerprint(n_procs: int, bank_cycle: int, batch: bool,
+def _cfm_fingerprint(n_procs: int, bank_cycle: int, engine: str,
                      attach_zero: bool) -> Tuple:
     mem = CFMemory(CFMConfig(n_procs=n_procs, bank_cycle=bank_cycle))
     if attach_zero:
         mem.faults = FaultInjector(FaultPlan.zero())
-    return _drive_cfm(mem, batch)
+    return _drive_cfm(mem, engine)
 
 
 def _build_cache_ops(sys_, n_procs: int, rounds: int, seed: int):
@@ -154,17 +154,14 @@ def _build_cache_ops(sys_, n_procs: int, rounds: int, seed: int):
     return ops
 
 
-def _cache_fingerprint(n_procs: int, rounds: int, seed: int, batch: bool,
+def _cache_fingerprint(n_procs: int, rounds: int, seed: int, engine: str,
                        attach_zero: bool) -> Tuple:
     from repro.cache.protocol import CacheSystem
 
     inj = FaultInjector(FaultPlan.zero()) if attach_zero else None
     sys_ = CacheSystem(n_procs, faults=inj)
     ops = _build_cache_ops(sys_, n_procs, rounds, seed)
-    if batch:
-        sys_.run_ops_batch(ops)
-    else:
-        sys_.run_ops(ops)
+    sys_.run_ops_engine(ops, engine=engine)
     return fingerprint_cache(sys_, ops)
 
 
@@ -184,42 +181,53 @@ def _build_hier_ops(hier, rounds: int, seed: int):
 
 
 def _hier_fingerprint(n_clusters: int, per: int, rounds: int, seed: int,
-                      batch: bool, attach_zero: bool) -> Tuple:
+                      engine: str, attach_zero: bool) -> Tuple:
     from repro.hierarchy.slot_accurate import SlotAccurateHierarchy
 
     inj = FaultInjector(FaultPlan.zero()) if attach_zero else None
     hier = SlotAccurateHierarchy(n_clusters, per, faults=inj)
     ops = _build_hier_ops(hier, rounds, seed)
-    if batch:
-        hier.run_ops_batch(ops)
-    else:
-        hier.run_ops(ops)
+    hier.run_ops_engine(ops, engine=engine)
     return fingerprint_hier(hier, ops)
 
 
-def differential_zero_fault(seed: int = 0) -> Dict[str, bool]:
-    """Assert zero-plan bit-identity on every layer, reference and batch.
+def _engines() -> Tuple[str, ...]:
+    """Every engine strategy runnable in this process (three-way when
+    numpy is importable, reference + batch otherwise)."""
+    from repro.fastpath.engine import ENGINES, ENGINE_VECTORIZED, vector_available
 
-    Returns ``{"cfm": True, "cache": True, "hierarchy": True}`` on success;
-    raises ``AssertionError`` naming the diverging layer otherwise.
+    if vector_available():
+        return ENGINES
+    return tuple(e for e in ENGINES if e != ENGINE_VECTORIZED)
+
+
+def differential_zero_fault(seed: int = 0) -> Dict[str, bool]:
+    """Assert zero-plan bit-identity on every layer, across every engine.
+
+    Three-way check (reference / batch / vectorized) × (bare / zero-plan
+    injector attached): every combination must produce the identical full
+    state fingerprint.  Returns ``{"cfm": True, "cache": True,
+    "hierarchy": True}`` on success; raises ``AssertionError`` naming the
+    diverging layer otherwise.
     """
+    engines = _engines()
     out: Dict[str, bool] = {}
     cfm = [
-        _cfm_fingerprint(8, 2, batch, zero)
-        for batch in (False, True) for zero in (False, True)
+        _cfm_fingerprint(8, 2, engine, zero)
+        for engine in engines for zero in (False, True)
     ]
     assert all(f == cfm[0] for f in cfm), "cfm zero-fault differential diverged"
     out["cfm"] = True
     cache = [
-        _cache_fingerprint(4, 3, seed, batch, zero)
-        for batch in (False, True) for zero in (False, True)
+        _cache_fingerprint(4, 3, seed, engine, zero)
+        for engine in engines for zero in (False, True)
     ]
     assert all(f == cache[0] for f in cache), \
         "cache zero-fault differential diverged"
     out["cache"] = True
     hier = [
-        _hier_fingerprint(2, 2, 2, seed, batch, zero)
-        for batch in (False, True) for zero in (False, True)
+        _hier_fingerprint(2, 2, 2, seed, engine, zero)
+        for engine in engines for zero in (False, True)
     ]
     assert all(f == hier[0] for f in hier), \
         "hierarchy zero-fault differential diverged"

@@ -22,10 +22,11 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Tuple
 
+from repro.fastpath.tables import TABLE_CACHE_SIZE
 from repro.faults.errors import DegradedModeError
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
 def degraded_slot_bank_table(
     n_banks: int, bank_cycle: int, dead_bank: int
 ) -> Tuple[Tuple[int, ...], ...]:

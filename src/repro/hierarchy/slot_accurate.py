@@ -45,6 +45,11 @@ from repro.core.cfm import (
     ControlAction,
 )
 from repro.core.config import CFMConfig
+from repro.fastpath.engine import (
+    ENGINE_BATCH,
+    ENGINE_REFERENCE,
+    resolve_engine,
+)
 from repro.hierarchy.controller import EventType, NetworkController
 from repro.hierarchy.hierarchical import IllegalStateCombination, _LEGAL
 from repro.sim.engine import SimulationTimeout
@@ -171,9 +176,12 @@ class SlotAccurateHierarchy:
 
     def __init__(self, n_clusters: int, procs_per_cluster: int,
                  n_lines: int = 64, bank_cycle: int = 1, hotpath=None,
-                 faults=None):
+                 faults=None, engine: Optional[str] = None):
         if n_clusters < 2 or procs_per_cluster < 1:
             raise ValueError("need >= 2 clusters and >= 1 processor each")
+        #: Engine strategy used by :meth:`run_ops_engine` when none is
+        #: passed per call; validated here so a bad name fails early.
+        self.engine = resolve_engine(engine)
         self.n_clusters = n_clusters
         self.per = procs_per_cluster
         self.n_procs = n_clusters * procs_per_cluster
@@ -563,9 +571,14 @@ class SlotAccurateHierarchy:
         self.slot += 1
 
     def run_until(self, done: Callable[[], bool], max_slots: int = 300_000) -> int:
+        """Tick until ``done()``; strict timeout at ``start + max_slots``.
+
+        Same boundary as every other driver loop in the repo, so all
+        engines raise :class:`SimulationTimeout` at the identical slot.
+        """
         start = self.slot
         while not done():
-            if self.slot - start > max_slots:
+            if self.slot - start >= max_slots:
                 self._raise_timeout(max_slots)
             self.tick()
         return self.slot - start
@@ -612,21 +625,50 @@ class SlotAccurateHierarchy:
         each cluster's AT tables via ``CacheSystem._advance_span`` with the
         three slot counters (hierarchy, clusters, global) kept in lockstep.
         """
+        self._run_ops_fast(ops, max_slots, vector=False)
+
+    def run_ops_vector(self, ops: List[HierOp], max_slots: int = 300_000) -> None:
+        """Drive ``ops`` to completion via the stage-3 vectorized engine.
+
+        Identical classification to :meth:`run_ops_batch`; leapt spans are
+        serviced per cluster by :func:`repro.fastpath.vector.advance_span`
+        (the numpy epoch planner) instead of the per-access Python walk.
+        """
+        self._run_ops_fast(ops, max_slots, vector=True)
+
+    def run_ops_engine(self, ops: List[HierOp], max_slots: int = 300_000,
+                       engine: Optional[str] = None) -> None:
+        """Drive ``ops`` under the selected engine strategy.
+
+        ``engine`` overrides the instance default for this call only; all
+        strategies produce bit-identical observable results (invariant 10).
+        """
+        name = resolve_engine(engine, default=self.engine)
+        if name == ENGINE_REFERENCE:
+            self.run_ops(ops, max_slots)
+        elif name == ENGINE_BATCH:
+            self.run_ops_batch(ops, max_slots)
+        else:
+            self.run_ops_vector(ops, max_slots)
+
+    def _run_ops_fast(self, ops: List[HierOp], max_slots: int,
+                      vector: bool) -> None:
         start = self.slot
+        limit = start + max_slots  # strict bound: no leap may reach it
         hp = self.hotpath
         token = hp.claim("hier") if hp is not None else None
         try:
             remaining = [op for op in ops if not op.done]
             while remaining:
-                if self.slot - start > max_slots:
+                if self.slot - start >= max_slots:
                     self._raise_timeout(max_slots)
-                self._batch_step()
+                self._batch_step(limit, vector)
                 remaining = [op for op in remaining if not op.done]
         finally:
             if hp is not None:
                 hp.release(token)
 
-    def _batch_step(self) -> None:
+    def _batch_step(self, limit: int = _FAR, vector: bool = False) -> None:
         hp = self.hotpath
         slot = self.slot
         if self.faults is not None and self.faults.active:
@@ -671,6 +713,13 @@ class SlotAccurateHierarchy:
                     hp.count("hier", "tick.observed")
                 self.tick()
                 return
+            if cs.mem._dead_bank is not None:
+                # A degraded cluster runs a per-slot b-1 schedule (reduced
+                # period, shadow-bank double words): reference path only.
+                if hp is not None:
+                    hp.count("hier", "tick.degraded")
+                self.tick()
+                return
             memo = cache[c]
             if memo is None:
                 c_cpu = cs._cpu_next_slot(slot)
@@ -707,17 +756,33 @@ class SlotAccurateHierarchy:
             self.tick()
             return
         target = nxt
+        if target >= limit:
+            # Never let a leap cross the caller's timeout boundary: the
+            # span ends at limit - 1 so the guard fires at the identical
+            # slot the reference loop would.
+            target = limit - 1
         # Lockstep leap: the hierarchy slot must equal ``target`` while the
         # cluster spans fire their finishers, so _cluster_done records the
         # same done_slot the reference path would.
         self.slot = target
-        for c, cs in enumerate(self.clusters):
-            if cs._advance_span(target):
-                cache[c] = None  # completions changed directory state
+        if vector:
+            from repro.fastpath.vector import advance_span
+
+            for c, cs in enumerate(self.clusters):
+                if advance_span(cs.mem, target):
+                    cache[c] = None  # completions changed directory state
+        else:
+            for c, cs in enumerate(self.clusters):
+                if cs._advance_span(target):
+                    cache[c] = None  # completions changed directory state
         self.global_mem.slot = target + 1  # its on_slot is the base no-op
         self.slot = target + 1
         if hp is not None:
-            hp.count("hier", "batched_slots", target - slot + 1)
+            hp.count(
+                "hier",
+                "vector.batched_slots" if vector else "batched_slots",
+                target - slot + 1,
+            )
 
     # -- invariants ---------------------------------------------------------------------------
 

@@ -70,18 +70,52 @@ def _run_report(system: str, params: Dict[str, object], summary,
 
 
 def _run_cfm(n_procs: int, bank_cycle: int, cycles: int,
-             probe: Optional[Probe] = None) -> Dict[str, object]:
+             probe: Optional[Probe] = None,
+             engine: Optional[str] = None) -> Dict[str, object]:
     """Slot-accurate CFM under full load: every processor always has an
     outstanding block read.  Conflict checking stays on — a ConflictError
-    here would falsify the paper's theorem, so it is allowed to propagate."""
+    here would falsify the paper's theorem, so it is allowed to propagate.
+
+    With ``engine`` set the run dispatches through
+    :meth:`CFMemory.run_engine` instead of the per-slot issue loop, and
+    runs *unobserved* (no metrics registry — observers pin the reference
+    path, which would make an engine comparison vacuous); reissues are
+    callback-driven, so the workload is identical across engines.
+    """
     from repro.core.cfm import AccessKind, AccessState, CFMemory
     from repro.core.config import CFMConfig
     from repro.sim.stats import RunSummary
 
     cfg = CFMConfig(n_procs=n_procs, bank_cycle=bank_cycle)
+    params: Dict[str, object] = {
+        "n_procs": n_procs, "bank_cycle": bank_cycle,
+        "n_banks": cfg.n_banks, "beta": cfg.block_access_time,
+        "workload": "full_load_reads",
+    }
+    summary = RunSummary()
+    if engine is not None:
+        mem = CFMemory(cfg, probe=probe, engine=engine)
+
+        def finished_e(acc) -> None:
+            if acc.state is AccessState.COMPLETED:
+                summary.completed += 1
+                summary.latencies.add(acc.latency)
+            else:
+                summary.retries += acc.restarts or 1
+            # Keep the processor saturated: completion slots are engine-
+            # invariant, so every engine sees the identical issue stream.
+            mem.issue(acc.proc, AccessKind.READ, offset=acc.proc % 4,
+                      on_finish=finished_e)
+
+        for p in range(n_procs):
+            mem.issue(p, AccessKind.READ, offset=p % 4, on_finish=finished_e)
+        mem.run_engine(cycles)
+        summary.cycles = cycles
+        params["engine"] = engine
+        return _run_report("cfm", params, summary, MetricsRegistry(),
+                           "cfm.bank")
     metrics = MetricsRegistry()
     mem = CFMemory(cfg, probe=probe, metrics=metrics)
-    summary = RunSummary()
     outstanding = [False] * n_procs
 
     def finished(acc) -> None:
@@ -99,13 +133,7 @@ def _run_cfm(n_procs: int, bank_cycle: int, cycles: int,
                 outstanding[p] = True
         mem.tick()
     summary.cycles = cycles
-    return _run_report(
-        "cfm",
-        {"n_procs": n_procs, "bank_cycle": bank_cycle,
-         "n_banks": cfg.n_banks, "beta": cfg.block_access_time,
-         "workload": "full_load_reads"},
-        summary, metrics, "cfm.bank",
-    )
+    return _run_report("cfm", params, summary, metrics, "cfm.bank")
 
 
 def _run_interleaved(n_procs: int, n_modules: int, rate: float, beta: int,
@@ -227,7 +255,8 @@ def _run_sync_omega(n_ports: int, cycles: int,
 
 def _run_cache(n_procs: int, rounds: int, seed: int = 0,
                workload: str = "mix", profile: bool = False,
-               probe: Optional[Probe] = None) -> Dict[str, object]:
+               probe: Optional[Probe] = None,
+               engine: Optional[str] = None) -> Dict[str, object]:
     """Coherent-cache op stream, dispatched through the batched epochs.
 
     ``workload="mix"`` is the original loads+stores over a small shared
@@ -235,7 +264,9 @@ def _run_cache(n_procs: int, rounds: int, seed: int = 0,
     — the regime where the batch path must never fall back).  Results are
     bit-identical to the per-slot reference either way; ``profile=True``
     additionally attaches a :class:`HotpathProfiler` and exports its
-    counters under ``"hotpath"``.
+    counters under ``"hotpath"``.  With ``engine`` set the op stream runs
+    through :meth:`CacheSystem.run_ops_engine` *unobserved* (no metrics —
+    they would pin the reference path and make the comparison vacuous).
     """
     from repro.cache.protocol import CacheSystem
     from repro.obs.hotpath import HotpathProfiler
@@ -250,7 +281,8 @@ def _run_cache(n_procs: int, rounds: int, seed: int = 0,
     metrics = MetricsRegistry()
     hotpath = HotpathProfiler() if profile else None
     sys_ = CacheSystem(n_procs, probe=probe,
-                       metrics=None if profile else metrics,
+                       metrics=None if (profile or engine is not None)
+                       else metrics,
                        hotpath=hotpath)
     rng = derive_rng(seed, "bench.cache", n_procs, rounds)
     summary = RunSummary()
@@ -266,20 +298,24 @@ def _run_cache(n_procs: int, rounds: int, seed: int = 0,
             else:
                 ops.append(sys_.load(p, offset))
     start = sys_.slot
-    sys_.run_ops_batch(ops)
+    if engine is not None:
+        sys_.run_ops_engine(ops, engine=engine)
+    else:
+        sys_.run_ops_batch(ops)
     summary.cycles = sys_.slot - start
     summary.completed = len(ops)
     for op in ops:
         summary.latencies.add(op.latency)
-    report = _run_report(
-        "cache",
-        {"n_procs": n_procs, "rounds": rounds, "seed": seed,
-         "workload": "load_store_mix" if workload == "mix"
-         else "private_stream",
-         "local_hits": sys_.stats_local_hits,
-         "memory_ops": sys_.stats_memory_ops},
-        summary, metrics, "cfm.bank",
-    )
+    params: Dict[str, object] = {
+        "n_procs": n_procs, "rounds": rounds, "seed": seed,
+        "workload": "load_store_mix" if workload == "mix"
+        else "private_stream",
+        "local_hits": sys_.stats_local_hits,
+        "memory_ops": sys_.stats_memory_ops,
+    }
+    if engine is not None:
+        params["engine"] = engine
+    report = _run_report("cache", params, summary, metrics, "cfm.bank")
     if hotpath is not None:
         report["hotpath"] = {
             "counters": hotpath.snapshot(),
@@ -291,7 +327,8 @@ def _run_cache(n_procs: int, rounds: int, seed: int = 0,
 def _run_hierarchy(n_clusters: int, procs_per_cluster: int, rounds: int,
                    seed: int = 0, bank_cycle: int = 1,
                    workload: str = "local", profile: bool = False,
-                   probe: Optional[Probe] = None) -> Dict[str, object]:
+                   probe: Optional[Probe] = None,
+                   engine: Optional[str] = None) -> Dict[str, object]:
     """Two-level hierarchy op stream through the batched epochs.
 
     ``workload="local"`` seeds every processor's private offsets DIRTY in
@@ -299,7 +336,8 @@ def _run_hierarchy(n_clusters: int, procs_per_cluster: int, rounds: int,
     zero fallbacks expected); ``"global"`` shares unseeded offsets across
     clusters, exercising the NC fetch/write-back chains (mostly slow
     path, by construction).  ``probe`` is accepted for signature parity
-    but unused — the hierarchy's clusters are internal.
+    but unused — the hierarchy's clusters are internal.  With ``engine``
+    set the rounds run through :meth:`SlotAccurateHierarchy.run_ops_engine`.
     """
     from repro.cache.state import CacheLineState
     from repro.core.block import Block
@@ -342,22 +380,26 @@ def _run_hierarchy(n_clusters: int, procs_per_cluster: int, rounds: int,
                                 g + 1}))
             else:
                 round_ops.append(hier.load(g, offset))
-        hier.run_ops_batch(round_ops)
+        if engine is not None:
+            hier.run_ops_engine(round_ops, engine=engine)
+        else:
+            hier.run_ops_batch(round_ops)
         ops.extend(round_ops)
     summary.cycles = hier.slot
     summary.completed = len(ops)
     for op in ops:
         summary.latencies.add(op.latency)
     metrics = MetricsRegistry()  # the hierarchy carries no registry (yet)
-    report = _run_report(
-        "hierarchy",
-        {"n_clusters": n_clusters, "procs_per_cluster": procs_per_cluster,
-         "bank_cycle": bank_cycle, "rounds": rounds, "seed": seed,
-         "workload": f"{workload}_stream",
-         "nc_invalidations": hier.global_controller.invalidations_sent,
-         "nc_l2_writebacks": hier.global_controller.triggered_l2_writebacks},
-        summary, metrics, "cfm.bank",
-    )
+    params: Dict[str, object] = {
+        "n_clusters": n_clusters, "procs_per_cluster": procs_per_cluster,
+        "bank_cycle": bank_cycle, "rounds": rounds, "seed": seed,
+        "workload": f"{workload}_stream",
+        "nc_invalidations": hier.global_controller.invalidations_sent,
+        "nc_l2_writebacks": hier.global_controller.triggered_l2_writebacks,
+    }
+    if engine is not None:
+        params["engine"] = engine
+    report = _run_report("hierarchy", params, summary, metrics, "cfm.bank")
     # A block access occupies every bank of its cluster CFM for exactly
     # one slot, so memory-op counts ARE per-bank busy slots — utilization
     # without attaching a registry (which would pin the per-slot path).
@@ -446,6 +488,10 @@ SYSTEMS: Dict[str, Callable[..., Dict[str, object]]] = {
 
 #: Systems whose runners accept ``profile=True`` (``repro bench --profile``).
 PROFILABLE_SYSTEMS = frozenset({"cache", "hierarchy"})
+
+#: Systems whose runners accept ``engine=`` (``repro bench --engine``):
+#: the three batched layers behind the engine-strategy seam.
+ENGINE_SYSTEMS = frozenset({"cfm", "cache", "hierarchy"})
 
 
 def run_spec(spec: Dict[str, object]) -> Dict[str, object]:
@@ -590,7 +636,8 @@ BENCHMARKS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
 
 def run_benchmark(name: str, quick: bool = False,
                   timing: bool = False,
-                  profile: bool = False) -> Dict[str, object]:
+                  profile: bool = False,
+                  engine: Optional[str] = None) -> Dict[str, object]:
     """Run one registered benchmark and return its JSON document.
 
     With ``timing=True`` the document gains a ``"timing"`` section — wall
@@ -598,12 +645,25 @@ def run_benchmark(name: str, quick: bool = False,
     lives outside ``runs`` so the default document stays deterministic
     (two runs of the same benchmark compare equal).  With ``profile=True``
     every run whose system supports it gains a ``"hotpath"`` section —
-    batch/tick/fallback counters, also deterministic."""
+    batch/tick/fallback counters, also deterministic.  With ``engine``
+    set, every run whose system sits behind the engine-strategy seam
+    (:data:`ENGINE_SYSTEMS`) dispatches through that strategy; results
+    are bit-identical across engines (invariant 10), so such documents
+    differ from the default only in ``params.engine`` and observer-
+    dependent sections."""
+    from repro.fastpath.engine import resolve_engine
+
+    if engine is not None:
+        engine = resolve_engine(engine)  # fail fast on unknown names
     specs = benchmark_specs(name, quick=quick)
     if profile:
         for spec in specs:
             if spec["system"] in PROFILABLE_SYSTEMS:
                 spec["params"]["profile"] = True  # type: ignore[index]
+    if engine is not None:
+        for spec in specs:
+            if spec["system"] in ENGINE_SYSTEMS:
+                spec["params"]["engine"] = engine  # type: ignore[index]
     doc: Dict[str, object] = {
         "bench": name, "schema": SCHEMA,
         "quick": bool(quick or name == "quick"),
@@ -637,9 +697,11 @@ def run_benchmark(name: str, quick: bool = False,
 
 def write_benchmark(name: str, out_dir: Union[str, Path] = ".",
                     quick: bool = False, timing: bool = False,
-                    profile: bool = False) -> Path:
+                    profile: bool = False,
+                    engine: Optional[str] = None) -> Path:
     """Run a benchmark and write ``BENCH_<name>.json``; returns the path."""
-    doc = run_benchmark(name, quick=quick, timing=timing, profile=profile)
+    doc = run_benchmark(name, quick=quick, timing=timing, profile=profile,
+                        engine=engine)
     return write_document(doc, name, out_dir=out_dir)
 
 

@@ -33,6 +33,14 @@ Counter naming convention, within a layer:
     stall`` (nothing can ever happen; the timeout guard's territory).
     A conflict-free workload must keep every ``fallback.*`` counter at
     zero — CI's bench-profile job asserts exactly that.
+``vector.<name>``
+    Stage-3 vectorized-engine counters: ``vector.batched_slots`` (slots
+    advanced via a numpy-planned epoch — slot-denominated, pooled with
+    ``batched_slots`` in :meth:`HotpathProfiler.occupancy`) and
+    ``vector.fallbacks`` (times the vectorized driver handed a window to
+    the batch engine — an *auxiliary* event count, NOT slot-denominated:
+    the handed-off slots are counted by the batch engine's own counters,
+    so per-layer slot sums must exclude ``vector.fallbacks``).
 """
 
 from __future__ import annotations
@@ -124,12 +132,17 @@ class HotpathProfiler:
         """Per-layer slot occupancy: how each layer's slots were advanced.
 
         ``ticked`` pools every ``tick.*`` and ``fallback.*`` slot (each of
-        those is exactly one reference-path slot); ``batched_frac`` is the
-        share of all advanced slots covered by batch spans.
+        those is exactly one reference-path slot); ``batched`` pools batch
+        spans from both the stage-2 and the stage-3 vectorized engine;
+        ``batched_frac`` is the share of all advanced slots covered by
+        them.  ``vector.fallbacks`` is auxiliary (not slot-denominated)
+        and deliberately excluded.
         """
         out: Dict[str, Dict[str, float]] = {}
         for layer, events in sorted(self._counts.items()):
-            batched = events.get("batched_slots", 0)
+            batched = events.get("batched_slots", 0) + events.get(
+                "vector.batched_slots", 0
+            )
             skipped = events.get("skipped_slots", 0)
             ticked = sum(
                 n for event, n in events.items()

@@ -134,7 +134,7 @@ class CFMDriver:
     def run_until(self, done: Callable[[], bool], max_slots: int = 100_000) -> int:
         start = self.mem.slot
         while not done():
-            if self.mem.slot - start > max_slots:
+            if self.mem.slot - start >= max_slots:
                 stuck = self._stuck_report()
                 detail = f": {'; '.join(stuck)}" if stuck else ""
                 raise SimulationTimeout(

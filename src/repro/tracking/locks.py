@@ -159,7 +159,7 @@ class SpinLockSystem:
             c.start()
         start = self.driver.slot
         while any(c.state is not _ClientState.DONE for c in self.clients):
-            if self.driver.slot - start > max_slots:
+            if self.driver.slot - start >= max_slots:
                 stuck = [
                     f"proc {c.proc} {c.state.value}"
                     for c in self.clients if c.state is not _ClientState.DONE
