@@ -1,0 +1,211 @@
+"""Serving throughput: warm sharded pool vs fresh-pool-per-request.
+
+The serving layer's perf claim (``repro.serve``): a persistent worker pool
+sharded by machine shape — every worker pre-warmed with exactly the
+AT-space tables of the shapes it owns — serves a mixed-shape request
+stream at >= 2x the throughput of the obvious alternative, standing up a
+fresh worker pool for every request.
+
+Both sides run the *same* worker function (:func:`repro.serve.pool.
+serve_worker`) on the *same* request payloads:
+
+* **warm** — one :class:`repro.serve.ShardedWorkerPool`, requests
+  dispatched through the shape router, timed in steady state (pool
+  construction excluded: a long-lived service pays it once).
+* **fresh** — per request: build a one-process pool whose initializer
+  *clears* the table caches (fork inherits the parent's warm caches, which
+  would quietly hand the baseline our advantage), run the request, tear
+  the pool down.  Timed inclusive of pool setup, because that is what
+  per-request pools cost.
+
+Before any timing counts, every distinct spec's served report is asserted
+bit-identical (post JSON round-trip) to :func:`repro.obs.bench.run_spec`
+run serially — the serving layer must never buy throughput with drift.
+
+Run standalone to write ``BENCH_serve.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out .
+
+or through pytest for the >= 2x gate (CI ``serve-smoke``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List, Tuple
+
+from repro.obs.bench import SCHEMA, run_spec
+from repro.serve.pool import ShardedWorkerPool, serve_worker
+from repro.serve.shard import DEFAULT_WARM_SHAPES
+
+QUICK_SHAPES: Tuple[Tuple[int, int], ...] = DEFAULT_WARM_SHAPES
+N_REQUESTS = 32
+N_SHARDS = 2
+CYCLES = 200
+MIN_SPEEDUP = 2.0
+
+
+def _payloads(n_requests: int,
+              shapes: Tuple[Tuple[int, int], ...] = QUICK_SHAPES,
+              cycles: int = CYCLES) -> List[Dict[str, object]]:
+    """A mixed-shape request stream: round-robin over the warm shapes."""
+    out = []
+    for i in range(n_requests):
+        n_banks, bank_cycle = shapes[i % len(shapes)]
+        out.append({
+            "system": "cfm",
+            "params": {"n_procs": n_banks // bank_cycle,
+                       "bank_cycle": bank_cycle, "cycles": cycles},
+        })
+    return out
+
+
+def _assert_identical_to_serial(results: List[Dict[str, object]],
+                                payloads: List[Dict[str, object]]) -> None:
+    seen = set()
+    for result, payload in zip(results, payloads):
+        assert result["ok"], result.get("error")
+        key = json.dumps(payload, sort_keys=True)
+        if key in seen:
+            continue
+        seen.add(key)
+        serial = run_spec({"system": payload["system"],
+                           "params": dict(payload["params"])})
+        served = json.loads(json.dumps(result["report"], sort_keys=True))
+        assert served == json.loads(json.dumps(serial, sort_keys=True)), (
+            f"served report diverged from serial run_spec for {payload}"
+        )
+
+
+def _cold_caches() -> None:
+    """Baseline pool initializer: start genuinely cold.
+
+    Linux pools fork, so a 'fresh' worker inherits the parent's warm
+    ``lru_cache`` tables — clearing them keeps the baseline honest."""
+    from repro.fastpath import tables
+
+    tables.slot_bank_table.cache_clear()
+    tables.bank_orders.cache_clear()
+    tables.shift_permutations.cache_clear()
+    try:
+        from repro.fastpath import vector
+
+        vector.np_slot_bank_table.cache_clear()
+        vector.np_bank_orders.cache_clear()
+    except ImportError:
+        pass
+
+
+def measure_warm(payloads: List[Dict[str, object]],
+                 n_shards: int = N_SHARDS) -> Tuple[float, List[Dict[str, object]]]:
+    """Steady-state seconds to serve ``payloads`` through one warm pool."""
+    with ShardedWorkerPool(n_shards=n_shards) as pool:
+        t0 = time.perf_counter()
+        handles = [pool.submit(dict(p)) for p in payloads]
+        results = [h.get() for h in handles]
+        elapsed = time.perf_counter() - t0
+    return elapsed, results
+
+
+def measure_fresh(payloads: List[Dict[str, object]]) -> Tuple[float, List[Dict[str, object]]]:
+    """Seconds to serve ``payloads`` standing up one cold pool per request."""
+    import multiprocessing as mp
+
+    results = []
+    t0 = time.perf_counter()
+    for payload in payloads:
+        with mp.Pool(processes=1, initializer=_cold_caches) as pool:
+            results.append(pool.apply(serve_worker, (dict(payload),)))
+    elapsed = time.perf_counter() - t0
+    return elapsed, results
+
+
+def run_bench(n_requests: int = N_REQUESTS, n_shards: int = N_SHARDS,
+              repeats: int = 2) -> Dict[str, object]:
+    """The full measurement → one ``repro-bench/1`` document."""
+    payloads = _payloads(n_requests)
+    t_warm = t_fresh = float("inf")
+    for _ in range(repeats):
+        warm_s, warm_results = measure_warm(payloads, n_shards=n_shards)
+        fresh_s, fresh_results = measure_fresh(payloads)
+        _assert_identical_to_serial(warm_results, payloads)
+        _assert_identical_to_serial(fresh_results, payloads)
+        t_warm = min(t_warm, warm_s)
+        t_fresh = min(t_fresh, fresh_s)
+    speedup = t_fresh / t_warm if t_warm > 0 else float("inf")
+    run = {
+        "system": "serve",
+        "params": {
+            "n_requests": n_requests,
+            "n_shards": n_shards,
+            "repeats": repeats,
+            "cycles": CYCLES,
+            "shapes": [list(s) for s in QUICK_SHAPES],
+        },
+        "warm": {
+            "wall_time_s": t_warm,
+            "requests_per_sec": n_requests / t_warm,
+        },
+        "fresh": {
+            "wall_time_s": t_fresh,
+            "requests_per_sec": n_requests / t_fresh,
+        },
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "identical_to_serial": True,
+    }
+    return {"bench": "serve", "schema": SCHEMA, "quick": True, "runs": [run]}
+
+
+def test_warm_sharded_pool_speedup():
+    from benchmarks._report import emit_table
+
+    doc = run_bench(n_requests=16)
+    (run,) = doc["runs"]
+    emit_table(
+        "Serving: warm sharded pool vs fresh pool per request",
+        ["path", "wall (s)", "req/s"],
+        [("warm", f"{run['warm']['wall_time_s']:.3f}",
+          f"{run['warm']['requests_per_sec']:.1f}"),
+         ("fresh", f"{run['fresh']['wall_time_s']:.3f}",
+          f"{run['fresh']['requests_per_sec']:.1f}"),
+         ("speedup", f"{run['speedup']:.1f}x", f">= {MIN_SPEEDUP}x")],
+    )
+    assert run["speedup"] >= MIN_SPEEDUP, (
+        f"warm sharded pool only {run['speedup']:.1f}x over "
+        f"fresh-pool-per-request, need >= {MIN_SPEEDUP}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=".",
+                        help="directory for BENCH_serve.json")
+    parser.add_argument("--requests", type=int, default=N_REQUESTS)
+    parser.add_argument("--shards", type=int, default=N_SHARDS)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+    doc = run_bench(n_requests=args.requests, n_shards=args.shards,
+                    repeats=args.repeats)
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, "BENCH_serve.json")
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    (run,) = doc["runs"]
+    print(f"warm  {run['warm']['wall_time_s']:7.3f}s  "
+          f"{run['warm']['requests_per_sec']:8.1f} req/s")
+    print(f"fresh {run['fresh']['wall_time_s']:7.3f}s  "
+          f"{run['fresh']['requests_per_sec']:8.1f} req/s")
+    print(f"speedup {run['speedup']:.1f}x (gate >= {MIN_SPEEDUP}x)")
+    print(f"wrote {path}")
+    return 0 if run["speedup"] >= MIN_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -115,8 +115,11 @@ def main(argv=None) -> int:
                 f"{name}: system changed (baseline {b.get('system')!r})"
             )
             continue
-        base_ops = float(b.get("ops_per_sec", 0.0))
-        ops = float(r.get("ops_per_sec", 0.0))
+        # ops_per_sec is null when a run recorded no completion data — treat
+        # it as 0 here: a document that lost its data vs a live baseline IS
+        # a regression, and a null baseline entry disables the comparison.
+        base_ops = float(b.get("ops_per_sec") or 0.0)
+        ops = float(r.get("ops_per_sec") or 0.0)
         floor = base_ops * (1.0 - tol)
         status = "ok"
         if base_ops > 0 and ops < floor:

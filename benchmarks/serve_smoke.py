@@ -1,0 +1,153 @@
+"""End-to-end smoke for ``repro serve`` — the CI ``serve-smoke`` driver.
+
+Starts the real CLI process (``python -m repro serve``), connects over
+TCP, and drives a ~50-request mixed-shape stream down one JSONL
+connection:
+
+* requests round-robin the warm shapes plus shapeless systems;
+* one request carries a fault injection that must come back as a *typed
+  error response* (``DegradedModeError``) — and the stream keeps flowing,
+  proving the fault cost one response, not a worker;
+* one request is malformed and must be rejected with ``RequestError``;
+* every request gets exactly one response (streamed, out-of-order safe);
+* the HTTP side answers ``GET /healthz`` and ``GET /metrics`` on the same
+  port, and the metrics snapshot accounts for everything just served.
+
+Exits 0 on success, 1 with a diagnostic on any violated expectation::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+
+N_REQUESTS = 50  # ok requests; the faulted + invalid ones ride on top
+
+SHAPED = [
+    {"system": "cfm", "params": {"n_procs": 4, "bank_cycle": 1, "cycles": 200}},
+    {"system": "cfm", "params": {"n_procs": 4, "bank_cycle": 2, "cycles": 200}},
+    {"system": "cache", "params": {"n_procs": 4, "rounds": 2}},
+    {"system": "sync_omega", "params": {"n_ports": 8, "cycles": 100}},
+]
+
+FAULTED = {
+    "id": "faulted", "system": "cfm",
+    "params": {"n_procs": 4, "bank_cycle": 1, "cycles": 200},
+    "inject": {"events": [{"kind": "bank_dead", "target": 1, "start": 3,
+                           "duration": 1}]},
+}
+
+INVALID = {"id": "invalid", "system": "cfm", "params": {"frobnicate": 1}}
+
+
+def _spawn_server():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", "0", "--shards", "2", "--depth", "8"],
+        stderr=subprocess.PIPE, text=True, env=env,
+    )
+    announce = proc.stderr.readline()
+    # "serving JSONL+HTTP on 127.0.0.1:PORT (shards=..., depth=..., ...)"
+    if "serving JSONL+HTTP on " not in announce:
+        proc.kill()
+        raise RuntimeError(f"unexpected server announce: {announce!r}")
+    hostport = announce.split("serving JSONL+HTTP on ", 1)[1].split()[0]
+    host, _, port = hostport.rpartition(":")
+    return proc, host, int(port)
+
+
+async def _drive(host: str, port: int) -> None:
+    requests = []
+    for i in range(N_REQUESTS):
+        spec = SHAPED[i % len(SHAPED)]
+        requests.append({"id": f"r{i}", "tenant": f"team{i % 3}",
+                         "system": spec["system"],
+                         "params": dict(spec["params"])})
+    requests.insert(20, dict(FAULTED))
+    requests.insert(40, dict(INVALID))
+
+    reader, writer = await asyncio.open_connection(host, port)
+    for req in requests:
+        writer.write((json.dumps(req) + "\n").encode())
+    await writer.drain()
+    writer.write_eof()
+    responses = {}
+    while len(responses) < len(requests):
+        line = await asyncio.wait_for(reader.readline(), timeout=120)
+        assert line, (
+            f"connection closed after {len(responses)}/{len(requests)} "
+            "responses"
+        )
+        resp = json.loads(line)
+        responses[resp["id"]] = resp
+    writer.close()
+
+    ok = [r for r in responses.values() if r["ok"]]
+    assert len(ok) == N_REQUESTS, f"expected {N_REQUESTS} ok, got {len(ok)}"
+    faulted = responses["faulted"]
+    assert faulted["ok"] is False, faulted
+    assert faulted["error"]["typed"] is True, faulted["error"]
+    assert faulted["error"]["type"] == "DegradedModeError", faulted["error"]
+    invalid = responses["invalid"]
+    assert invalid["ok"] is False, invalid
+    assert invalid["error"]["type"] == "RequestError", invalid["error"]
+
+    # The worker that served the faulted request stayed alive: later
+    # requests of the same shape came back ok from the same shard.
+    same_shape_after = [responses[f"r{i}"] for i in range(20, N_REQUESTS, 4)]
+    assert same_shape_after and all(r["ok"] for r in same_shape_after)
+
+    # HTTP on the same port: health + metrics account for the stream.
+    async def _get(path):
+        r, w = await asyncio.open_connection(host, port)
+        w.write(f"GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n".encode())
+        await w.drain()
+        data = await asyncio.wait_for(r.read(), timeout=60)
+        w.close()
+        status = int(data.split(b" ", 2)[1])
+        return status, json.loads(data.partition(b"\r\n\r\n")[2])
+
+    status, health = await _get("/healthz")
+    assert (status, health) == (200, {"ok": True}), (status, health)
+    status, metrics = await _get("/metrics")
+    assert status == 200, status
+    counts = metrics["service"]["serve.requests"]["counts"]
+    assert counts["total"] == N_REQUESTS + 1, counts  # faulted dispatched too
+    assert counts["ok"] == N_REQUESTS, counts
+    assert counts["error"] == 1, counts
+    assert counts["rejected"] == 1, counts
+    assert {"team0", "team1", "team2"} <= set(metrics["tenants"]), (
+        sorted(metrics["tenants"]))
+    assert metrics["inflight"]["peak"] <= metrics["inflight"]["max"], (
+        metrics["inflight"])
+    shapes = [k for k in metrics["service"] if k.startswith("serve.shape[")]
+    assert len(shapes) >= 3, shapes
+    print(f"serve smoke OK: {len(responses)} responses "
+          f"({counts['ok']} ok, 1 typed fault, 1 rejected), "
+          f"{len(shapes)} shapes, peak inflight "
+          f"{metrics['inflight']['peak']}/{metrics['inflight']['max']}")
+
+
+def main() -> int:
+    proc, host, port = _spawn_server()
+    try:
+        asyncio.run(_drive(host, port))
+        return 0
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

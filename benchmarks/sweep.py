@@ -74,6 +74,10 @@ def main(argv=None) -> int:
     parser.add_argument("--no-timing", action="store_true",
                         help="omit the wall-time section (machine-portable "
                         "documents)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per completed spec to stderr "
+                        "as it streams off the pool (failures surface "
+                        "immediately, not after the sweep drains)")
     args = parser.parse_args(argv)
 
     from repro.fastpath.parallel import sweep
@@ -85,8 +89,17 @@ def main(argv=None) -> int:
               f"(valid: {' '.join(sorted(BENCH_SPECS))})", file=sys.stderr)
         return 2
     specs = build_specs(args)
+    progress = None
+    if args.progress:
+        def progress(event):
+            mark = "FAIL" if event["error"] else "ok"
+            line = (f"[{event['index'] + 1}/{event['total']}] "
+                    f"{event['system']} {mark} ({event['wall_time_s']:.2f}s)")
+            if event["error"]:
+                line += f": {event['error']}"
+            print(line, file=sys.stderr, flush=True)
     doc = sweep(specs, jobs=args.jobs, name="sweep", quick=args.quick,
-                timing=not args.no_timing)
+                timing=not args.no_timing, progress=progress)
     path = write_document(doc, "sweep", out_dir=args.out)
     timing = doc.get("timing") or {}
     wall = timing.get("wall_time_s")

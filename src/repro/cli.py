@@ -1,5 +1,5 @@
 """Command-line interface: regenerate the paper's tables and figures,
-and run the unified benchmark harness.
+run the unified benchmark harness, and run the simulation service.
 
 Usage::
 
@@ -9,11 +9,16 @@ Usage::
     python -m repro all
     python -m repro bench --quick
     python -m repro bench cfm interleaved --out results/
+    python -m repro serve --port 7341 --shards 4
+    python -m repro serve --stdio < requests.jsonl
 
 Analytic artifacts print instantly; simulated ones (figures 2.1, 3.13,
 3.14 measured points, 4.1, 5.5) run their slot-accurate simulations first.
 ``bench`` writes one machine-readable ``BENCH_<name>.json`` per benchmark
-(see :mod:`repro.obs.bench` for the schema).
+(see :mod:`repro.obs.bench` for the schema).  ``serve`` runs the sharded
+async simulation service (:mod:`repro.serve`): JSONL requests in, streamed
+responses out, with warm per-shard table caches and bounded in-flight
+depth.
 
 Unknown table/figure/bench IDs exit with status 2 and the list of valid
 IDs on stderr — never a traceback.
@@ -425,6 +430,60 @@ def _cmd_bench(args) -> int:
     return status
 
 
+def _parse_shapes(texts):
+    """``"8x2"``-style shape args → ``(n_banks, bank_cycle)`` tuples."""
+    shapes = []
+    for text in texts:
+        try:
+            b, _, c = text.lower().partition("x")
+            shapes.append((int(b), int(c or 1)))
+        except ValueError:
+            raise SystemExit(
+                f"error: bad shape {text!r} (want BANKSxCYCLE, e.g. 8x2)"
+            )
+    return shapes
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.service import SimulationService
+    from repro.serve.shard import DEFAULT_WARM_SHAPES
+
+    warm = (_parse_shapes(args.warm) if args.warm
+            else list(DEFAULT_WARM_SHAPES))
+
+    async def _run() -> int:
+        service = SimulationService(
+            n_shards=args.shards, max_inflight=args.depth, warm_shapes=warm,
+        )
+        try:
+            if args.stdio:
+                print(f"serving JSONL on stdio (shards={args.shards}, "
+                      f"depth={args.depth})", file=sys.stderr, flush=True)
+                served = await service.serve_stdio()
+                print(f"served {served} request(s)", file=sys.stderr,
+                      flush=True)
+                return 0
+            server = await service.start(args.host, args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"serving JSONL+HTTP on {host}:{port} "
+                  f"(shards={args.shards}, depth={args.depth}, "
+                  f"warm={' '.join(f'{b}x{c}' for b, c in warm)})",
+                  file=sys.stderr, flush=True)
+            async with server:
+                await server.serve_forever()
+            return 0
+        finally:
+            service.pool.terminate()
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+        return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -489,6 +548,36 @@ def main(argv=None) -> int:
         "(cfm/cache/hierarchy): reference, batch, or vectorized; "
         "results are bit-identical across engines",
     )
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the sharded async simulation service "
+        "(JSONL over TCP/stdio + minimal HTTP)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=7341,
+        help="TCP port; 0 picks a free one (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="worker shards — one warm process each (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--depth", type=int, default=32, metavar="M",
+        help="max in-flight requests before the reader applies "
+        "backpressure (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--stdio", action="store_true",
+        help="serve JSONL over stdin/stdout instead of TCP (exit on EOF)",
+    )
+    p_serve.add_argument(
+        "--warm", nargs="*", metavar="BxC", default=None,
+        help="machine shapes to pre-warm, e.g. 8x2 16x4 "
+        "(default: the Table 3.3 working set)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -512,6 +601,8 @@ def main(argv=None) -> int:
         return verify()
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     for tid in sorted(TABLES):
         TABLES[tid]()
     for fid in sorted(FIGURES):

@@ -37,6 +37,7 @@ from repro.fastpath.tables import (
     bank_orders,
     shift_permutations,
     slot_bank_table,
+    warm_tables,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "slot_bank_table",
     "sweep",
     "vector_available",
+    "warm_tables",
 ]

@@ -101,6 +101,35 @@ def bank_orders(n_banks: int) -> Tuple[Tuple[int, ...], ...]:
     )
 
 
+def warm_tables(shapes) -> int:
+    """Pre-build every cached table for the given ``(n_banks, bank_cycle)``
+    shapes; returns the number of tables touched.
+
+    This is the serving layer's cache warmer: a worker process that owns a
+    set of shapes (:func:`repro.serve.shard.shard_for_shape`) calls this
+    from its pool initializer so the first request it serves already finds
+    ``slot_bank_table``/``bank_orders``/``shift_permutations`` — and, when
+    numpy is importable, the vectorized engine's ndarray mirrors — hot.
+    Invalid shapes raise the same ``ValueError`` the tables would, so a
+    misconfigured shard fails at pool start, not mid-request.
+    """
+    touched = 0
+    for n_banks, bank_cycle in shapes:
+        slot_bank_table(n_banks, bank_cycle)
+        bank_orders(n_banks)
+        # The omega data path of an (n, c) module moves n = b/c ports.
+        shift_permutations(n_banks // bank_cycle)
+        touched += 3
+        try:
+            from repro.fastpath.vector import np_bank_orders, np_slot_bank_table
+        except ImportError:  # numpy absent: table warm still counts
+            continue
+        np_slot_bank_table(n_banks, bank_cycle)
+        np_bank_orders(n_banks)
+        touched += 2
+    return touched
+
+
 @lru_cache(maxsize=TABLE_CACHE_SIZE)
 def shift_permutations(n_ports: int) -> Tuple[Tuple[int, ...], ...]:
     """``perms[t % N][i] = (t + i) mod N`` — the slot permutations of the

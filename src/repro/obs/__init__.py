@@ -20,7 +20,7 @@ reporting layer prints into structured records (see ``REPRO_BENCH_JSONL``).
 
 from repro.obs.artifacts import artifacts, drain_artifacts, record_artifact
 from repro.obs.hotpath import HotpathProfiler
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, TenantMetrics
 from repro.obs.probe import (
     CountingProbe,
     JsonlProbe,
@@ -34,6 +34,7 @@ from repro.obs.probe import (
 __all__ = [
     "HotpathProfiler",
     "MetricsRegistry",
+    "TenantMetrics",
     "Probe",
     "ProbeEvent",
     "RecordingProbe",

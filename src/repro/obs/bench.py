@@ -43,6 +43,19 @@ from repro.obs.probe import Probe
 SCHEMA = "repro-bench/1"
 
 
+def ops_per_sec(report: Dict[str, object],
+                elapsed: float) -> Optional[float]:
+    """Completed ops per wall second — ``None`` when there is no data.
+
+    A report that never counted completions (no ``"completed"`` key) or a
+    zero/negative wall time is *missing data*, not zero throughput: emitting
+    ``0.0`` would make "no work recorded" indistinguishable from "infinitely
+    slow" on a dashboard.  ``null`` in the JSON says which one it was."""
+    if "completed" not in report or elapsed <= 0:
+        return None
+    return int(report["completed"]) / elapsed  # type: ignore[arg-type]
+
+
 # --------------------------------------------------------------------------
 # Run-report assembly
 
@@ -681,11 +694,10 @@ def run_benchmark(name: str, quick: bool = False,
         report = run_spec(spec)
         elapsed = _time.perf_counter() - t0
         runs.append(report)
-        completed = int(report.get("completed", 0))
         per_run.append({
             "system": report["system"],
             "wall_time_s": elapsed,
-            "ops_per_sec": completed / elapsed if elapsed > 0 else 0.0,
+            "ops_per_sec": ops_per_sec(report, elapsed),
         })
     doc["runs"] = runs
     doc["timing"] = {

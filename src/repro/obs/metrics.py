@@ -120,3 +120,50 @@ class MetricsRegistry:
                 if isinstance(inst, Utilization):
                     out[name] = inst.fraction
         return out
+
+
+class TenantMetrics:
+    """A keyed family of registries: one :class:`MetricsRegistry` per tenant.
+
+    The serving layer accounts per tenant from day one (every request
+    carries a tenant label), but tenant strings arrive from the network —
+    so the family is bounded: past ``max_tenants`` distinct labels, new
+    ones share the ``"<overflow>"`` registry instead of growing memory
+    without limit.  Snapshots nest each tenant's flat snapshot under its
+    label, keeping per-tenant names identical across tenants (``requests``,
+    ``latency_ms``, …) rather than baking labels into metric names.
+    """
+
+    OVERFLOW = "<overflow>"
+
+    def __init__(self, max_tenants: int = 1024) -> None:
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self.max_tenants = max_tenants
+        self._registries: Dict[str, MetricsRegistry] = {}
+
+    def registry(self, tenant: str) -> MetricsRegistry:
+        """Get-or-create the registry of ``tenant`` (bounded family)."""
+        if not tenant:
+            raise ValueError("tenant label must be non-empty")
+        reg = self._registries.get(tenant)
+        if reg is None:
+            if (len(self._registries) >= self.max_tenants
+                    and tenant != self.OVERFLOW):
+                return self.registry(self.OVERFLOW)
+            reg = MetricsRegistry()
+            self._registries[tenant] = reg
+        return reg
+
+    def tenants(self) -> List[str]:
+        return sorted(self._registries)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._registries
+
+    def __len__(self) -> int:
+        return len(self._registries)
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """``{tenant: registry snapshot}``, tenants sorted, JSON-able."""
+        return {t: self._registries[t].snapshot() for t in self.tenants()}

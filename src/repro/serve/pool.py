@@ -1,0 +1,247 @@
+"""The persistent sharded worker pool behind the serving front-end.
+
+One :class:`multiprocessing.pool.Pool` per shard, each worker long-lived:
+the pool initializer pre-warms the AT-space table caches for exactly the
+shapes the shard owns (:func:`repro.serve.shard.owned_shapes` →
+:func:`repro.fastpath.tables.warm_tables`), and because routing is by
+shape, every later request finds its ``lru_cache``'d tables hot.  This is
+what the throughput bench measures against a fresh-pool-per-request
+baseline (``benchmarks/bench_serve.py``).
+
+Failure semantics follow the sweep's failures-as-data convention
+(:mod:`repro.fastpath.parallel`): the worker function never raises.  A
+typed fault (:class:`repro.faults.FaultError` subclass or
+:class:`repro.sim.engine.SimulationTimeout`) comes back as
+``{"ok": False, "error": {..., "typed": True}}`` — a per-request outcome,
+not a worker death — and anything else as an untyped error dict.  The
+worker that served a faulted request serves the next one.
+
+:meth:`ShardedWorkerPool.run_async` bridges ``apply_async`` onto an
+asyncio future via ``loop.call_soon_threadsafe``, so the front-end awaits
+results without burning a thread per in-flight request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.shard import DEFAULT_WARM_SHAPES, Shape, owned_shapes, shard_for
+
+WorkerResult = Dict[str, object]
+
+
+def _warm_initializer(shapes: Sequence[Shape]) -> None:
+    """Pool initializer: build this shard's tables before the first request."""
+    from repro.fastpath.tables import warm_tables
+
+    warm_tables(shapes)
+
+
+def _table_cache_stats() -> Tuple[int, int]:
+    from repro.fastpath.tables import slot_bank_table
+
+    info = slot_bank_table.cache_info()
+    return info.hits, info.misses
+
+
+def _error_payload(exc: BaseException, typed: bool) -> Dict[str, object]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "typed": typed,
+        "kind": getattr(exc, "kind", None),
+        "slot": getattr(exc, "slot", None),
+    }
+
+
+def _run_injected(params: Dict[str, object],
+                  inject: Dict[str, object]) -> Dict[str, object]:
+    """A cfm spec under a seeded fault plan, via the chaos runner.
+
+    Returns the chaos outcome dict — ``outcome["outcome"]`` is either
+    ``"completed"`` or the typed error's class name (the chaos harness's
+    complete-or-typed-error invariant guarantees nothing else)."""
+    from repro.faults.chaos import chaos_cfm
+    from repro.faults.plan import FaultEvent, FaultPlan
+
+    if "events" in inject:
+        plan = FaultPlan.of(
+            [FaultEvent(kind=e["kind"], target=e["target"], start=e["start"],
+                        duration=e["duration"], extra=e["extra"])
+             for e in inject["events"]],
+            seed=int(inject.get("seed", 0)),
+        )
+    else:
+        n_procs = int(params.get("n_procs", 4))
+        bank_cycle = int(params.get("bank_cycle", 1))
+        plan = FaultPlan.generate(
+            int(inject.get("seed", 0)),
+            n_banks=n_procs * bank_cycle, n_procs=n_procs,
+            horizon=int(inject.get("horizon", 256)),
+            n_events=int(inject.get("n_events", 3)),
+            kinds=tuple(inject["kinds"]),
+        )
+    return chaos_cfm(
+        plan,
+        n_procs=int(params.get("n_procs", 4)),
+        bank_cycle=int(params.get("bank_cycle", 1)),
+        rounds=int(inject.get("rounds", 2)),
+    )
+
+
+def serve_worker(payload: Dict[str, object]) -> WorkerResult:
+    """Worker-side entry point: one request payload → one result dict.
+
+    Never raises — every outcome, including typed faults, is data."""
+    from repro.faults.errors import FaultError
+    from repro.obs.bench import run_spec
+    from repro.sim.engine import SimulationTimeout
+
+    t0 = time.perf_counter()
+    hits0, misses0 = _table_cache_stats()
+    base: Dict[str, object] = {"pid": os.getpid()}
+    try:
+        inject = payload.get("inject")
+        if inject is not None:
+            outcome = _run_injected(dict(payload.get("params") or {}),
+                                    dict(inject))
+            if outcome["outcome"] == "completed":
+                base.update(ok=True, report=outcome)
+            else:
+                # The chaos runner already converted the typed error to
+                # data; forward it as the per-request error payload.
+                base.update(ok=False, error={
+                    "type": str(outcome["outcome"]),
+                    "message": str(outcome.get("error") or outcome["outcome"]),
+                    "typed": bool(outcome.get("typed")),
+                    "kind": "fault",
+                    "slot": None,
+                })
+        else:
+            report = run_spec({"system": payload["system"],
+                               "params": payload.get("params") or {}})
+            base.update(ok=True, report=report)
+    except (FaultError, SimulationTimeout) as exc:
+        base.update(ok=False, error=_error_payload(exc, typed=True))
+    except Exception as exc:  # noqa: BLE001 — failures-as-data boundary
+        base.update(ok=False, error=_error_payload(exc, typed=False))
+    hits1, misses1 = _table_cache_stats()
+    base["wall_ms"] = (time.perf_counter() - t0) * 1e3
+    base["tables"] = {"hits": hits1 - hits0, "misses": misses1 - misses0}
+    return base
+
+
+class ShardedWorkerPool:
+    """``n_shards`` persistent single-worker pools, warm per shape.
+
+    One process per shard keeps the shard's table-cache story exact: the
+    shapes a shard owns are warmed once, in the process that will serve
+    them.  (``procs_per_shard`` can widen a shard for CPU-bound scale-out;
+    every extra process is warmed by the same initializer.)
+    """
+
+    def __init__(self, n_shards: int = 2,
+                 warm_shapes: Sequence[Shape] = DEFAULT_WARM_SHAPES,
+                 procs_per_shard: int = 1):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if procs_per_shard < 1:
+            raise ValueError(
+                f"procs_per_shard must be >= 1, got {procs_per_shard}"
+            )
+        import multiprocessing as mp
+
+        # Validate (and incidentally warm) the shapes in the parent first:
+        # a bad shape must fail construction, not kill workers at startup.
+        from repro.fastpath.tables import warm_tables
+
+        warm_tables(warm_shapes)
+        self.n_shards = n_shards
+        self.warm_shapes: Tuple[Shape, ...] = tuple(
+            (int(b), int(c)) for b, c in warm_shapes
+        )
+        self.dispatched: List[int] = [0] * n_shards
+        self._pools = []
+        for shard in range(n_shards):
+            owned = tuple(owned_shapes(shard, n_shards, self.warm_shapes))
+            self._pools.append(mp.Pool(
+                processes=procs_per_shard,
+                initializer=_warm_initializer,
+                initargs=(owned,),
+            ))
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_of(self, system: str, params: Dict[str, object]) -> int:
+        return shard_for(system, params, self.n_shards)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def submit(self, payload: Dict[str, object],
+               shard: Optional[int] = None):
+        """Dispatch one request payload; returns the ``AsyncResult``."""
+        if shard is None:
+            shard = self.shard_of(str(payload["system"]),
+                                  dict(payload.get("params") or {}))
+        self.dispatched[shard] += 1
+        return self._pools[shard].apply_async(serve_worker, (payload,))
+
+    def run_sync(self, payload: Dict[str, object],
+                 shard: Optional[int] = None) -> WorkerResult:
+        """Blocking dispatch — the bench baseline and tests use this."""
+        return self.submit(payload, shard=shard).get()
+
+    async def run_async(self, payload: Dict[str, object],
+                        shard: Optional[int] = None) -> WorkerResult:
+        """Awaitable dispatch: resolves when the worker's result lands."""
+        if shard is None:
+            shard = self.shard_of(str(payload["system"]),
+                                  dict(payload.get("params") or {}))
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[WorkerResult]" = loop.create_future()
+
+        def _done(result: WorkerResult) -> None:
+            loop.call_soon_threadsafe(
+                lambda: future.done() or future.set_result(result)
+            )
+
+        def _failed(exc: BaseException) -> None:
+            loop.call_soon_threadsafe(
+                lambda: future.done() or future.set_exception(exc)
+            )
+
+        self.dispatched[shard] += 1
+        self._pools[shard].apply_async(
+            serve_worker, (payload,), callback=_done, error_callback=_failed
+        )
+        return await future
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "n_shards": self.n_shards,
+            "dispatched": list(self.dispatched),
+            "warm_shapes": [list(s) for s in self.warm_shapes],
+        }
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.close()
+        for pool in self._pools:
+            pool.join()
+
+    def terminate(self) -> None:
+        for pool in self._pools:
+            pool.terminate()
+        for pool in self._pools:
+            pool.join()
+
+    def __enter__(self) -> "ShardedWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()

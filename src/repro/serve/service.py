@@ -1,0 +1,366 @@
+"""The asyncio serving front-end: JSONL over TCP/stdio plus minimal HTTP.
+
+Architecture (one request's life)::
+
+    client ──JSONL line──▶ front-end ──validate──▶ shard router
+                                                      │
+               response line ◀── result stream ◀── warm worker (shard k)
+
+* **Streaming, not batching** — every response is written the moment its
+  worker finishes, under a per-connection writer lock; responses carry the
+  request ``id`` because they may interleave out of order.
+* **Bounded in-flight depth** — the connection reader acquires the service
+  semaphore *before* reading on, so at ``max_inflight`` outstanding
+  requests the front-end simply stops consuming bytes and TCP backpressure
+  propagates to the client.  No unbounded task or queue growth anywhere.
+* **Failures are responses** — validation problems
+  (:class:`repro.serve.spec.RequestError`), typed faults from the fault
+  layer, and unexpected worker exceptions all come back as ``{"ok": false,
+  "error": {...}}`` on the same stream; a faulted request never kills a
+  worker or a connection.
+* **Accounting from day one** — per-tenant (:class:`repro.obs.TenantMetrics`)
+  and per-shape/per-shard counters, exposed as a JSON snapshot via the
+  ``{"op": "metrics"}`` control request and the HTTP ``GET /metrics``
+  endpoint.
+
+The HTTP front-end is deliberately minimal (no dependency beyond asyncio):
+``POST /run`` serves one request per connection, ``GET /metrics`` and
+``GET /healthz`` observe.  Both protocols share one listening port — the
+first line of a connection distinguishes an HTTP request line from JSONL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import sys
+from typing import Dict, Optional, Sequence, TextIO
+
+from repro.obs.metrics import MetricsRegistry, TenantMetrics
+from repro.serve.pool import ShardedWorkerPool
+from repro.serve.shard import DEFAULT_WARM_SHAPES, Shape, shape_of
+from repro.serve.spec import RequestError, ServeRequest, validate_request
+
+#: Longest accepted request line / HTTP body, in bytes (network input).
+MAX_REQUEST_BYTES = 1 << 20
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"PUT ", b"HEAD ", b"DELETE ", b"OPTIONS ")
+
+
+class SimulationService:
+    """Validates, routes, dispatches, accounts — one instance per process."""
+
+    def __init__(self, pool: Optional[ShardedWorkerPool] = None,
+                 n_shards: int = 2, max_inflight: int = 32,
+                 warm_shapes: Sequence[Shape] = DEFAULT_WARM_SHAPES):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.pool = pool if pool is not None else ShardedWorkerPool(
+            n_shards=n_shards, warm_shapes=warm_shapes)
+        self.max_inflight = max_inflight
+        self._gate = asyncio.Semaphore(max_inflight)
+        self.metrics = MetricsRegistry()
+        self.tenants = TenantMetrics()
+        self._ids = itertools.count(1)
+        self._inflight = 0
+        self.peak_inflight = 0
+
+    # -- request handling ------------------------------------------------
+
+    async def process(self, obj: object) -> Dict[str, object]:
+        """One decoded request → one response dict, depth-gated."""
+        async with self._gate:
+            return await self._process_ungated(obj)
+
+    async def _process_ungated(self, obj: object) -> Dict[str, object]:
+        if isinstance(obj, dict) and obj.get("op") is not None:
+            return self._control(obj)
+        try:
+            request = validate_request(obj, default_id=f"req-{next(self._ids)}")
+        except RequestError as exc:
+            self.metrics.counter("serve.requests").incr("rejected")
+            rid = obj.get("id") if isinstance(obj, dict) else None
+            return _error_response(rid, "RequestError", str(exc), typed=True)
+        return await self._dispatch(request)
+
+    async def _dispatch(self, request: ServeRequest) -> Dict[str, object]:
+        shard = self.pool.shard_of(request.system, request.params)
+        self._inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self._inflight)
+        try:
+            result = await self.pool.run_async(request.payload, shard=shard)
+        except Exception as exc:  # pool infrastructure failure (rare)
+            result = {"ok": False, "error": {
+                "type": type(exc).__name__, "message": str(exc),
+                "typed": False, "kind": None, "slot": None,
+            }, "wall_ms": 0.0}
+        finally:
+            self._inflight -= 1
+        self._account(request, shard, result)
+        response: Dict[str, object] = {
+            "id": request.id,
+            "tenant": request.tenant,
+            "ok": bool(result.get("ok")),
+            "shard": shard,
+            "wall_ms": result.get("wall_ms"),
+        }
+        if result.get("ok"):
+            response["report"] = result.get("report")
+        else:
+            response["error"] = result.get("error")
+        worker: Dict[str, object] = {}
+        for key in ("pid", "tables"):
+            if key in result:
+                worker[key] = result[key]
+        if worker:
+            response["worker"] = worker
+        return response
+
+    def _account(self, request: ServeRequest, shard: int,
+                 result: Dict[str, object]) -> None:
+        ok = bool(result.get("ok"))
+        wall_ms = float(result.get("wall_ms") or 0.0)
+        svc = self.metrics.counter("serve.requests")
+        svc.incr("total")
+        svc.incr("ok" if ok else "error")
+        self.metrics.counter(f"serve.shard[{shard}]").incr("dispatched")
+        self.metrics.stats("serve.latency_ms").add(wall_ms)
+        shape = shape_of(request.system, request.params)
+        if shape is not None:
+            self.metrics.counter(
+                f"serve.shape[b={shape[0]},c={shape[1]}]").incr("requests")
+        self.metrics.counter("serve.system").incr(request.system)
+        tenant = self.tenants.registry(request.tenant)
+        treq = tenant.counter("requests")
+        treq.incr("total")
+        treq.incr("ok" if ok else "error")
+        tenant.stats("latency_ms").add(wall_ms)
+
+    def _control(self, obj: Dict[str, object]) -> Dict[str, object]:
+        op = obj.get("op")
+        rid = obj.get("id")
+        if op == "ping":
+            return {"id": rid, "ok": True, "op": "ping"}
+        if op == "metrics":
+            return {"id": rid, "ok": True, "op": "metrics",
+                    "metrics": self.metrics_snapshot()}
+        return _error_response(rid, "RequestError",
+                               f"unknown op {op!r} (valid: metrics ping)",
+                               typed=True)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` document: service + tenants + pool state."""
+        return {
+            "service": self.metrics.snapshot(),
+            "tenants": self.tenants.snapshot(),
+            "inflight": {
+                "current": self._inflight,
+                "peak": self.peak_inflight,
+                "max": self.max_inflight,
+            },
+            "pool": self.pool.stats(),
+        }
+
+    # -- JSONL framing -----------------------------------------------------
+
+    async def handle_line(self, line: str) -> Dict[str, object]:
+        """One JSONL input line → one response dict (never raises)."""
+        try:
+            obj = json.loads(line)
+        except ValueError as exc:
+            self.metrics.counter("serve.requests").incr("rejected")
+            return _error_response(None, "RequestError",
+                                   f"request is not valid JSON: {exc}",
+                                   typed=True)
+        return await self.process(obj)
+
+    # -- TCP server ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> asyncio.AbstractServer:
+        """Bind and return the TCP server (JSONL + HTTP on one port)."""
+        return await asyncio.start_server(self._serve_connection, host, port)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                first = await reader.readline()
+            except (ValueError, ConnectionError):
+                return
+            if not first:
+                return
+            if first.split(b" ", 1)[0] + b" " in _HTTP_METHODS:
+                await self._serve_http(first, reader, writer)
+                return
+            await self._serve_jsonl(first, reader, writer)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _serve_jsonl(self, first: bytes, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        tasks = []
+        line: Optional[bytes] = first
+        while line:
+            text = line.decode("utf-8", errors="replace").strip()
+            if text:
+                # Acquire BEFORE reading on: at max_inflight outstanding
+                # requests this loop parks here, the socket buffer fills,
+                # and the client feels backpressure instead of the service
+                # growing an unbounded task list.
+                await self._gate.acquire()
+                tasks.append(asyncio.ensure_future(
+                    self._respond_gated(text, writer, lock)))
+            try:
+                line = await reader.readline()
+            except (ValueError, ConnectionError):
+                break
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _respond_gated(self, text: str, writer: asyncio.StreamWriter,
+                             lock: asyncio.Lock) -> None:
+        try:
+            if len(text.encode("utf-8", errors="replace")) > MAX_REQUEST_BYTES:
+                response = _error_response(
+                    None, "RequestError",
+                    f"request line exceeds {MAX_REQUEST_BYTES} bytes",
+                    typed=True)
+            else:
+                response = await self._process_line_ungated(text)
+        finally:
+            self._gate.release()
+        payload = (json.dumps(response, sort_keys=True) + "\n").encode()
+        async with lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # client went away; the result is simply dropped
+
+    async def _process_line_ungated(self, text: str) -> Dict[str, object]:
+        try:
+            obj = json.loads(text)
+        except ValueError as exc:
+            self.metrics.counter("serve.requests").incr("rejected")
+            return _error_response(None, "RequestError",
+                                   f"request is not valid JSON: {exc}",
+                                   typed=True)
+        return await self._process_ungated(obj)
+
+    # -- HTTP --------------------------------------------------------------
+
+    async def _serve_http(self, request_line: bytes,
+                          reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        try:
+            parts = request_line.decode("latin-1").split()
+            method, path = parts[0], parts[1]
+        except (IndexError, UnicodeDecodeError):
+            await _http_reply(writer, 400, {"ok": False,
+                                            "error": "bad request line"})
+            return
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if method == "GET" and path == "/healthz":
+            await _http_reply(writer, 200, {"ok": True})
+            return
+        if method == "GET" and path == "/metrics":
+            await _http_reply(writer, 200, self.metrics_snapshot())
+            return
+        if method == "POST" and path == "/run":
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                length = -1
+            if not 0 < length <= MAX_REQUEST_BYTES:
+                await _http_reply(writer, 400, {
+                    "ok": False,
+                    "error": "POST /run needs a JSON body with "
+                             f"content-length in (0, {MAX_REQUEST_BYTES}]",
+                })
+                return
+            body = await reader.readexactly(length)
+            response = await self.handle_line(body.decode(
+                "utf-8", errors="replace"))
+            status = 200 if response.get("ok") else 422
+            await _http_reply(writer, status, response)
+            return
+        await _http_reply(writer, 404, {
+            "ok": False,
+            "error": f"no route {method} {path} "
+                     "(have: POST /run, GET /metrics, GET /healthz)",
+        })
+
+    # -- stdio ---------------------------------------------------------------
+
+    async def serve_stdio(self, in_stream: Optional[TextIO] = None,
+                          out_stream: Optional[TextIO] = None) -> int:
+        """JSONL over stdin/stdout until EOF; returns requests served."""
+        in_stream = in_stream if in_stream is not None else sys.stdin
+        out_stream = out_stream if out_stream is not None else sys.stdout
+        loop = asyncio.get_running_loop()
+        lock = asyncio.Lock()
+        served = 0
+        tasks = []
+
+        async def respond(text: str) -> None:
+            try:
+                response = await self._process_line_ungated(text)
+            finally:
+                self._gate.release()
+            async with lock:
+                out_stream.write(json.dumps(response, sort_keys=True) + "\n")
+                out_stream.flush()
+
+        while True:
+            line = await loop.run_in_executor(None, in_stream.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            await self._gate.acquire()
+            served += 1
+            tasks.append(asyncio.ensure_future(respond(line.strip())))
+        if tasks:
+            await asyncio.gather(*tasks)
+        return served
+
+
+def _error_response(rid: object, type_: str, message: str,
+                    typed: bool) -> Dict[str, object]:
+    return {
+        "id": rid if isinstance(rid, (str, int)) else None,
+        "ok": False,
+        "error": {"type": type_, "message": message, "typed": typed,
+                  "kind": None, "slot": None},
+    }
+
+
+async def _http_reply(writer: asyncio.StreamWriter, status: int,
+                      doc: Dict[str, object]) -> None:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               422: "Unprocessable Entity"}
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    try:
+        writer.write(head + body)
+        await writer.drain()
+    except (ConnectionError, RuntimeError):
+        pass

@@ -1,0 +1,70 @@
+"""Shard routing: requests of one machine shape land on one worker.
+
+The point of sharding is cache locality, not load spreading: every AT-space
+table (:mod:`repro.fastpath.tables`) is keyed by the ``(n_banks,
+bank_cycle)`` machine shape, so a worker that keeps seeing the same shapes
+serves every request after its first from a hot ``lru_cache``.  Routing is
+therefore *by shape*: :func:`shard_for` maps a spec's shape through the
+same crc32 derivation the parallel sweep uses for seeds
+(:func:`repro.fastpath.parallel.derive_seed` — deterministic across
+processes, orderings, and runs, pinned by golden tests), and a worker
+pre-warms exactly the shapes that route to it (:func:`owned_shapes`).
+
+Systems without an AT-space shape (the retry simulators) carry no table
+state worth pinning; they route by ``(system, seed)`` instead, which
+spreads replicated seed grids across the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.fastpath.parallel import derive_seed
+
+Shape = Tuple[int, int]
+
+#: The Table 3.3 working set: what a fresh pool warms by default.
+DEFAULT_WARM_SHAPES: Tuple[Shape, ...] = ((4, 1), (8, 2), (16, 4), (32, 8))
+
+
+def shape_of(system: str, params: Dict[str, object]) -> Optional[Shape]:
+    """The ``(n_banks, bank_cycle)`` shape a spec's tables are keyed by.
+
+    ``None`` for systems whose runs build no per-shape AT-space tables."""
+    bank_cycle = int(params.get("bank_cycle", 1) or 1)
+    if system == "cfm":
+        n_procs = int(params.get("n_procs", 0) or 0)
+        return (n_procs * bank_cycle, bank_cycle) if n_procs else None
+    if system == "cache":
+        n_procs = int(params.get("n_procs", 0) or 0)
+        return (n_procs * bank_cycle, bank_cycle) if n_procs else None
+    if system == "hierarchy":
+        per = int(params.get("procs_per_cluster", 0) or 0)
+        return (per * bank_cycle, bank_cycle) if per else None
+    if system == "sync_omega":
+        n_ports = int(params.get("n_ports", 0) or 0)
+        return (n_ports, 1) if n_ports else None
+    return None
+
+
+def shard_for_shape(shape: Shape, n_shards: int) -> int:
+    """The shard that owns a machine shape — pure function of the shape."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return derive_seed(0, "serve.shard", int(shape[0]), int(shape[1])) % n_shards
+
+
+def shard_for(system: str, params: Dict[str, object], n_shards: int) -> int:
+    """Route one spec: by shape when it has one, by (system, seed) else."""
+    shape = shape_of(system, params)
+    if shape is not None:
+        return shard_for_shape(shape, n_shards)
+    seed = int(params.get("seed", 0) or 0)
+    return derive_seed(seed, "serve.shard", system) % n_shards
+
+
+def owned_shapes(shard: int, n_shards: int,
+                 shapes: Iterable[Shape]) -> List[Shape]:
+    """The subset of ``shapes`` that routes to ``shard`` — what its worker
+    pre-warms at pool start."""
+    return [s for s in shapes if shard_for_shape(s, n_shards) == shard]

@@ -1,0 +1,203 @@
+"""Request validation: wire JSON in, a run-spec-compatible request out.
+
+A serve request is one JSON object::
+
+    {"id": "r1", "tenant": "alice", "system": "cfm",
+     "params": {"n_procs": 8, "bank_cycle": 2, "cycles": 2000}}
+
+``system``/``params`` are exactly a :func:`repro.obs.bench.run_spec` spec —
+the picklable run-as-data convention the parallel sweep already relies on —
+so a validated request dispatches to the same pure function a serial bench
+run uses, and identical specs produce bit-identical reports either way.
+
+Validation happens in the front-end process, *before* the request costs a
+worker round-trip: unknown systems, unknown parameter names (checked
+against the runner's signature), non-JSON param values, and malformed
+fault-injection descriptions all raise :class:`RequestError`, which the
+service turns into a typed error response.
+
+An optional ``"inject"`` member asks the worker to run the spec under a
+seeded :class:`repro.faults.FaultPlan` (cfm only — the chaos-harness
+runner).  The plan description is validated here; the plan itself is built
+worker-side so the request stays plain JSON end to end.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Parameters never accepted over the wire: observers are process-local
+#: objects (probes can't ride a JSON request into a worker).
+_UNSERVABLE_PARAMS = frozenset({"probe"})
+
+#: Tenant labels are network input; keep them short and printable.
+_MAX_TENANT_LEN = 64
+DEFAULT_TENANT = "anonymous"
+
+
+class RequestError(ValueError):
+    """A malformed or unserveable request — a *client* error, answered with
+    a typed error response, never a worker dispatch."""
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One validated workload request."""
+
+    id: str
+    tenant: str
+    system: str
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Validated fault-plan description (worker builds the FaultPlan).
+    inject: Optional[Dict[str, object]] = None
+
+    @property
+    def spec(self) -> Dict[str, object]:
+        """The :func:`repro.obs.bench.run_spec`-compatible spec."""
+        return {"system": self.system, "params": dict(self.params)}
+
+    @property
+    def payload(self) -> Dict[str, object]:
+        """What actually crosses the process boundary to a worker."""
+        out: Dict[str, object] = {"system": self.system,
+                                  "params": dict(self.params)}
+        if self.inject is not None:
+            out["inject"] = dict(self.inject)
+        return out
+
+
+def _require_str(value: object, what: str, max_len: int = 256) -> str:
+    if not isinstance(value, str) or not value or len(value) > max_len:
+        raise RequestError(
+            f"{what} must be a non-empty string of <= {max_len} chars, "
+            f"got {value!r}"
+        )
+    if not value.isprintable():
+        raise RequestError(f"{what} must be printable, got {value!r}")
+    return value
+
+
+def _validate_params(system: str, params: object) -> Dict[str, object]:
+    from repro.obs.bench import SYSTEMS
+
+    if params is None:
+        return {}
+    if not isinstance(params, dict):
+        raise RequestError(f"params must be an object, got {type(params).__name__}")
+    accepted = inspect.signature(SYSTEMS[system]).parameters
+    out: Dict[str, object] = {}
+    for key, value in params.items():
+        if not isinstance(key, str):
+            raise RequestError(f"param names must be strings, got {key!r}")
+        if key in _UNSERVABLE_PARAMS:
+            raise RequestError(f"param {key!r} cannot be served")
+        if key not in accepted:
+            raise RequestError(
+                f"unknown param {key!r} for system {system!r} "
+                f"(valid: {' '.join(sorted(set(accepted) - _UNSERVABLE_PARAMS))})"
+            )
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            raise RequestError(
+                f"param {key!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+        out[key] = value
+    return out
+
+
+def _validate_inject(system: str, inject: object) -> Dict[str, object]:
+    from repro.faults.plan import FAULT_KINDS
+
+    if system != "cfm":
+        raise RequestError(
+            f"inject is only served for system 'cfm', got {system!r}"
+        )
+    if not isinstance(inject, dict):
+        raise RequestError(
+            f"inject must be an object, got {type(inject).__name__}"
+        )
+    out: Dict[str, object] = {}
+    if "events" in inject:
+        events = inject["events"]
+        if not isinstance(events, list) or not events:
+            raise RequestError("inject.events must be a non-empty list")
+        validated = []
+        for ev in events:
+            if not isinstance(ev, dict):
+                raise RequestError(f"inject event must be an object, got {ev!r}")
+            kind = ev.get("kind")
+            if kind not in FAULT_KINDS:
+                raise RequestError(
+                    f"unknown fault kind {kind!r} "
+                    f"(valid: {' '.join(sorted(FAULT_KINDS))})"
+                )
+            validated.append({
+                "kind": kind,
+                "target": int(ev.get("target", 0)),
+                "start": int(ev.get("start", 0)),
+                "duration": int(ev.get("duration", 1)),
+                "extra": int(ev.get("extra", 0)),
+            })
+        out["events"] = validated
+    else:
+        kinds = inject.get("kinds", ("bank_stuck", "bank_slow"))
+        if (not isinstance(kinds, (list, tuple)) or not kinds
+                or any(k not in FAULT_KINDS for k in kinds)):
+            raise RequestError(
+                f"inject.kinds must be drawn from "
+                f"{' '.join(sorted(FAULT_KINDS))}, got {kinds!r}"
+            )
+        out["kinds"] = list(kinds)
+        for key, default in (("n_events", 3), ("horizon", 256)):
+            value = inject.get(key, default)
+            if not isinstance(value, int) or value < 1:
+                raise RequestError(f"inject.{key} must be a positive int")
+            out[key] = value
+    seed = inject.get("seed", 0)
+    if not isinstance(seed, int):
+        raise RequestError("inject.seed must be an int")
+    out["seed"] = seed
+    rounds = inject.get("rounds", 2)
+    if not isinstance(rounds, int) or not 1 <= rounds <= 16:
+        raise RequestError("inject.rounds must be an int in [1, 16]")
+    out["rounds"] = rounds
+    return out
+
+
+def validate_request(obj: object,
+                     default_id: Optional[str] = None) -> ServeRequest:
+    """Validate one decoded JSON request into a :class:`ServeRequest`.
+
+    Raises :class:`RequestError` naming exactly what is wrong; never lets
+    a malformed request reach a worker."""
+    from repro.obs.bench import SYSTEMS
+
+    if not isinstance(obj, dict):
+        raise RequestError(
+            f"request must be a JSON object, got {type(obj).__name__}"
+        )
+    raw_id = obj.get("id", default_id)
+    if isinstance(raw_id, int):
+        raw_id = str(raw_id)
+    req_id = _require_str(raw_id, "request id") if raw_id is not None else ""
+    if not req_id:
+        raise RequestError("request needs an 'id' (string or int)")
+    tenant = obj.get("tenant", DEFAULT_TENANT)
+    tenant = _require_str(tenant, "tenant", max_len=_MAX_TENANT_LEN)
+    system = obj.get("system")
+    if system not in SYSTEMS:
+        raise RequestError(
+            f"unknown system {system!r} (valid: {' '.join(sorted(SYSTEMS))})"
+        )
+    params = _validate_params(system, obj.get("params"))
+    inject = None
+    if obj.get("inject") is not None:
+        inject = _validate_inject(system, obj["inject"])
+    unknown = set(obj) - {"id", "tenant", "system", "params", "inject", "op"}
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s): {' '.join(sorted(unknown))}"
+        )
+    return ServeRequest(id=req_id, tenant=tenant, system=system,
+                        params=params, inject=inject)
