@@ -10,11 +10,19 @@ ops/sec dropped, or the total wall time grew, by more than the tolerance
 instead — run it on the reference machine after an intentional perf
 change.
 
+Serving documents (``BENCH_serve.json``, ``bench: "serve"``) are gated the
+same way against ``benchmarks/baseline_serve.json``: their ``timing``
+section carries ``requests_per_sec`` per serving mode (fresh / warm /
+per_request / batched / cached), and each mode's rate must stay within the
+tolerance of its baseline.  ``--update`` rewrites that baseline too.
+
 Usage::
 
     PYTHONPATH=src python -m repro bench quick --quick --timing --out out/
     python benchmarks/check_perf.py out/BENCH_quick.json
     python benchmarks/check_perf.py out/BENCH_quick.json --update
+    PYTHONPATH=src python benchmarks/bench_serve.py --out out/
+    python benchmarks/check_perf.py out/BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "baseline_quick.json"
+DEFAULT_SERVE_BASELINE = Path(__file__).parent / "baseline_serve.json"
 
 
 def load_timing(path: Path):
@@ -55,6 +64,63 @@ def reject_partial(doc, label: str) -> None:
         )
 
 
+def check_serve(doc, args) -> int:
+    """Gate a serving bench document: per-mode requests/sec vs baseline."""
+    rates = (doc.get("timing") or {}).get("requests_per_sec")
+    if not rates:
+        raise SystemExit(
+            f"error: {args.document} has no timing.requests_per_sec "
+            "section (regenerate with benchmarks/bench_serve.py)"
+        )
+    baseline_path = args.baseline
+    if baseline_path == DEFAULT_BASELINE:
+        baseline_path = DEFAULT_SERVE_BASELINE
+    if args.update:
+        baseline = {
+            "bench": doc.get("bench"),
+            "schema": doc.get("schema"),
+            "timing": {"requests_per_sec": rates},
+        }
+        baseline_path.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        raise SystemExit(
+            f"error: no baseline at {baseline_path} (create one with "
+            "--update on the reference machine)"
+        )
+    base = json.loads(baseline_path.read_text())
+    reject_partial(base, str(baseline_path))
+    base_rates = base["timing"]["requests_per_sec"]
+    tol = args.tolerance
+    failures = []
+    for mode in sorted(base_rates):
+        base_rps = float(base_rates[mode] or 0.0)
+        rps = float(rates.get(mode) or 0.0)
+        floor = base_rps * (1.0 - tol)
+        status = "ok"
+        if base_rps > 0 and rps < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{mode}: {rps:,.0f} req/s < {floor:,.0f} "
+                f"({tol:.0%} below baseline {base_rps:,.0f})"
+            )
+        print(f"{mode}: {rps:,.0f} req/s (baseline {base_rps:,.0f}) "
+              f"[{status}]")
+    for mode in sorted(set(rates) - set(base_rates)):
+        print(f"{mode}: {float(rates[mode] or 0.0):,.0f} req/s "
+              "(no baseline entry — not gated)")
+    if failures:
+        print("\nperf regression detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {tol:.0%} tolerance")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a bench document shows a perf regression "
@@ -63,13 +129,19 @@ def main(argv=None) -> int:
     parser.add_argument("document", type=Path,
                         help="BENCH_*.json with a timing section")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
-                        help=f"baseline file (default: {DEFAULT_BASELINE})")
+                        help=f"baseline file (default: {DEFAULT_BASELINE}, "
+                        f"or {DEFAULT_SERVE_BASELINE} for serve documents)")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         metavar="FRAC",
                         help="allowed fractional regression (default: 0.30)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this document")
     args = parser.parse_args(argv)
+
+    peek = json.loads(args.document.read_text())
+    if peek.get("bench") == "serve":
+        reject_partial(peek, str(args.document))
+        return check_serve(peek, args)
 
     doc, timing = load_timing(args.document)
     if args.update:

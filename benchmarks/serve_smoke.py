@@ -4,22 +4,34 @@ Starts the real CLI process (``python -m repro serve``), connects over
 TCP, and drives a ~50-request mixed-shape stream down one JSONL
 connection:
 
-* requests round-robin the warm shapes plus shapeless systems;
+* requests round-robin the warm shapes plus shapeless systems, so the
+  stream carries both mixed shapes *and* duplicate specs (each distinct
+  spec repeats ~12x — exactly the traffic the micro-batcher and the
+  content-addressed result cache exist for);
 * one request carries a fault injection that must come back as a *typed
   error response* (``DegradedModeError``) — and the stream keeps flowing,
   proving the fault cost one response, not a worker;
 * one request is malformed and must be rejected with ``RequestError``;
 * every request gets exactly one response (streamed, out-of-order safe);
 * the HTTP side answers ``GET /healthz`` and ``GET /metrics`` on the same
-  port, and the metrics snapshot accounts for everything just served.
+  port, and the metrics snapshot accounts for everything just served —
+  including batch sizes (``serve.batch.size``), per-shard AT-space table
+  cache stats (``serve.tables[k]``), and, in cached mode, at least one
+  content-addressed hit whose per-tenant hit/miss accounting sums to the
+  tenant's request count.
 
-Exits 0 on success, 1 with a diagnostic on any violated expectation::
+``--max-batch``/``--cache-size`` select the serving mode under test; CI
+runs both PR 7's per-request mode (``--max-batch 1 --cache-size 0``) and
+the batched+cached default.  Exits 0 on success, 1 with a diagnostic on
+any violated expectation::
 
     PYTHONPATH=src python benchmarks/serve_smoke.py
+    PYTHONPATH=src python benchmarks/serve_smoke.py --max-batch 1 --cache-size 0
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import json
 import os
@@ -46,12 +58,13 @@ FAULTED = {
 INVALID = {"id": "invalid", "system": "cfm", "params": {"frobnicate": 1}}
 
 
-def _spawn_server():
+def _spawn_server(max_batch: int, cache_size: int):
     env = dict(os.environ)
     env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
-         "--port", "0", "--shards", "2", "--depth", "8"],
+         "--port", "0", "--shards", "2", "--depth", "8",
+         "--max-batch", str(max_batch), "--cache-size", str(cache_size)],
         stderr=subprocess.PIPE, text=True, env=env,
     )
     announce = proc.stderr.readline()
@@ -64,7 +77,8 @@ def _spawn_server():
     return proc, host, int(port)
 
 
-async def _drive(host: str, port: int) -> None:
+async def _drive(host: str, port: int, max_batch: int,
+                 cache_size: int) -> None:
     requests = []
     for i in range(N_REQUESTS):
         spec = SHAPED[i % len(SHAPED)]
@@ -96,6 +110,7 @@ async def _drive(host: str, port: int) -> None:
     assert faulted["ok"] is False, faulted
     assert faulted["error"]["typed"] is True, faulted["error"]
     assert faulted["error"]["type"] == "DegradedModeError", faulted["error"]
+    assert "cached" not in faulted, faulted  # faults never come from cache
     invalid = responses["invalid"]
     assert invalid["ok"] is False, invalid
     assert invalid["error"]["type"] == "RequestError", invalid["error"]
@@ -130,23 +145,85 @@ async def _drive(host: str, port: int) -> None:
         metrics["inflight"])
     shapes = [k for k in metrics["service"] if k.startswith("serve.shape[")]
     assert len(shapes) >= 3, shapes
-    print(f"serve smoke OK: {len(responses)} responses "
+
+    # Batching accounting: every dispatched request rode in some batch, and
+    # batch sizes are recorded.  (max_batch=1 is per-request mode — every
+    # batch carries exactly one request.)
+    batch_counts = metrics["service"]["serve.batch"]["counts"]
+    batch_size = metrics["service"]["serve.batch.size"]
+    assert batch_counts["batches"] >= 1, batch_counts
+    assert batch_counts["requests"] == sum(
+        metrics["pool"]["dispatched"]), (batch_counts, metrics["pool"])
+    assert batch_size["n"] == batch_counts["batches"], (
+        batch_size, batch_counts)
+    assert batch_size["max"] <= max_batch, (batch_size, max_batch)
+
+    # Per-shard AT-space table stats, surfaced from the workers' own
+    # cache_info deltas: warm shards must show hits and (having served
+    # only pre-warmed shapes) no misses.
+    table_keys = [k for k in metrics["service"]
+                  if k.startswith("serve.tables[")]
+    assert table_keys, sorted(metrics["service"])
+    table_hits = sum(metrics["service"][k]["counts"].get("hits", 0)
+                     for k in table_keys)
+    table_misses = sum(metrics["service"][k]["counts"].get("misses", 0)
+                       for k in table_keys)
+    assert table_hits > 0, (table_keys, table_hits)
+    assert table_misses == 0, (table_keys, table_misses)
+
+    # Result cache: the stream repeats each distinct spec ~12x, so cached
+    # mode must see hits; per-tenant hit/miss always sums to the tenant's
+    # dispatched request count.
+    cache = metrics["cache"]
+    assert cache["max_entries"] == cache_size, cache
+    if cache_size > 0:
+        assert cache["hits"] >= 1, cache
+        cached_responses = [r for r in responses.values() if r.get("cached")]
+        assert len(cached_responses) == cache["hits"], (
+            len(cached_responses), cache)
+    else:
+        assert cache["hits"] == 0 and cache["entries"] == 0, cache
+    for tenant, snap in metrics["tenants"].items():
+        treq = snap["requests"]["counts"]
+        tcache = snap["cache"]["counts"]
+        assert (tcache.get("hit", 0) + tcache.get("miss", 0)
+                == treq["total"]), (tenant, tcache, treq)
+
+    mode = (f"max_batch={max_batch} cache={cache_size}"
+            if cache_size else f"max_batch={max_batch} cache=off")
+    print(f"serve smoke OK [{mode}]: {len(responses)} responses "
           f"({counts['ok']} ok, 1 typed fault, 1 rejected), "
-          f"{len(shapes)} shapes, peak inflight "
-          f"{metrics['inflight']['peak']}/{metrics['inflight']['max']}")
+          f"{len(shapes)} shapes, {batch_counts['batches']} batches "
+          f"(mean size {batch_size['mean']:.1f}), "
+          f"{cache['hits']} cache hits, "
+          f"peak inflight {metrics['inflight']['peak']}"
+          f"/{metrics['inflight']['max']}")
 
 
-def main() -> int:
-    proc, host, port = _spawn_server()
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-batch", type=int, default=4)
+    parser.add_argument("--cache-size", type=int, default=256)
+    args = parser.parse_args(argv)
+    proc, host, port = _spawn_server(args.max_batch, args.cache_size)
     try:
-        asyncio.run(_drive(host, port))
-        return 0
+        asyncio.run(_drive(host, port, args.max_batch, args.cache_size))
     finally:
-        proc.send_signal(signal.SIGINT)
+        proc.send_signal(signal.SIGTERM)
         try:
             proc.wait(timeout=30)
         except subprocess.TimeoutExpired:
             proc.kill()
+            return 1
+    stderr = proc.stderr.read()
+    # Graceful shutdown: drained, flushed final metrics, closed pools —
+    # no stack traces, clean exit.
+    assert proc.returncode == 0, (proc.returncode, stderr)
+    assert "final metrics: " in stderr, stderr
+    assert "Traceback" not in stderr, stderr
+    assert "BrokenProcessPool" not in stderr, stderr
+    print("graceful shutdown OK (drained, final metrics flushed, exit 0)")
+    return 0
 
 
 if __name__ == "__main__":

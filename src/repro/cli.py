@@ -446,6 +446,8 @@ def _parse_shapes(texts):
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import json as _json
+    import signal
 
     from repro.serve.service import SimulationService
     from repro.serve.shard import DEFAULT_WARM_SHAPES
@@ -453,29 +455,58 @@ def _cmd_serve(args) -> int:
     warm = (_parse_shapes(args.warm) if args.warm
             else list(DEFAULT_WARM_SHAPES))
 
+    async def _shutdown(service) -> None:
+        """Drain in-flight work, flush final metrics, close pools cleanly."""
+        print("shutting down: draining in-flight requests",
+              file=sys.stderr, flush=True)
+        await service.drain()
+        await service.close_connections()
+        print("final metrics: "
+              + _json.dumps(service.metrics_snapshot(), sort_keys=True),
+              file=sys.stderr, flush=True)
+        service.pool.close()
+
     async def _run() -> int:
         service = SimulationService(
             n_shards=args.shards, max_inflight=args.depth, warm_shapes=warm,
+            max_batch=args.max_batch, cache_size=args.cache_size,
         )
+        clean = False
         try:
             if args.stdio:
                 print(f"serving JSONL on stdio (shards={args.shards}, "
-                      f"depth={args.depth})", file=sys.stderr, flush=True)
+                      f"depth={args.depth}, max_batch={args.max_batch}, "
+                      f"cache={args.cache_size})", file=sys.stderr, flush=True)
                 served = await service.serve_stdio()
                 print(f"served {served} request(s)", file=sys.stderr,
                       flush=True)
+                service.pool.close()
+                clean = True
                 return 0
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except NotImplementedError:  # non-Unix event loop
+                    pass
             server = await service.start(args.host, args.port)
             host, port = server.sockets[0].getsockname()[:2]
             print(f"serving JSONL+HTTP on {host}:{port} "
                   f"(shards={args.shards}, depth={args.depth}, "
+                  f"max_batch={args.max_batch}, cache={args.cache_size}, "
                   f"warm={' '.join(f'{b}x{c}' for b, c in warm)})",
                   file=sys.stderr, flush=True)
-            async with server:
-                await server.serve_forever()
+            await stop.wait()
+            # Graceful: stop accepting, drain, flush metrics, close pools.
+            server.close()
+            await server.wait_closed()
+            await _shutdown(service)
+            clean = True
             return 0
         finally:
-            service.pool.terminate()
+            if not clean:
+                service.pool.terminate()
 
     try:
         return asyncio.run(_run())
@@ -568,6 +599,18 @@ def main(argv=None) -> int:
         "--depth", type=int, default=32, metavar="M",
         help="max in-flight requests before the reader applies "
         "backpressure (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=8, metavar="K",
+        help="micro-batch size cap: up to K same-shape requests coalesce "
+        "into one worker task; 1 dispatches per-request (default: "
+        "%(default)s)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=1024, metavar="E",
+        help="result-cache entries: completed reports served again "
+        "without a worker round-trip; 0 disables caching (default: "
+        "%(default)s)",
     )
     p_serve.add_argument(
         "--stdio", action="store_true",

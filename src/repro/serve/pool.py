@@ -19,6 +19,14 @@ worker that served a faulted request serves the next one.
 :meth:`ShardedWorkerPool.run_async` bridges ``apply_async`` onto an
 asyncio future via ``loop.call_soon_threadsafe``, so the front-end awaits
 results without burning a thread per in-flight request.
+
+Batch dispatch (:func:`serve_worker_batch` via
+:meth:`ShardedWorkerPool.submit_batch`) carries a whole micro-batch of
+requests through **one** pool task — one pickle/IPC round trip instead of
+one per request — and runs duplicate specs within the batch once (runs are
+pure functions of their spec, so replicating the result is bit-identical
+to re-running it).  The continuous batcher (:mod:`repro.serve.batch`)
+builds batches; this module only executes them.
 """
 
 from __future__ import annotations
@@ -134,6 +142,35 @@ def serve_worker(payload: Dict[str, object]) -> WorkerResult:
     return base
 
 
+def serve_worker_batch(payloads: Sequence[Dict[str, object]]
+                       ) -> List[WorkerResult]:
+    """Worker-side batch entry point: N payloads → N result dicts, one IPC.
+
+    Per-request semantics are exactly :func:`serve_worker`'s (typed faults
+    as data, never raises); duplicate specs are served by one engine run.
+    Fault-injected payloads are never deduplicated — each one exercises the
+    fault path it asked for."""
+    results: List[WorkerResult] = []
+    seen: Dict[str, WorkerResult] = {}
+    for payload in payloads:
+        key = None
+        if payload.get("inject") is None:
+            from repro.serve.cache import canonical_payload
+
+            key = canonical_payload(payload)
+        first = seen.get(key) if key is not None else None
+        if first is not None:
+            dup = dict(first)
+            dup["deduped"] = True
+            results.append(dup)
+            continue
+        result = serve_worker(payload)
+        if key is not None:
+            seen[key] = result
+        results.append(result)
+    return results
+
+
 class ShardedWorkerPool:
     """``n_shards`` persistent single-worker pools, warm per shape.
 
@@ -160,10 +197,12 @@ class ShardedWorkerPool:
 
         warm_tables(warm_shapes)
         self.n_shards = n_shards
+        self.procs_per_shard = procs_per_shard
         self.warm_shapes: Tuple[Shape, ...] = tuple(
             (int(b), int(c)) for b, c in warm_shapes
         )
         self.dispatched: List[int] = [0] * n_shards
+        self.batches: List[int] = [0] * n_shards
         self._pools = []
         for shard in range(n_shards):
             owned = tuple(owned_shapes(shard, n_shards, self.warm_shapes))
@@ -188,6 +227,20 @@ class ShardedWorkerPool:
                                   dict(payload.get("params") or {}))
         self.dispatched[shard] += 1
         return self._pools[shard].apply_async(serve_worker, (payload,))
+
+    def submit_batch(self, payloads: Sequence[Dict[str, object]],
+                     shard: int, callback=None, error_callback=None):
+        """Dispatch a micro-batch as one pool task; returns ``AsyncResult``.
+
+        The caller (the continuous batcher) has already grouped the
+        payloads by shape, so the shard is explicit — no per-payload
+        routing here."""
+        self.dispatched[shard] += len(payloads)
+        self.batches[shard] += 1
+        return self._pools[shard].apply_async(
+            serve_worker_batch, (list(payloads),),
+            callback=callback, error_callback=error_callback,
+        )
 
     def run_sync(self, payload: Dict[str, object],
                  shard: Optional[int] = None) -> WorkerResult:
@@ -225,6 +278,7 @@ class ShardedWorkerPool:
         return {
             "n_shards": self.n_shards,
             "dispatched": list(self.dispatched),
+            "batches": list(self.batches),
             "warm_shapes": [list(s) for s in self.warm_shapes],
         }
 

@@ -2,12 +2,21 @@
 
 Architecture (one request's life)::
 
-    client ──JSONL line──▶ front-end ──validate──▶ shard router
+    client ──JSONL line──▶ front-end ──validate──▶ result cache ──miss──▶
+        micro-batcher (shard k) ──1 pool task/batch──▶ warm worker
                                                       │
-               response line ◀── result stream ◀── warm worker (shard k)
+               response line ◀── result stream ◀──────┘
 
-* **Streaming, not batching** — every response is written the moment its
-  worker finishes, under a per-connection writer lock; responses carry the
+* **Content-addressed caching before any dispatch** — a request whose
+  canonical spec hash (:mod:`repro.serve.cache`) already has a completed
+  report is answered from the LRU result cache, byte-identical to a fresh
+  run; fault-injected and failed runs never populate it.
+* **Continuous micro-batching behind the cache** — misses coalesce per
+  shard by ``(system, shape)`` (:mod:`repro.serve.batch`) and cross the
+  process boundary as one pool task per batch, flushed by request count or
+  queue drain, never by wall-clock timers.
+* **Streaming responses** — every response is written the moment its
+  batch finishes, under a per-connection writer lock; responses carry the
   request ``id`` because they may interleave out of order.
 * **Bounded in-flight depth** — the connection reader acquires the service
   semaphore *before* reading on, so at ``max_inflight`` outstanding
@@ -38,6 +47,8 @@ import sys
 from typing import Dict, Optional, Sequence, TextIO
 
 from repro.obs.metrics import MetricsRegistry, TenantMetrics
+from repro.serve.batch import MicroBatcher
+from repro.serve.cache import ResultCache, cacheable, payload_key
 from repro.serve.pool import ShardedWorkerPool
 from repro.serve.shard import DEFAULT_WARM_SHAPES, Shape, shape_of
 from repro.serve.spec import RequestError, ServeRequest, validate_request
@@ -53,7 +64,8 @@ class SimulationService:
 
     def __init__(self, pool: Optional[ShardedWorkerPool] = None,
                  n_shards: int = 2, max_inflight: int = 32,
-                 warm_shapes: Sequence[Shape] = DEFAULT_WARM_SHAPES):
+                 warm_shapes: Sequence[Shape] = DEFAULT_WARM_SHAPES,
+                 max_batch: int = 8, cache_size: int = 1024):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.pool = pool if pool is not None else ShardedWorkerPool(
@@ -62,9 +74,20 @@ class SimulationService:
         self._gate = asyncio.Semaphore(max_inflight)
         self.metrics = MetricsRegistry()
         self.tenants = TenantMetrics()
+        self.batcher = MicroBatcher(self.pool, max_batch=max_batch,
+                                    metrics=self.metrics)
+        self.cache = ResultCache(max_entries=cache_size)
         self._ids = itertools.count(1)
         self._inflight = 0
         self.peak_inflight = 0
+        #: Set at shutdown: connection readers stop consuming new lines so
+        #: :meth:`drain` can run the in-flight work dry.
+        self.closing = False
+        #: Live connection handlers (task → writer).  Shutdown closes the
+        #: writers so every handler *returns* instead of being cancelled at
+        #: loop teardown — a cancelled ``start_server`` handler task makes
+        #: asyncio log an "Exception in callback" traceback on exit.
+        self._connections: Dict[asyncio.Task, asyncio.StreamWriter] = {}
 
     # -- request handling ------------------------------------------------
 
@@ -86,10 +109,36 @@ class SimulationService:
 
     async def _dispatch(self, request: ServeRequest) -> Dict[str, object]:
         shard = self.pool.shard_of(request.system, request.params)
+        payload = request.payload
+        # Content-addressed lookup first: a completed identical spec never
+        # costs a second worker round-trip.  Fault-injected requests have
+        # no key (never cached in either direction).
+        key: Optional[str] = None
+        if self.cache.max_entries > 0 and cacheable(payload):
+            key = payload_key(payload)
+        cache_counter = self.metrics.counter("serve.cache")
+        if key is not None:
+            report = self.cache.get(key)
+            if report is not None:
+                cache_counter.incr("hits")
+                result = {"ok": True, "report": report, "wall_ms": 0.0}
+                self._account(request, shard, result, cached=True)
+                return {
+                    "id": request.id,
+                    "tenant": request.tenant,
+                    "ok": True,
+                    "shard": shard,
+                    "wall_ms": 0.0,
+                    "cached": True,
+                    "report": report,
+                }
+        # Uncacheable requests "miss" too: per-tenant hit+miss always sums
+        # to the tenant's dispatched request count.
+        cache_counter.incr("misses")
         self._inflight += 1
         self.peak_inflight = max(self.peak_inflight, self._inflight)
         try:
-            result = await self.pool.run_async(request.payload, shard=shard)
+            result = await self.batcher.submit(payload, shard=shard)
         except Exception as exc:  # pool infrastructure failure (rare)
             result = {"ok": False, "error": {
                 "type": type(exc).__name__, "message": str(exc),
@@ -97,7 +146,12 @@ class SimulationService:
             }, "wall_ms": 0.0}
         finally:
             self._inflight -= 1
-        self._account(request, shard, result)
+        if (key is not None and result.get("ok")
+                and result.get("report") is not None):
+            evicted = self.cache.put(key, result["report"])
+            if evicted:
+                cache_counter.incr("evictions", evicted)
+        self._account(request, shard, result, cached=False)
         response: Dict[str, object] = {
             "id": request.id,
             "tenant": request.tenant,
@@ -110,22 +164,28 @@ class SimulationService:
         else:
             response["error"] = result.get("error")
         worker: Dict[str, object] = {}
-        for key in ("pid", "tables"):
-            if key in result:
-                worker[key] = result[key]
+        for field in ("pid", "tables", "deduped"):
+            if field in result:
+                worker[field] = result[field]
         if worker:
             response["worker"] = worker
         return response
 
     def _account(self, request: ServeRequest, shard: int,
-                 result: Dict[str, object]) -> None:
+                 result: Dict[str, object], cached: bool = False) -> None:
         ok = bool(result.get("ok"))
         wall_ms = float(result.get("wall_ms") or 0.0)
         svc = self.metrics.counter("serve.requests")
         svc.incr("total")
         svc.incr("ok" if ok else "error")
-        self.metrics.counter(f"serve.shard[{shard}]").incr("dispatched")
+        self.metrics.counter(f"serve.shard[{shard}]").incr(
+            "cached" if cached else "dispatched")
         self.metrics.stats("serve.latency_ms").add(wall_ms)
+        tables = result.get("tables")
+        if isinstance(tables, dict):
+            shard_tables = self.metrics.counter(f"serve.tables[{shard}]")
+            shard_tables.incr("hits", int(tables.get("hits") or 0))
+            shard_tables.incr("misses", int(tables.get("misses") or 0))
         shape = shape_of(request.system, request.params)
         if shape is not None:
             self.metrics.counter(
@@ -135,6 +195,7 @@ class SimulationService:
         treq = tenant.counter("requests")
         treq.incr("total")
         treq.incr("ok" if ok else "error")
+        tenant.counter("cache").incr("hit" if cached else "miss")
         tenant.stats("latency_ms").add(wall_ms)
 
     def _control(self, obj: Dict[str, object]) -> Dict[str, object]:
@@ -160,7 +221,26 @@ class SimulationService:
                 "max": self.max_inflight,
             },
             "pool": self.pool.stats(),
+            "cache": self.cache.stats(),
+            "batch": self.batcher.stats(),
         }
+
+    # -- shutdown ------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Run the in-flight work dry: stop admitting requests, then wait
+        until every already-admitted one has been answered.
+
+        Acquiring every gate permit is the drain barrier — a permit is
+        only free once its request's response has been written, so holding
+        all ``max_inflight`` of them means nothing is left in the batcher
+        or the pools.  The permits are released afterwards so a drained
+        service could in principle serve again (tests do)."""
+        self.closing = True
+        for _ in range(self.max_inflight):
+            await self._gate.acquire()
+        for _ in range(self.max_inflight):
+            self._gate.release()
 
     # -- JSONL framing -----------------------------------------------------
 
@@ -184,6 +264,9 @@ class SimulationService:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[task] = writer
         try:
             try:
                 first = await reader.readline()
@@ -196,18 +279,41 @@ class SimulationService:
                 return
             await self._serve_jsonl(first, reader, writer)
         finally:
+            if task is not None:
+                self._connections.pop(task, None)
+            try:
+                # close() without wait_closed(): the transport finishes
+                # closing on the loop, while awaiting it here would leave
+                # this handler task pending into loop teardown, where
+                # asyncio cancels it and logs an "Exception in callback"
+                # traceback (the graceful-shutdown tests grep for that).
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def close_connections(self) -> None:
+        """Close every live connection and wait for its handler to return.
+
+        Called at shutdown after :meth:`drain`: closing the transports
+        unparks handlers blocked in ``readline()``/``wait_closed()`` so
+        they exit through their own ``finally`` blocks — never left to be
+        cancelled by the event loop tearing down (which asyncio reports
+        as an "Exception in callback" traceback)."""
+        tasks = list(self._connections)
+        for writer in self._connections.values():
             try:
                 writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, RuntimeError):
+            except RuntimeError:
                 pass
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
 
     async def _serve_jsonl(self, first: bytes, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
         lock = asyncio.Lock()
         tasks = []
         line: Optional[bytes] = first
-        while line:
+        while line and not self.closing:
             text = line.decode("utf-8", errors="replace").strip()
             if text:
                 # Acquire BEFORE reading on: at max_inflight outstanding
