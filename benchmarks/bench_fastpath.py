@@ -14,6 +14,11 @@ Three differential-equivalence-plus-speedup proofs, one per batched layer:
   seeded dirty): :meth:`SlotAccurateHierarchy.run_ops_batch` vs
   :meth:`~SlotAccurateHierarchy.run_ops`, >= 2x.
 
+Stage 3 adds the vectorized-engine gate (reference vs vectorized, >= 10x
+on the large shapes) and stage 4 the stacked-engine gate (a stack of 16
+same-shape runs vs the same specs run sequentially on the vectorized
+engine, >= 3x at (64, 16)).
+
 Every repeat asserts the two paths bit-identical before timing counts.
 
 Run standalone for the timing tables::
@@ -59,6 +64,16 @@ HIER_ROUNDS = 40
 #: epoch planner and the whole-block read memo both get exercised).
 VECTOR_SHAPES = [((64, 16), 4 * 64 * 16), ((128, 32), 3 * 128 * 32)]
 MIN_VECTOR_SPEEDUP = 10.0
+
+#: Stage 4: the stacked engine gate — a stack of STACK_WIDTH same-shape
+#: bench specs executed as one cross-simulation run vs the same specs run
+#: sequentially on the stage-3 vectorized engine.  The stack amortizes
+#: epoch planning across lanes, bulk-unlinks finishers, and shares the
+#: whole-block memo instead of copying it per access.
+STACK_SHAPE = (64, 16)
+STACK_SLOTS = 4 * 64 * 16
+STACK_WIDTH = 16
+MIN_STACK_SPEEDUP = 3.0
 
 
 def _full_load(mem: CFMemory, log: List[Tuple[int, int, int]]) -> None:
@@ -387,6 +402,73 @@ def measure_vector(repeats: int = 3):
     return rows
 
 
+# --------------------------------------------------------------------------
+# Stage 4: stacked cross-simulation engine vs sequential vectorized
+
+
+def _stack_spec(engine: str):
+    n_procs, bank_cycle = STACK_SHAPE
+    return {"system": "cfm",
+            "params": {"n_procs": n_procs, "bank_cycle": bank_cycle,
+                       "cycles": STACK_SLOTS, "engine": engine}}
+
+
+def measure_stack(repeats: int = 3):
+    """(sequential-vectorized s, stacked s, speedup) for a stack of
+    ``STACK_WIDTH`` identical ``STACK_SHAPE`` bench specs.
+
+    Bit-identity is asserted before any timing counts: the stacked
+    reports must equal per-spec serial :func:`repro.obs.bench.run_spec`
+    of the same specs (invariant 11).  The timed comparison then runs the
+    same workload per path — ``STACK_WIDTH`` sequential runs on the
+    stage-3 vectorized engine vs one stacked execution."""
+    from repro.fastpath.stack import run_specs_stacked
+    from repro.obs.bench import run_spec
+
+    vec_specs = [_stack_spec("vectorized") for _ in range(STACK_WIDTH)]
+    stack_specs = [_stack_spec("stacked") for _ in range(STACK_WIDTH)]
+    serial = [run_spec(spec) for spec in stack_specs]
+    stacked = run_specs_stacked(stack_specs)
+    assert serial == stacked, (
+        "stacked reports diverged from per-spec serial run_spec")
+    t_vec = t_stack = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        t0 = time.perf_counter()
+        for spec in vec_specs:
+            run_spec(spec)
+        tv = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_specs_stacked(stack_specs)
+        tk = time.perf_counter() - t0
+        gc.enable()
+        t_vec = min(t_vec, tv)
+        t_stack = min(t_stack, tk)
+    return t_vec, t_stack, t_vec / t_stack if t_stack > 0 else float("inf")
+
+
+def test_stack_engine_speedup():
+    from benchmarks._report import emit_table
+    from repro.fastpath.engine import engine_available
+
+    if not engine_available("stacked", "cfm"):
+        pytest.skip("numpy unavailable; stacked engine gated off")
+    t_vec, t_stack, speedup = measure_stack()
+    n_procs, bank_cycle = STACK_SHAPE
+    emit_table(
+        f"CFM stack-of-{STACK_WIDTH}: sequential vectorized vs stacked "
+        f"({STACK_SLOTS} slots each)",
+        ["shape (n, c)", "seq vec (s)", "stacked (s)", "speedup"],
+        [(f"({n_procs}, {bank_cycle})", f"{t_vec:.3f}", f"{t_stack:.3f}",
+          f"{speedup:.1f}x")],
+    )
+    assert speedup >= MIN_STACK_SPEEDUP, (
+        f"stacked engine only {speedup:.1f}x on a stack of {STACK_WIDTH} "
+        f"{STACK_SHAPE} runs, need >= {MIN_STACK_SPEEDUP}x"
+    )
+
+
 def test_vector_engine_speedup():
     from benchmarks._report import emit_table
     from repro.fastpath.engine import vector_available
@@ -423,3 +505,8 @@ if __name__ == "__main__":
         for (n, c), slots, t_ref, t_vec, speedup in measure_vector():
             print(f"vec   (n={n:3d}, c={c:2d})  ref  {t_ref:7.3f}s  "
                   f"vec  {t_vec:7.3f}s  {speedup:5.1f}x  ({slots} slots)")
+        n, c = STACK_SHAPE
+        t_vec, t_stack, speedup = measure_stack()
+        print(f"stack (n={n:3d}, c={c:2d})  seq  {t_vec:7.3f}s  "
+              f"stk  {t_stack:7.3f}s  {speedup:5.1f}x  "
+              f"(width {STACK_WIDTH}, {STACK_SLOTS} slots)")

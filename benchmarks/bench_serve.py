@@ -12,7 +12,11 @@ Two perf claims of ``repro.serve``, each gated at >= 2x:
    service path — coalescing queue, one pool task per batch, intra-batch
    dedup — serves >= 2x the requests/sec of PR 7's one-pool-task-per-
    request dispatch (``max_batch=1`` through the identical code path).
-   A third, cached pass measures steady-state content-addressed hits.
+   A third, cached pass measures steady-state content-addressed hits, and
+   a fourth, stacked pass (this PR) pins every request to
+   ``engine="stacked"`` so each flush executes as one stacked
+   cross-simulation run — gated at >= 1x batched (stacking must never
+   cost throughput).
 
 Before any timing counts, every distinct spec's served report — warm,
 fresh, batched, *and* cached — is asserted bit-identical (post JSON
@@ -61,6 +65,11 @@ BATCH_SHAPE = (4, 1)
 BATCH_CYCLE_CHOICES = (100, 150, 200, 250)
 MAX_BATCH = 16
 MIN_BATCH_SPEEDUP = 2.0
+#: Stage 4 gate: the same concurrent traffic with every request pinned to
+#: ``engine="stacked"`` — each micro-batch flush executes as one stacked
+#: cross-simulation run — must serve at least as many requests/sec as
+#: plain micro-batched dispatch.
+MIN_STACKED_RATIO = 1.0
 
 
 def _payloads(n_requests: int,
@@ -209,6 +218,30 @@ def measure_batching(pool: ShardedWorkerPool,
             "batches": snap["service"]["serve.batch"]["counts"]["batches"],
             "mean_batch_size": snap["service"]["serve.batch.size"]["mean"],
         }
+        # Stage 4: identical traffic pinned to the stacked engine — the
+        # batcher's flushes execute as one stacked run each (caching off
+        # to isolate stacking).  Identity is asserted against serial
+        # run_spec of the same stacked-engine specs before timing counts.
+        stacked_requests = [
+            {**r, "params": {**r["params"], "engine": "stacked"}}
+            for r in requests
+        ]
+        stacked = SimulationService(pool=pool, max_inflight=len(requests),
+                                    max_batch=MAX_BATCH, cache_size=0)
+        seconds, responses = await _serve_concurrently(stacked,
+                                                       stacked_requests)
+        _assert_responses_identical_to_serial(responses, stacked_requests)
+        snap = stacked.metrics_snapshot()
+        stack_counts = snap["service"]["serve.stack"]["counts"]
+        assert stack_counts["width"] == stack_counts["requests"], (
+            "stack widths must sum to the stacked-executed request count"
+        )
+        out["stacked"] = {
+            "wall_time_s": seconds,
+            "stacks": stack_counts["stacks"],
+            "stacked_requests": stack_counts["requests"],
+            "mean_stack_width": snap["service"]["serve.stack.width"]["mean"],
+        }
         # Content-addressed steady state: identical traffic, warm cache.
         cached = SimulationService(pool=pool, max_inflight=len(requests),
                                    max_batch=MAX_BATCH, cache_size=1024)
@@ -288,9 +321,13 @@ def run_bench(n_requests: int = N_REQUESTS, n_shards: int = N_SHARDS,
         },
         "per_request": modes["per_request"],
         "batched": modes["batched"],
+        "stacked": modes["stacked"],
         "cached": modes["cached"],
         "speedup": batch_speedup,
         "min_speedup": MIN_BATCH_SPEEDUP,
+        "stacked_ratio": (modes["stacked"]["requests_per_sec"]
+                          / modes["batched"]["requests_per_sec"]),
+        "min_stacked_ratio": MIN_STACKED_RATIO,
         "identical_to_serial": True,
     }
     return {
@@ -304,6 +341,7 @@ def run_bench(n_requests: int = N_REQUESTS, n_shards: int = N_SHARDS,
                 "warm": warm_fresh_run["warm"]["requests_per_sec"],
                 "per_request": modes["per_request"]["requests_per_sec"],
                 "batched": modes["batched"]["requests_per_sec"],
+                "stacked": modes["stacked"]["requests_per_sec"],
                 "cached": modes["cached"]["requests_per_sec"],
             },
         },
@@ -352,6 +390,8 @@ def test_micro_batched_dispatch_speedup():
           f"{modes['per_request']['requests_per_sec']:.1f}"),
          ("batched", f"{modes['batched']['wall_time_s']:.3f}",
           f"{modes['batched']['requests_per_sec']:.1f}"),
+         ("stacked", f"{modes['stacked']['wall_time_s']:.3f}",
+          f"{modes['stacked']['requests_per_sec']:.1f}"),
          ("cached", f"{modes['cached']['wall_time_s']:.3f}",
           f"{modes['cached']['requests_per_sec']:.1f}"),
          ("speedup", f"{speedup:.1f}x", f">= {MIN_BATCH_SPEEDUP}x")],
@@ -359,6 +399,11 @@ def test_micro_batched_dispatch_speedup():
     assert speedup >= MIN_BATCH_SPEEDUP, (
         f"micro-batched dispatch only {speedup:.1f}x over per-request "
         f"dispatch, need >= {MIN_BATCH_SPEEDUP}x"
+    )
+    assert (modes["stacked"]["requests_per_sec"]
+            >= MIN_STACKED_RATIO * modes["batched"]["requests_per_sec"]), (
+        "stacked-engine flushes slower than plain micro-batched dispatch "
+        "— stacking must never cost throughput"
     )
     assert (modes["cached"]["requests_per_sec"]
             >= modes["batched"]["requests_per_sec"]), (
@@ -390,14 +435,17 @@ def main(argv=None) -> int:
           f"{warm_fresh['fresh']['requests_per_sec']:8.1f} req/s")
     print(f"warm/fresh speedup {warm_fresh['speedup']:.1f}x "
           f"(gate >= {MIN_SPEEDUP}x)")
-    for mode in ("per_request", "batched", "cached"):
+    for mode in ("per_request", "batched", "stacked", "cached"):
         print(f"{mode:<11} {batching[mode]['wall_time_s']:7.3f}s  "
               f"{batching[mode]['requests_per_sec']:8.1f} req/s")
     print(f"batched/per_request speedup {batching['speedup']:.1f}x "
           f"(gate >= {MIN_BATCH_SPEEDUP}x)")
+    print(f"stacked/batched ratio {batching['stacked_ratio']:.1f}x "
+          f"(gate >= {MIN_STACKED_RATIO}x)")
     print(f"wrote {path}")
     ok = (warm_fresh["speedup"] >= MIN_SPEEDUP
-          and batching["speedup"] >= MIN_BATCH_SPEEDUP)
+          and batching["speedup"] >= MIN_BATCH_SPEEDUP
+          and batching["stacked_ratio"] >= MIN_STACKED_RATIO)
     return 0 if ok else 1
 
 

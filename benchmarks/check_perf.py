@@ -13,8 +13,8 @@ change.
 Serving documents (``BENCH_serve.json``, ``bench: "serve"``) are gated the
 same way against ``benchmarks/baseline_serve.json``: their ``timing``
 section carries ``requests_per_sec`` per serving mode (fresh / warm /
-per_request / batched / cached), and each mode's rate must stay within the
-tolerance of its baseline.  ``--update`` rewrites that baseline too.
+per_request / batched / stacked / cached), and each mode's rate must stay
+within the tolerance of its baseline.  ``--update`` rewrites that baseline too.
 
 Usage::
 

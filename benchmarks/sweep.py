@@ -14,6 +14,7 @@ Usage::
     PYTHONPATH=src python benchmarks/sweep.py --jobs 4
     PYTHONPATH=src python benchmarks/sweep.py --jobs 8 --bench cfm partial
     PYTHONPATH=src python benchmarks/sweep.py --rates 0.02 0.04 --seeds 3
+    PYTHONPATH=src python benchmarks/sweep.py --engine stacked --stack
 """
 
 from __future__ import annotations
@@ -78,6 +79,14 @@ def main(argv=None) -> int:
                         help="print one line per completed spec to stderr "
                         "as it streams off the pool (failures surface "
                         "immediately, not after the sweep drains)")
+    parser.add_argument("--stack", action="store_true",
+                        help="run engine-pinned same-shape cfm specs as "
+                        "stacked cross-simulation units (reports stay "
+                        "bit-identical to the unstacked sweep)")
+    parser.add_argument("--engine", default=None, metavar="ENGINE",
+                        help="pin an engine on every spec whose system "
+                        "supports it (stackable specs require a pin; "
+                        "e.g. --engine stacked --stack)")
     args = parser.parse_args(argv)
 
     from repro.fastpath.parallel import sweep
@@ -89,6 +98,19 @@ def main(argv=None) -> int:
               f"(valid: {' '.join(sorted(BENCH_SPECS))})", file=sys.stderr)
         return 2
     specs = build_specs(args)
+    if args.engine is not None:
+        from repro.fastpath.engine import ENGINES, engine_available
+        from repro.obs.bench import ENGINE_SYSTEMS
+
+        if args.engine not in ENGINES:
+            print(f"error: unknown engine {args.engine!r} "
+                  f"(valid: {' '.join(ENGINES)})", file=sys.stderr)
+            return 2
+        for spec in specs:
+            if spec["system"] in ENGINE_SYSTEMS and engine_available(
+                args.engine, str(spec["system"])
+            ):
+                spec["params"]["engine"] = args.engine
     progress = None
     if args.progress:
         def progress(event):
@@ -99,11 +121,15 @@ def main(argv=None) -> int:
                 line += f": {event['error']}"
             print(line, file=sys.stderr, flush=True)
     doc = sweep(specs, jobs=args.jobs, name="sweep", quick=args.quick,
-                timing=not args.no_timing, progress=progress)
+                timing=not args.no_timing, progress=progress,
+                stack=args.stack)
     path = write_document(doc, "sweep", out_dir=args.out)
     timing = doc.get("timing") or {}
     wall = timing.get("wall_time_s")
     suffix = f" in {wall:.2f}s" if wall is not None else ""
+    stacked = (timing.get("stack") or {}).get("stacked_runs")
+    if stacked:
+        suffix += f", {stacked} runs stacked"
     print(f"wrote {path}: {len(specs)} runs, jobs={args.jobs}{suffix}")
     return 0
 

@@ -347,8 +347,9 @@ class CacheSystem:
             n_procs=n_procs, bank_cycle=bank_cycle, word_width=word_width
         )
         #: Engine strategy used by :meth:`run_ops_engine` when none is
-        #: passed per call; validated here so a bad name fails early.
-        self.engine = resolve_engine(engine)
+        #: passed per call; validated here so a bad name fails early —
+        #: including engines this layer cannot drive (``stacked``).
+        self.engine = resolve_engine(engine, layer="cache")
         self.controller = _ProtocolController(self)
         # The shared probe/metrics flow down into the block-access engine,
         # so one registry sees both protocol ops and bank utilization.
@@ -565,7 +566,7 @@ class CacheSystem:
         ``engine`` overrides the instance default for this call only; all
         strategies produce bit-identical observable results (invariant 10).
         """
-        name = resolve_engine(engine, default=self.engine)
+        name = resolve_engine(engine, default=self.engine, layer="cache")
         if name == ENGINE_REFERENCE:
             self.run_ops(ops, max_slots)
         elif name == ENGINE_BATCH:

@@ -39,6 +39,7 @@ from repro.core.config import CFMConfig
 from repro.fastpath.engine import (
     ENGINE_BATCH,
     ENGINE_REFERENCE,
+    ENGINE_STACKED,
     resolve_engine,
 )
 from repro.fastpath.tables import bank_orders, slot_bank_table
@@ -194,7 +195,7 @@ class CFMemory:
         self.check_conflicts = check_conflicts
         #: Engine strategy used by :meth:`run_engine` when none is passed
         #: per call; validated here so a bad name fails at construction.
-        self.engine = resolve_engine(engine)
+        self.engine = resolve_engine(engine, layer="cfm")
         self.slot = 0
         self._next_id = 0
         # Monotone write counter: bumped on every write_word so the
@@ -323,9 +324,18 @@ class CFMemory:
 
     # -- engine ------------------------------------------------------------
 
-    def _finish(self, acc: BlockAccess, state: AccessState, slot: int) -> None:
+    def _finish(self, acc: BlockAccess, state: AccessState, slot: int,
+                unlink: bool = True) -> None:
+        # ``unlink=False`` is the stacked engine's bulk-unlink protocol:
+        # the caller has already removed every finisher from ``active`` in
+        # one pass (list.remove is an O(n) scan through the dataclass
+        # __eq__ of each already-reissued access — the dominant cost of
+        # finishing under load).  Everything else here is unchanged, so
+        # completion order, complete_slot, observers, and callbacks stay
+        # bit-identical.
         acc.state = state
-        self.active.remove(acc)
+        if unlink:
+            self.active.remove(acc)
         self._proc_busy[acc.proc] = False
         if state is AccessState.COMPLETED:
             # fault_delay is the extra drain a slow-bank fault imposed; it
@@ -697,13 +707,20 @@ class CFMemory:
         """Advance ``slots`` slots under the selected engine strategy.
 
         ``engine`` overrides the instance default for this call only; all
-        strategies produce bit-identical observable results (invariant 10).
+        strategies produce bit-identical observable results (invariants
+        10 and 11).  ``stacked`` on a single module is the width-1 stack
+        — the same lockstep driver ``repro.fastpath.stack.run_stack``
+        runs across modules.
         """
-        name = resolve_engine(engine, default=self.engine)
+        name = resolve_engine(engine, default=self.engine, layer="cfm")
         if name == ENGINE_REFERENCE:
             self.run(slots)
         elif name == ENGINE_BATCH:
             self.run_batch(slots)
+        elif name == ENGINE_STACKED:
+            from repro.fastpath.stack import run_stack
+
+            run_stack([self], slots)
         else:
             self.run_vector(slots)
 

@@ -11,23 +11,29 @@ themselves (:meth:`repro.core.cfm.CFMemory.run_batch`,
 :meth:`repro.sim.engine.Engine.run_batch`).
 
 Stage 3 adds the engine-strategy seam: :mod:`repro.fastpath.engine`
-names the three interchangeable strategies (``reference`` / ``batch`` /
-``vectorized``) every batched layer dispatches through, and
-:mod:`repro.fastpath.vector` implements the vectorized one — whole
-epochs planned as numpy gathers over the same tables.
+names the interchangeable strategies (``reference`` / ``batch`` /
+``vectorized`` / ``stacked``) every batched layer dispatches through,
+and :mod:`repro.fastpath.vector` implements the vectorized one — whole
+epochs planned as numpy gathers over the same tables.  Stage 4 adds
+:mod:`repro.fastpath.stack`: S independent same-shape CFM runs advanced
+in lockstep as one stacked numpy computation.
 
 Every fast path is differentially tested against the slot-by-slot
 reference path for bit-identical traces, metrics, and bench payloads
-(``tests/test_fastpath.py``, ``tests/test_fastpath_stage3.py``).
+(``tests/test_fastpath.py``, ``tests/test_fastpath_stage3.py``,
+``tests/test_fastpath_stage4.py``).
 """
 
 from repro.fastpath.engine import (
     DEFAULT_ENGINE,
     ENGINE_BATCH,
     ENGINE_REFERENCE,
+    ENGINE_STACKED,
     ENGINE_VECTORIZED,
     ENGINES,
+    engine_available,
     resolve_engine,
+    supported_layers,
     vector_available,
 )
 from repro.fastpath.parallel import derive_seed, map_specs, sweep
@@ -44,14 +50,17 @@ __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_BATCH",
     "ENGINE_REFERENCE",
+    "ENGINE_STACKED",
     "ENGINE_VECTORIZED",
     "ENGINES",
     "TABLE_CACHE_SIZE",
     "assert_conflict_free",
     "bank_orders",
     "derive_seed",
+    "engine_available",
     "map_specs",
     "resolve_engine",
+    "supported_layers",
     "shift_permutations",
     "slot_bank_table",
     "sweep",

@@ -3,7 +3,7 @@
 Each batched layer (:class:`repro.core.cfm.CFMemory`,
 :class:`repro.cache.protocol.CacheSystem`,
 :class:`repro.hierarchy.slot_accurate.SlotAccurateHierarchy`) can advance
-time three ways, all bit-identical on their observable results:
+time several ways, all bit-identical on their observable results:
 
 ``reference``
     The per-slot tick loop — the paper's semantics, one slot at a time.
@@ -17,29 +17,53 @@ time three ways, all bit-identical on their observable results:
     windows — computed as array gathers, falling back to ``batch`` the
     moment a hazard (same-offset write interleaving, an active fault
     plan, a degraded bank, any observer) breaks the static proof.
+``stacked``
+    The stage-4 cross-run engine (:mod:`repro.fastpath.stack`): S
+    independent same-shape simulations advanced in lockstep as one
+    stacked numpy computation, each run individually ejected onto its
+    own ``run_batch`` path the moment its static proof breaks.  CFM
+    only — the other layers report a typed error (below).
 
 Layers accept an ``engine=`` constructor argument and expose a
 ``run_*_engine`` dispatcher; ``repro bench --engine=`` threads the choice
-through the bench harness.  This module is deliberately dependency-free
-(no ``repro.*`` imports) so the registry can be consulted from any layer
-without import cycles.
+through the bench harness.  Not every engine supports every layer:
+:func:`resolve_engine` takes the resolving layer's name (and, for custom
+seams, an availability predicate) and raises a typed ``ValueError``
+naming exactly which layers do support the engine — at construction or
+dispatch, never deep inside an engine loop.  This module is deliberately
+dependency-free (no ``repro.*`` imports) so the registry can be
+consulted from any layer without import cycles.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 ENGINE_REFERENCE = "reference"
 ENGINE_BATCH = "batch"
 ENGINE_VECTORIZED = "vectorized"
+ENGINE_STACKED = "stacked"
 
-#: Every selectable engine strategy, in fallback order (vectorized falls
-#: back to batch, batch falls back to reference ticks).
-ENGINES: Tuple[str, ...] = (ENGINE_REFERENCE, ENGINE_BATCH, ENGINE_VECTORIZED)
+#: Every selectable engine strategy, in fallback order (stacked ejects
+#: runs to batch, vectorized falls back to batch, batch falls back to
+#: reference ticks).
+ENGINES: Tuple[str, ...] = (
+    ENGINE_REFERENCE, ENGINE_BATCH, ENGINE_VECTORIZED, ENGINE_STACKED,
+)
 
 #: The engine layers use when none is configured — the stage-2 batcher,
 #: preserving the behaviour of every pre-existing ``run_ops_batch`` caller.
 DEFAULT_ENGINE = ENGINE_BATCH
+
+#: Layer names of the engine seam (the three batched layers).
+ENGINE_LAYERS: Tuple[str, ...] = ("cfm", "cache", "hierarchy")
+
+#: Which layers each engine supports.  Engines absent from this map run
+#: on every seam layer; ``stacked`` plans across whole CFM runs and (for
+#: now) has no cache/hierarchy stacking story.
+ENGINE_LAYER_SUPPORT = {
+    ENGINE_STACKED: ("cfm",),
+}
 
 
 def vector_available() -> bool:
@@ -51,13 +75,39 @@ def vector_available() -> bool:
     return True
 
 
+def supported_layers(name: str) -> Tuple[str, ...]:
+    """The seam layers engine ``name`` can drive."""
+    return ENGINE_LAYER_SUPPORT.get(name, ENGINE_LAYERS)
+
+
+def engine_available(name: str, layer: str) -> bool:
+    """May ``layer`` dispatch through engine ``name`` in this process?
+
+    Combines the per-layer support table with the numpy gate (both the
+    vectorized and the stacked engine plan in numpy)."""
+    if name not in ENGINES:
+        return False
+    if layer not in supported_layers(name):
+        return False
+    if name in (ENGINE_VECTORIZED, ENGINE_STACKED) and not vector_available():
+        return False
+    return True
+
+
 def resolve_engine(name: Optional[str],
-                   default: str = DEFAULT_ENGINE) -> str:
+                   default: str = DEFAULT_ENGINE,
+                   layer: Optional[str] = None,
+                   available: Optional[Callable[[str, str], bool]] = None,
+                   ) -> str:
     """Validate an engine name; ``None`` resolves to ``default``.
 
-    Raises ``ValueError`` for unknown names and for ``vectorized`` when
-    numpy is not importable — the engines never degrade silently to a
-    different strategy than the one asked for.
+    Raises ``ValueError`` for unknown names, for the numpy engines when
+    numpy is not importable, and — when ``layer`` is given — for engines
+    that layer cannot drive, naming the layers that can.  ``available``
+    overrides the per-layer predicate (``(engine, layer) -> bool``) for
+    custom seams; the error text still names the registry's supported
+    layers.  The engines never degrade silently to a different strategy
+    than the one asked for.
     """
     if name is None:
         name = default
@@ -65,9 +115,18 @@ def resolve_engine(name: Optional[str],
         raise ValueError(
             f"unknown engine {name!r} (valid: {' '.join(ENGINES)})"
         )
-    if name == ENGINE_VECTORIZED and not vector_available():
+    if name in (ENGINE_VECTORIZED, ENGINE_STACKED) and not vector_available():
         raise ValueError(
-            "vectorized engine requires numpy, which is not importable; "
+            f"{name} engine requires numpy, which is not importable; "
             "use 'batch' or 'reference'"
         )
+    if layer is not None:
+        ok = (available(name, layer) if available is not None
+              else layer in supported_layers(name))
+        if not ok:
+            layers = supported_layers(name)
+            raise ValueError(
+                f"engine {name!r} does not support layer {layer!r} "
+                f"(supported layers: {' '.join(layers)})"
+            )
     return name

@@ -58,9 +58,59 @@ def _timed_run_spec(spec: Dict[str, object]) -> SpecResult:
     return report, time.perf_counter() - t0, None
 
 
+def _timed_run_unit(unit: Sequence[Dict[str, object]]) -> List[SpecResult]:
+    """Pool worker: one execution unit -> per-spec results, in unit order.
+
+    A singleton unit is a plain :func:`_timed_run_spec`.  A multi-spec
+    unit is a same-shape stacked group executed as **one** stacked run
+    (:func:`repro.fastpath.stack.run_specs_stacked`, bit-identical to
+    per-spec serial); its wall clock is attributed evenly across the
+    lanes, which is exactly the per-run cost the stack achieved.  If the
+    stacked run itself errors, the unit degrades to per-spec serial runs
+    so failures stay attributed to the spec that owns them."""
+    if len(unit) == 1:
+        return [_timed_run_spec(unit[0])]
+    from repro.fastpath.stack import run_specs_stacked
+
+    t0 = time.perf_counter()
+    try:
+        reports = run_specs_stacked(list(unit))
+    except Exception:
+        return [_timed_run_spec(spec) for spec in unit]
+    wall = (time.perf_counter() - t0) / len(unit)
+    return [(report, wall, None) for report in reports]
+
+
+def plan_stack_units(
+    specs: Sequence[Dict[str, object]],
+) -> List[List[int]]:
+    """Partition spec indices into stacked execution units.
+
+    Stackable specs (:func:`repro.fastpath.stack.stackable_spec`) sharing
+    one ``(n_banks, bank_cycle)`` shape form one multi-lane unit — in
+    first-seen shape order, each preserving spec order within the group —
+    and everything else (other systems, observed/engineless cfm runs,
+    fault injections) stays a singleton unit.  Shape groups of one are
+    demoted to singletons: a width-1 stack is bit-identical but buys no
+    amortization."""
+    from repro.fastpath.stack import stack_shape, stackable_spec
+
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    units: List[List[int]] = []
+    for i, spec in enumerate(specs):
+        if stackable_spec(spec):
+            groups.setdefault(stack_shape(spec), []).append(i)
+        else:
+            units.append([i])
+    units.extend(groups.values())
+    units.sort(key=lambda unit: unit[0])
+    return units
+
+
 def map_specs(
     specs: Sequence[Dict[str, object]], jobs: int = 1,
     on_result: Optional[ResultCallback] = None,
+    stack: bool = False,
 ) -> List[SpecResult]:
     """Run every spec, ``jobs`` at a time; results in spec order.
 
@@ -72,7 +122,40 @@ def map_specs(
     finish them.  ``on_result(index, spec, result)`` — when given — fires
     per completed spec on both paths, so a caller can report progress (or a
     first failure) while later specs are still running.  The returned list
-    is identical to the old blocking semantics."""
+    is identical to the old blocking semantics.
+
+    ``stack=True`` groups stackable same-shape cfm specs into stacked
+    execution units (:func:`plan_stack_units`) run as one cross-simulation
+    numpy computation each.  Reports are bit-identical to the unstacked
+    path and the returned list stays in spec order; only wall times (split
+    evenly across a stack's lanes) and ``on_result`` ordering (unit
+    completion order, spec order within a unit) differ."""
+    if stack:
+        units = plan_stack_units(specs)
+        # All-singleton plans take the plain paths below — identical
+        # accounting, and pooled dispatch stays per-spec.
+        if any(len(unit) > 1 for unit in units):
+            unit_specs = [[specs[i] for i in unit] for unit in units]
+            results: List[Optional[SpecResult]] = [None] * len(specs)
+
+            def _land(unit: List[int], unit_results: List[SpecResult]) -> None:
+                for i, result in zip(unit, unit_results):
+                    results[i] = result
+                    if on_result is not None:
+                        on_result(i, specs[i], result)
+
+            if jobs <= 1 or len(units) <= 1:
+                for unit, batch in zip(units, map(_timed_run_unit, unit_specs)):
+                    _land(unit, batch)
+            else:
+                import multiprocessing as mp
+
+                with mp.Pool(processes=min(jobs, len(units))) as pool:
+                    for unit, batch in zip(
+                        units, pool.imap(_timed_run_unit, unit_specs)
+                    ):
+                        _land(unit, batch)
+            return list(results)  # type: ignore[arg-type]
     if jobs <= 1 or len(specs) <= 1:
         results = []
         for i, spec in enumerate(specs):
@@ -99,6 +182,7 @@ def sweep(
     quick: bool = False,
     timing: bool = True,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    stack: bool = False,
 ) -> Dict[str, object]:
     """Run a spec list (optionally in parallel) into one bench document.
 
@@ -114,7 +198,13 @@ def sweep(
     *as it completes* (``{"index", "total", "system", "wall_time_s",
     "error"}``), streamed off :func:`map_specs`'s ``imap`` path: a failure
     in spec 2 of 40 surfaces on event 2, not after the whole pool drains.
-    The document itself is unaffected (progress is observational only)."""
+    The document itself is unaffected (progress is observational only).
+
+    ``stack=True`` executes stackable same-shape cfm specs as stacked
+    cross-simulation runs (see :func:`map_specs`); ``runs`` stays
+    bit-identical to the unstacked sweep, and the ``timing`` section gains
+    a ``stack`` summary (``units`` executed stacked, ``stacked_runs``
+    lanes they covered)."""
     t0 = time.perf_counter()
     on_result: Optional[ResultCallback] = None
     if progress is not None:
@@ -131,7 +221,7 @@ def sweep(
                 "error": None if err is None else str(err).splitlines()[0],
             })
 
-    results = map_specs(specs, jobs=jobs, on_result=on_result)
+    results = map_specs(specs, jobs=jobs, on_result=on_result, stack=stack)
     wall = time.perf_counter() - t0
     doc: Dict[str, object] = {
         "bench": name,
@@ -164,4 +254,12 @@ def sweep(
                 if err is None
             ],
         }
+        if stack:
+            stacked_units = [
+                unit for unit in plan_stack_units(specs) if len(unit) > 1
+            ]
+            doc["timing"]["stack"] = {
+                "units": len(stacked_units),
+                "stacked_runs": sum(len(unit) for unit in stacked_units),
+            }
     return doc

@@ -191,14 +191,15 @@ def _hier_fingerprint(n_clusters: int, per: int, rounds: int, seed: int,
     return fingerprint_hier(hier, ops)
 
 
-def _engines() -> Tuple[str, ...]:
-    """Every engine strategy runnable in this process (three-way when
-    numpy is importable, reference + batch otherwise)."""
-    from repro.fastpath.engine import ENGINES, ENGINE_VECTORIZED, vector_available
+def _engines(layer: str = "cfm") -> Tuple[str, ...]:
+    """Every engine strategy runnable on ``layer`` in this process.
 
-    if vector_available():
-        return ENGINES
-    return tuple(e for e in ENGINES if e != ENGINE_VECTORIZED)
+    Filters the registry through :func:`engine_available`: the numpy
+    engines drop out where numpy is missing, and ``stacked`` only ever
+    appears for the CFM layer."""
+    from repro.fastpath.engine import ENGINES, engine_available
+
+    return tuple(e for e in ENGINES if engine_available(e, layer))
 
 
 def differential_zero_fault(seed: int = 0) -> Dict[str, bool]:
@@ -210,24 +211,23 @@ def differential_zero_fault(seed: int = 0) -> Dict[str, bool]:
     "hierarchy": True}`` on success; raises ``AssertionError`` naming the
     diverging layer otherwise.
     """
-    engines = _engines()
     out: Dict[str, bool] = {}
     cfm = [
         _cfm_fingerprint(8, 2, engine, zero)
-        for engine in engines for zero in (False, True)
+        for engine in _engines("cfm") for zero in (False, True)
     ]
     assert all(f == cfm[0] for f in cfm), "cfm zero-fault differential diverged"
     out["cfm"] = True
     cache = [
         _cache_fingerprint(4, 3, seed, engine, zero)
-        for engine in engines for zero in (False, True)
+        for engine in _engines("cache") for zero in (False, True)
     ]
     assert all(f == cache[0] for f in cache), \
         "cache zero-fault differential diverged"
     out["cache"] = True
     hier = [
         _hier_fingerprint(2, 2, 2, seed, engine, zero)
-        for engine in engines for zero in (False, True)
+        for engine in _engines("hierarchy") for zero in (False, True)
     ]
     assert all(f == hier[0] for f in hier), \
         "hierarchy zero-fault differential diverged"

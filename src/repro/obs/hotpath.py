@@ -41,6 +41,13 @@ Counter naming convention, within a layer:
     the batch engine — an *auxiliary* event count, NOT slot-denominated:
     the handed-off slots are counted by the batch engine's own counters,
     so per-layer slot sums must exclude ``vector.fallbacks``).
+``stack.<name>``
+    Stage-4 stacked-engine counters, same shape as ``vector.*``:
+    ``stack.batched_slots`` (slots a lane advanced via a stacked epoch —
+    slot-denominated, pooled with ``batched_slots`` in
+    :meth:`HotpathProfiler.occupancy`) and ``stack.fallbacks`` (lanes
+    *ejected* from a stack onto their own batch run — auxiliary, NOT
+    slot-denominated).
 """
 
 from __future__ import annotations
@@ -133,15 +140,17 @@ class HotpathProfiler:
 
         ``ticked`` pools every ``tick.*`` and ``fallback.*`` slot (each of
         those is exactly one reference-path slot); ``batched`` pools batch
-        spans from both the stage-2 and the stage-3 vectorized engine;
-        ``batched_frac`` is the share of all advanced slots covered by
-        them.  ``vector.fallbacks`` is auxiliary (not slot-denominated)
-        and deliberately excluded.
+        spans from the stage-2, stage-3 vectorized, and stage-4 stacked
+        engines; ``batched_frac`` is the share of all advanced slots
+        covered by them.  ``vector.fallbacks`` / ``stack.fallbacks`` are
+        auxiliary (not slot-denominated) and deliberately excluded.
         """
         out: Dict[str, Dict[str, float]] = {}
         for layer, events in sorted(self._counts.items()):
-            batched = events.get("batched_slots", 0) + events.get(
-                "vector.batched_slots", 0
+            batched = (
+                events.get("batched_slots", 0)
+                + events.get("vector.batched_slots", 0)
+                + events.get("stack.batched_slots", 0)
             )
             skipped = events.get("skipped_slots", 0)
             ticked = sum(

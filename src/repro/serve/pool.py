@@ -142,6 +142,42 @@ def serve_worker(payload: Dict[str, object]) -> WorkerResult:
     return base
 
 
+def _run_stacked_lanes(lane_payloads: Sequence[Dict[str, object]]
+                       ) -> List[WorkerResult]:
+    """Serve same-shape ``engine="stacked"`` payloads as one stacked run.
+
+    Reports are bit-identical to per-payload :func:`serve_worker` (the
+    stage-4 invariant); the envelope differs only in accounting: every
+    lane carries ``"stacked": True``, the first lane carries the stack's
+    ``"stack_width"`` and table-cache delta, and the stack's wall clock is
+    attributed evenly across lanes.  Any stacking error degrades to
+    per-payload :func:`serve_worker`, which never raises."""
+    from repro.fastpath.stack import run_specs_stacked
+
+    t0 = time.perf_counter()
+    hits0, misses0 = _table_cache_stats()
+    specs = [{"system": p["system"], "params": dict(p.get("params") or {})}
+             for p in lane_payloads]
+    try:
+        reports = run_specs_stacked(specs)
+    except Exception:  # noqa: BLE001 — failures-as-data boundary
+        return [serve_worker(p) for p in lane_payloads]
+    hits1, misses1 = _table_cache_stats()
+    wall_ms = (time.perf_counter() - t0) * 1e3 / len(lane_payloads)
+    results: List[WorkerResult] = []
+    for k, report in enumerate(reports):
+        result: WorkerResult = {
+            "pid": os.getpid(), "ok": True, "report": report,
+            "wall_ms": wall_ms, "stacked": True,
+            "tables": ({"hits": hits1 - hits0, "misses": misses1 - misses0}
+                       if k == 0 else {"hits": 0, "misses": 0}),
+        }
+        if k == 0:
+            result["stack_width"] = len(lane_payloads)
+        results.append(result)
+    return results
+
+
 def serve_worker_batch(payloads: Sequence[Dict[str, object]]
                        ) -> List[WorkerResult]:
     """Worker-side batch entry point: N payloads → N result dicts, one IPC.
@@ -149,26 +185,54 @@ def serve_worker_batch(payloads: Sequence[Dict[str, object]]
     Per-request semantics are exactly :func:`serve_worker`'s (typed faults
     as data, never raises); duplicate specs are served by one engine run.
     Fault-injected payloads are never deduplicated — each one exercises the
-    fault path it asked for."""
-    results: List[WorkerResult] = []
-    seen: Dict[str, WorkerResult] = {}
-    for payload in payloads:
-        key = None
-        if payload.get("inject") is None:
-            from repro.serve.cache import canonical_payload
+    fault path it asked for.
 
+    After deduplication, unique payloads that ask for the stacked engine
+    (``params["engine"] == "stacked"``, no injection) execute as **one**
+    stacked cross-simulation run per ``(n_banks, bank_cycle)`` shape
+    (:func:`repro.fastpath.stack.run_specs_stacked`) — the batcher already
+    groups by shape, so a flush is normally a single stack.  Lane results
+    carry ``"stacked"``/``"stack_width"`` accounting (replicated duplicate
+    results don't: a duplicate was not a lane, so per-batch stack widths
+    sum to exactly the number of stacked-executed requests)."""
+    from repro.fastpath.stack import stack_shape, stackable_spec
+    from repro.serve.cache import canonical_payload
+
+    results: List[Optional[WorkerResult]] = [None] * len(payloads)
+    seen: Dict[str, int] = {}
+    dup_of: Dict[int, int] = {}
+    serial: List[int] = []
+    stacks: Dict[Tuple[int, int], List[int]] = {}
+    for i, payload in enumerate(payloads):
+        if payload.get("inject") is None:
             key = canonical_payload(payload)
-        first = seen.get(key) if key is not None else None
-        if first is not None:
-            dup = dict(first)
-            dup["deduped"] = True
-            results.append(dup)
-            continue
-        result = serve_worker(payload)
-        if key is not None:
-            seen[key] = result
-        results.append(result)
-    return results
+            first = seen.get(key)
+            if first is not None:
+                dup_of[i] = first
+                continue
+            seen[key] = i
+        spec = {"system": payload.get("system"),
+                "params": payload.get("params") or {},
+                "inject": payload.get("inject")}
+        if (isinstance(spec["params"], dict)
+                and spec["params"].get("engine") == "stacked"
+                and stackable_spec(spec)):
+            stacks.setdefault(stack_shape(spec), []).append(i)
+        else:
+            serial.append(i)
+    for i in serial:
+        results[i] = serve_worker(payloads[i])
+    for lanes in stacks.values():
+        for i, result in zip(lanes,
+                             _run_stacked_lanes([payloads[i] for i in lanes])):
+            results[i] = result
+    for i, first in dup_of.items():
+        dup = dict(results[first])  # type: ignore[arg-type]
+        dup["deduped"] = True
+        dup.pop("stacked", None)
+        dup.pop("stack_width", None)
+        results[i] = dup
+    return results  # type: ignore[return-value]
 
 
 class ShardedWorkerPool:

@@ -85,7 +85,13 @@ class TestBenchCommand:
             assert run["latency"]["p50"] is not None
             assert run["latency"]["p99"] >= run["latency"]["p50"]
             assert "retries" in run and "conflicts" in run
-            assert run["utilization"], "per-resource utilization missing"
+            if run["params"].get("engine"):
+                # Engine-driven runs are unobserved by design (observers
+                # would break the vectorized/stacked proof): the key is
+                # present but carries no per-resource samples.
+                assert run["utilization"] == {}
+            else:
+                assert run["utilization"], "per-resource utilization missing"
         cfm = next(r for r in doc["runs"] if r["system"] == "cfm")
         banks = [k for k in cfm["utilization"] if k.startswith("cfm.bank[")]
         assert len(banks) == cfm["params"]["n_banks"]
