@@ -388,6 +388,8 @@ def _cmd_bench(args) -> int:
     names = args.names or (["quick"] if args.quick else sorted(BENCHMARKS))
     if args.faults and "faults" not in names:
         names = list(names) + ["faults"]
+    if args.qos and "qos" not in names:
+        names = list(names) + ["qos"]
     unknown = [n for n in names if n not in BENCHMARKS]
     if unknown:
         return _fail_unknown("bench", unknown[0], BENCHMARKS)
@@ -580,6 +582,12 @@ def main(argv=None) -> int:
         "--faults", action="store_true",
         help="also run the 'faults' chaos benchmark (zero-fault "
         "bit-identity + seeded fault sweeps with typed-error outcomes)",
+    )
+    p_bench.add_argument(
+        "--qos", action="store_true",
+        help="also run the 'qos' mixed-criticality benchmark (priority "
+        "arbitration vs FIFO baseline; per-tier p50/p99/p99.9 and "
+        "deadline-miss SLA accounting)",
     )
     p_bench.add_argument(
         "--engine", choices=["reference", "batch", "vectorized", "stacked"],

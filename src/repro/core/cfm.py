@@ -45,6 +45,7 @@ from repro.fastpath.engine import (
 from repro.fastpath.tables import bank_orders, slot_bank_table
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import Probe
+from repro.sim.criticality import parse_tier, rank_of
 from repro.sim.engine import SimulationTimeout
 
 #: The value an untouched bank location reads as; shared so the hot read
@@ -127,6 +128,10 @@ class BlockAccess:
     complete_slot: Optional[int] = None
     result_words: Dict[int, Word] = field(default_factory=dict)
     banks_written: List[int] = field(default_factory=list)
+    # QoS: set by submit()-granted accesses only; None on direct issue().
+    criticality: Optional[str] = None  # tier name (repro.sim.criticality)
+    submit_slot: Optional[int] = None  # slot the op entered the entry queue
+    deadline_slot: Optional[int] = None  # absolute SLA deadline, if any
 
     @property
     def result(self) -> Block:
@@ -143,6 +148,26 @@ class BlockAccess:
             raise ValueError("access has not completed")
         return self.complete_slot - self.issue_slot + 1
 
+    @property
+    def qos_latency(self) -> int:
+        """Slots from submission to data-complete (queueing included).
+
+        Falls back to :attr:`latency` for accesses issued directly (no
+        entry-queue wait), so SLA accounting has one clock either way."""
+        if self.complete_slot is None:
+            raise ValueError("access has not completed")
+        base = self.submit_slot if self.submit_slot is not None else self.issue_slot
+        return self.complete_slot - base + 1
+
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        """Did the access make its SLA deadline?  ``None`` when it has none."""
+        if self.deadline_slot is None:
+            return None
+        if self.complete_slot is None:
+            return False
+        return self.complete_slot <= self.deadline_slot
+
     def visited_bank_zero(self) -> bool:
         """Has this access already updated/visited physical bank 0?
 
@@ -150,6 +175,41 @@ class BlockAccess:
         same-address write operation accesses memory bank 0 first will have
         the highest priority")."""
         return 0 in self.banks_written or 0 in self.result_words
+
+
+@dataclass(slots=True)
+class PendingAccess:
+    """One submitted op waiting for AT-space entry on its processor.
+
+    A processor owns exactly one AT-space partition, so ops submitted
+    while it is occupied queue here; :meth:`CFMemory._grant_entry` picks
+    the winner the moment the partition frees.  ``seq`` is the global
+    submission order (the FIFO tiebreaker), ``rank`` the criticality
+    arbitration rank (lower wins a contended grant).  ``access`` is set
+    once the op is granted and issued.
+    """
+
+    seq: int
+    proc: int
+    kind: AccessKind
+    offset: int
+    data: Optional[Block]
+    version: Optional[str]
+    tag: str
+    on_finish: Optional[Callable[["BlockAccess"], None]]
+    criticality: Optional[str]
+    rank: int
+    submit_slot: int
+    deadline: Optional[int]  # relative SLA budget in slots, if any
+    access: Optional[BlockAccess] = None
+
+    @property
+    def granted(self) -> bool:
+        return self.access is not None
+
+
+#: Valid arbitration policies for contended AT-space entry.
+ARBITRATION_POLICIES = ("priority", "fifo")
 
 
 class AccessController:
@@ -183,6 +243,7 @@ class CFMemory:
         probe: Optional[Probe] = None,
         metrics: Optional[MetricsRegistry] = None,
         engine: Optional[str] = None,
+        arbitration: str = "priority",
     ) -> None:
         if config.n_modules != 1:
             raise ValueError(
@@ -218,6 +279,26 @@ class CFMemory:
         self._proc_busy = [False] * config.n_procs
         self.completed: List[BlockAccess] = []
         self.aborted: List[BlockAccess] = []
+        # QoS entry arbitration (invariant 12): ops submitted while their
+        # processor's AT partition is occupied queue per processor; the
+        # winner of a contended grant is picked at _finish time — a seam
+        # every engine drives at identical slots, so arbitration is
+        # engine-uniform by construction.  With the queues unused, the
+        # whole feature is one integer check in _finish.
+        if arbitration not in ARBITRATION_POLICIES:
+            raise ValueError(
+                f"unknown arbitration {arbitration!r} "
+                f"(valid: {' '.join(ARBITRATION_POLICIES)})"
+            )
+        self.arbitration = arbitration
+        self._entry_queues: List[List[PendingAccess]] = [
+            [] for _ in range(config.n_procs)
+        ]
+        self._pending_total = 0
+        self._submit_seq = 0
+        #: Plain counters for the QoS layer (kept outside MetricsRegistry
+        #: so engine-pinned, unobserved runs can still report them).
+        self.qos_counts = {"granted": 0, "queued": 0, "contended": 0}
         # Observability (both observational only — attaching them can never
         # change a simulation result, and `is None` is the whole cost when off).
         self.probe = probe
@@ -322,6 +403,104 @@ class CFMemory:
             )
         return acc
 
+    # -- QoS entry arbitration ---------------------------------------------
+
+    def submit(
+        self,
+        proc: int,
+        kind: AccessKind,
+        offset: int,
+        data: Optional[Block] = None,
+        version: Optional[str] = None,
+        tag: str = "",
+        on_finish: Optional[Callable[[BlockAccess], None]] = None,
+        criticality: Optional[str] = None,
+        deadline: Optional[int] = None,
+    ) -> PendingAccess:
+        """Submit an op for AT-space entry, queueing if ``proc`` is busy.
+
+        Unlike :meth:`issue` (which raises while the processor's partition
+        is occupied), ``submit`` enqueues the op; the winner of a contended
+        grant is picked when the partition frees (at :meth:`_finish`) by
+        criticality rank, FIFO within a rank — or pure FIFO under
+        ``arbitration="fifo"``, the baseline the QoS bench compares
+        against.  When the processor is idle the op issues immediately, so
+        a submission stream that never queues is bit-identical to the same
+        stream of plain :meth:`issue` calls (invariant 12).
+
+        ``deadline`` is a relative SLA budget in slots, measured from the
+        submission slot (queueing counts against the deadline).
+        """
+        if not 0 <= proc < self.cfg.n_procs:
+            raise ValueError(f"proc {proc} out of range [0, {self.cfg.n_procs})")
+        if deadline is not None and deadline < 1:
+            raise ValueError(f"deadline must be >= 1 slot, got {deadline}")
+        pend = PendingAccess(
+            seq=self._submit_seq,
+            proc=proc,
+            kind=kind,
+            offset=offset,
+            data=data,
+            version=version,
+            tag=tag,
+            on_finish=on_finish,
+            criticality=parse_tier(criticality),
+            rank=rank_of(criticality),
+            submit_slot=self.slot,
+            deadline=deadline,
+        )
+        self._submit_seq += 1
+        if not self._proc_busy[proc] and not self._entry_queues[proc]:
+            self._issue_pending(pend)
+        else:
+            self._entry_queues[proc].append(pend)
+            self._pending_total += 1
+            self.qos_counts["queued"] += 1
+        return pend
+
+    def pending(self, proc: Optional[int] = None) -> int:
+        """Ops waiting for AT-space entry (on ``proc``, or in total)."""
+        if proc is None:
+            return self._pending_total
+        return len(self._entry_queues[proc])
+
+    def _issue_pending(self, pend: PendingAccess) -> BlockAccess:
+        acc = self.issue(
+            pend.proc, pend.kind, pend.offset, data=pend.data,
+            version=pend.version, tag=pend.tag, on_finish=pend.on_finish,
+        )
+        acc.criticality = pend.criticality
+        acc.submit_slot = pend.submit_slot
+        if pend.deadline is not None:
+            acc.deadline_slot = pend.submit_slot + pend.deadline
+        pend.access = acc
+        return acc
+
+    def _grant_entry(self, proc: int) -> None:
+        """Grant the freed AT partition of ``proc`` to one queued op.
+
+        Priority never changes *which* slots exist — the AT-space schedule
+        is fixed — only who wins the contended entry (invariant 12).  The
+        queue holds submissions in seq order, so index 0 is the FIFO pick
+        and ``min`` by ``(rank, seq)`` the priority pick; with a single
+        waiter the two coincide, which is why zero-contention runs cannot
+        depend on the policy.
+        """
+        queue = self._entry_queues[proc]
+        if len(queue) > 1:
+            self.qos_counts["contended"] += 1
+            if self.arbitration == "priority":
+                best = min(range(len(queue)),
+                           key=lambda i: (queue[i].rank, queue[i].seq))
+            else:
+                best = 0
+            pend = queue.pop(best)
+        else:
+            pend = queue.pop()
+        self._pending_total -= 1
+        self.qos_counts["granted"] += 1
+        self._issue_pending(pend)
+
     # -- engine ------------------------------------------------------------
 
     def _finish(self, acc: BlockAccess, state: AccessState, slot: int,
@@ -348,6 +527,17 @@ class CFMemory:
             if state is AccessState.COMPLETED:
                 self._counters.incr("completed")
                 self._latency_hist.add(acc.latency)
+                # Per-tier SLA accounting only for criticality-tagged
+                # accesses: untagged runs snapshot byte-identically.
+                if acc.criticality is not None:
+                    self.metrics.histogram(
+                        f"cfm.latency[{acc.criticality}]"
+                    ).add(acc.qos_latency)
+                    if acc.deadline_slot is not None:
+                        met = acc.complete_slot <= acc.deadline_slot
+                        self.metrics.counter("cfm.deadline").incr(
+                            f"{acc.criticality}.{'met' if met else 'missed'}"
+                        )
             else:
                 self._counters.incr("aborted")
                 if acc.final_action is ControlAction.RETRY:
@@ -367,6 +557,15 @@ class CFMemory:
                 )
         if acc.on_finish is not None:
             acc.on_finish(acc)
+        # QoS grant: the freed AT partition goes to one queued op.  After
+        # the finish callback (which may itself have re-issued — legacy
+        # callers keep their slot), and guarded by one integer check so
+        # submission-free runs pay nothing.  Every engine calls _finish at
+        # identical slots in identical order, so grants are engine-uniform.
+        if (self._pending_total
+                and self._entry_queues[acc.proc]
+                and not self._proc_busy[acc.proc]):
+            self._grant_entry(acc.proc)
 
     def tick(self) -> None:
         """Advance one slot: every active access performs one word."""

@@ -23,6 +23,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.sim.criticality import DEFAULT_RANK, rank_of
+
 
 class EventType(enum.Enum):
     """Request types a network controller queues, Table 5.4 order."""
@@ -45,9 +47,17 @@ class ControllerEvent:
     requester: int = field(compare=False, default=-1)
     seq: int = field(compare=False, default=0)
     payload: object = field(compare=False, default=None)
+    #: QoS rank *within* a Table 5.4 priority class (lower serves first);
+    #: defaults to the ``normal`` tier, so untagged traffic keeps the
+    #: plain ``(priority, seq)`` FIFO order bit-identically.
+    criticality_rank: int = field(compare=False, default=DEFAULT_RANK)
 
     def __post_init__(self) -> None:
-        self.sort_key = (self.event_type.priority, self.seq)
+        # Table 5.4 priority dominates (deadlock freedom does not bend to
+        # QoS); criticality only reorders *within* a priority class, with
+        # seq keeping same-rank events FIFO.
+        self.sort_key = (self.event_type.priority, self.criticality_rank,
+                         self.seq)
 
 
 class NetworkController:
@@ -76,6 +86,7 @@ class NetworkController:
         offset: int,
         requester: int = -1,
         payload: object = None,
+        criticality: Optional[str] = None,
     ) -> ControllerEvent:
         ev = ControllerEvent(
             event_type=event_type,
@@ -83,6 +94,7 @@ class NetworkController:
             requester=requester,
             seq=next(self._seq),
             payload=payload,
+            criticality_rank=rank_of(criticality),
         )
         heapq.heappush(self._heap, ev)
         return ev

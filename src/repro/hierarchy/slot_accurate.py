@@ -52,6 +52,7 @@ from repro.fastpath.engine import (
 )
 from repro.hierarchy.controller import EventType, NetworkController
 from repro.hierarchy.hierarchical import IllegalStateCombination, _LEGAL
+from repro.sim.criticality import parse_tier
 from repro.sim.engine import SimulationTimeout
 
 #: Sentinel "no upcoming event" slot (matches repro.cache.protocol._FAR).
@@ -81,6 +82,9 @@ class HierOp:
     offset: int
     store_words: Dict[int, int] = field(default_factory=dict)
     on_done: Optional[Callable[["HierOp"], None]] = None
+    #: QoS tier (repro.sim.criticality); orders this op's NC fetch within
+    #: its Table 5.4 priority class.  ``None`` = untagged (normal).
+    criticality: Optional[str] = None
 
     phase: HierPhase = HierPhase.CLUSTER
     issue_slot: int = -1
@@ -105,6 +109,9 @@ class _NCTransaction:
     kind: AccessKind  # READ / READ_INVALIDATE / WRITE_BACK at global level
     offset: int
     waiters: List[HierOp] = field(default_factory=list)
+    # Tier of the op that created the transaction; coalesced waiters ride
+    # at that tier (they share its queue position either way).
+    criticality: Optional[str] = None
 
 
 class _GlobalController(AccessController):
@@ -254,17 +261,20 @@ class SlotAccurateHierarchy:
     # -- public API --------------------------------------------------------------
 
     def load(self, gproc: int, offset: int,
-             on_done: Optional[Callable[[HierOp], None]] = None) -> HierOp:
+             on_done: Optional[Callable[[HierOp], None]] = None,
+             criticality: Optional[str] = None) -> HierOp:
         op = HierOp(gproc=gproc, kind=HierOpKind.LOAD, offset=offset,
-                    on_done=on_done, issue_slot=self.slot)
+                    on_done=on_done, issue_slot=self.slot,
+                    criticality=parse_tier(criticality))
         self._route(op)
         return op
 
     def store(self, gproc: int, offset: int, words: Dict[int, int],
-              on_done: Optional[Callable[[HierOp], None]] = None) -> HierOp:
+              on_done: Optional[Callable[[HierOp], None]] = None,
+              criticality: Optional[str] = None) -> HierOp:
         op = HierOp(gproc=gproc, kind=HierOpKind.STORE, offset=offset,
                     store_words=dict(words), on_done=on_done,
-                    issue_slot=self.slot)
+                    issue_slot=self.slot, criticality=parse_tier(criticality))
         self._route(op)
         return op
 
@@ -320,12 +330,14 @@ class SlotAccurateHierarchy:
         ):
             cur.waiters.append(op)
             return
-        txn = _NCTransaction(kind=kind, offset=op.offset, waiters=[op])
+        txn = _NCTransaction(kind=kind, offset=op.offset, waiters=[op],
+                             criticality=op.criticality)
         etype = (
             EventType.READ if kind is AccessKind.READ
             else EventType.READ_INVALIDATE
         )
-        nc.queue.enqueue(etype, op.offset, requester=op.gproc, payload=txn)
+        nc.queue.enqueue(etype, op.offset, requester=op.gproc, payload=txn,
+                         criticality=txn.criticality)
 
     def _issue_cluster_op(self, op: HierOp) -> None:
         op.phase = HierPhase.CLUSTER
@@ -430,7 +442,8 @@ class SlotAccurateHierarchy:
                 if preempted.kind is AccessKind.READ
                 else EventType.READ_INVALIDATE
             )
-            nc.queue.enqueue(etype, preempted.offset, payload=preempted)
+            nc.queue.enqueue(etype, preempted.offset, payload=preempted,
+                             criticality=preempted.criticality)
         txn = nc.current
         assert txn is not None
         if nc.global_access is not None or nc.flushing_op is not None:

@@ -13,6 +13,9 @@ Three layers, all off by default and zero-cost when disabled:
 * :mod:`repro.obs.hotpath` — :class:`HotpathProfiler`, deterministic
   batch/tick/fallback counters for the stage-2 fastpath layers; unlike
   probes it never forces the per-slot path (``repro bench --profile``).
+* :mod:`repro.obs.sla` — :class:`SlaTracker`, per-criticality-tier
+  latency histograms (p50/p99/p99.9) and deadline-miss counters, fed at
+  completion time so engine-pinned unobserved runs keep exact tails.
 
 :mod:`repro.obs.artifacts` additionally mirrors every table/series the
 reporting layer prints into structured records (see ``REPRO_BENCH_JSONL``).
@@ -21,6 +24,7 @@ reporting layer prints into structured records (see ``REPRO_BENCH_JSONL``).
 from repro.obs.artifacts import artifacts, drain_artifacts, record_artifact
 from repro.obs.hotpath import HotpathProfiler
 from repro.obs.metrics import MetricsRegistry, TenantMetrics
+from repro.obs.sla import SlaTracker
 from repro.obs.probe import (
     CountingProbe,
     JsonlProbe,
@@ -35,6 +39,7 @@ __all__ = [
     "HotpathProfiler",
     "MetricsRegistry",
     "TenantMetrics",
+    "SlaTracker",
     "Probe",
     "ProbeEvent",
     "RecordingProbe",

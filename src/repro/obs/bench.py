@@ -466,6 +466,101 @@ def _run_hierarchy(n_clusters: int, procs_per_cluster: int, rounds: int,
     return report
 
 
+def _run_qos(n_procs: int, bank_cycle: int, cycles: int, seed: int = 0,
+             rate: float = 0.05, bulk_rate: float = 0.05,
+             critical_procs: Optional[int] = None,
+             arbitration: str = "priority",
+             deadline_factor: int = 4,
+             degraded_bank: Optional[int] = None,
+             probe: Optional[Probe] = None,
+             engine: Optional[str] = None) -> Dict[str, object]:
+    """Mixed-criticality CFM run: QoS arbitration vs the FIFO baseline.
+
+    A :class:`repro.sim.workload.MixedCriticalityWorkload` drives an
+    open-loop submission stream — latency-critical foreground plus bulk
+    background — into :meth:`CFMemory.submit`, so ops queue for AT-space
+    entry whenever their processor's partition is occupied and the
+    ``arbitration`` policy picks contended winners.  The run is
+    *unobserved* (no metrics registry — SLA accounting rides the finish
+    callbacks instead), so it is valid under every engine pin; grant
+    decisions happen at the ``_finish`` seam every engine drives at
+    identical slots, making reports engine-invariant pre-timing.
+
+    The report gains a ``"qos"`` section: arbitration policy, entry-queue
+    counters, and the per-tier :class:`repro.obs.sla.SlaTracker` snapshot
+    (p50/p99/p99.9 + deadline met/missed at ``deadline_factor``·β for
+    latency-critical, ``2·deadline_factor``·β for normal).  With
+    ``degraded_bank`` set the module switches to the degraded b−1
+    schedule before traffic starts — tier separation must survive a dead
+    bank.
+    """
+    from repro.core.block import Block
+    from repro.core.cfm import CFMemory
+    from repro.core.cfm import AccessKind as AK
+    from repro.core.config import CFMConfig
+    from repro.fastpath.engine import resolve_engine
+    from repro.obs.sla import SlaTracker
+    from repro.sim.stats import RunSummary
+    from repro.sim.workload import MixedCriticalityWorkload
+
+    if engine is not None:
+        resolve_engine(engine, layer="cfm")  # fail fast, typed
+    cfg = CFMConfig(n_procs=n_procs, bank_cycle=bank_cycle)
+    mem = CFMemory(cfg, probe=probe, arbitration=arbitration)
+    if degraded_bank is not None:
+        mem.degrade_bank(degraded_bank)
+    beta = cfg.block_access_time
+    tracker = SlaTracker(unit="slots", deadlines={
+        "latency_critical": deadline_factor * beta,
+        "normal": 2 * deadline_factor * beta,
+    })
+    summary = RunSummary()
+
+    def finished(acc) -> None:
+        summary.completed += 1
+        summary.latencies.add(acc.qos_latency)
+        tracker.record(acc.criticality, acc.qos_latency)
+
+    wl = MixedCriticalityWorkload(
+        n_procs, 1, rate, critical_procs=critical_procs,
+        bulk_rate=bulk_rate, seed=seed,
+    )
+    n_banks = cfg.n_banks
+    for ev in wl.iter_events(cycles):
+        if ev.cycle > mem.slot:
+            mem.run_engine(ev.cycle - mem.slot, engine=engine)
+        data = (Block.of_values([ev.offset + k for k in range(n_banks)],
+                                f"qos{ev.cycle}")
+                if ev.is_write else None)
+        mem.submit(ev.proc, AK.WRITE if ev.is_write else AK.READ,
+                   offset=ev.offset, data=data, on_finish=finished,
+                   criticality=ev.criticality)
+    # Drain the backlog: no new arrivals, so every queued op completes.
+    while mem.active:
+        mem.run_engine(4 * beta, engine=engine)
+    summary.cycles = mem.slot
+    params: Dict[str, object] = {
+        "n_procs": n_procs, "bank_cycle": bank_cycle,
+        "n_banks": n_banks, "beta": beta, "cycles": cycles, "seed": seed,
+        "rate": rate, "bulk_rate": bulk_rate,
+        "critical_procs": wl.critical_procs,
+        "arbitration": arbitration, "deadline_factor": deadline_factor,
+        "workload": "mixed_criticality",
+    }
+    if degraded_bank is not None:
+        params["degraded_bank"] = degraded_bank
+    if engine is not None:
+        params["engine"] = engine
+    report = _run_report("qos", params, summary, MetricsRegistry(),
+                         "cfm.bank")
+    report["qos"] = {
+        "arbitration": arbitration,
+        "entry_queue": dict(mem.qos_counts),
+        "sla": tracker.snapshot(),
+    }
+    return report
+
+
 def _run_faults(trials: int = 3, seed: int = 0, quick: bool = False,
                 probe: Optional[Probe] = None) -> Dict[str, object]:
     """Chaos differential sweep: seeded fault plans across every layer.
@@ -531,6 +626,7 @@ SYSTEMS: Dict[str, Callable[..., Dict[str, object]]] = {
     "sync_omega": _run_sync_omega,
     "cache": _run_cache,
     "hierarchy": _run_hierarchy,
+    "qos": _run_qos,
     "faults_chaos": _run_faults,
 }
 
@@ -538,8 +634,14 @@ SYSTEMS: Dict[str, Callable[..., Dict[str, object]]] = {
 PROFILABLE_SYSTEMS = frozenset({"cache", "hierarchy"})
 
 #: Systems whose runners accept ``engine=`` (``repro bench --engine``):
-#: the three batched layers behind the engine-strategy seam.
-ENGINE_SYSTEMS = frozenset({"cfm", "cache", "hierarchy"})
+#: the three batched layers behind the engine-strategy seam, plus the
+#: QoS runner (which drives a CFM underneath).
+ENGINE_SYSTEMS = frozenset({"cfm", "cache", "hierarchy", "qos"})
+
+#: Seam layer each engine-aware system resolves engines against (systems
+#: absent here are their own layer).  ``qos`` runs a CFM, so the stacked
+#: engine — CFM-only — is valid for it.
+SYSTEM_ENGINE_LAYER = {"qos": "cfm"}
 
 
 def run_spec(spec: Dict[str, object]) -> Dict[str, object]:
@@ -643,6 +745,32 @@ def specs_hotpath(quick: bool = False) -> List[Dict[str, object]]:
     ]
 
 
+def specs_qos(quick: bool = False) -> List[Dict[str, object]]:
+    """Mixed-criticality matrix: priority arbitration vs the FIFO
+    baseline on each shape, plus a degraded-mode pair — the bench_qos
+    gate asserts latency-critical p99 strictly below bulk p99 under
+    priority, and below the FIFO baseline's critical p99."""
+    shapes = [(8, 2), (16, 4)] if quick else [(8, 2), (16, 4), (32, 8)]
+    cycles = 1_500 if quick else 4_000
+    out: List[Dict[str, object]] = []
+    for n, c in shapes:
+        # ~1.6x the per-processor service capacity (one op per b slots):
+        # enough overload that entry queues actually contend.
+        r = round(0.8 / (n * c), 6)
+        for arb in ("priority", "fifo"):
+            out.append(_spec("qos", n_procs=n, bank_cycle=c, cycles=cycles,
+                             rate=r, bulk_rate=r, arbitration=arb))
+    n, c = shapes[0]
+    r = round(0.8 / (n * c), 6)
+    for arb in ("priority", "fifo"):
+        # Dead bank 1: tier separation must survive the degraded b-1
+        # schedule (which pins the per-slot reference path).
+        out.append(_spec("qos", n_procs=n, bank_cycle=c, cycles=cycles,
+                         rate=r, bulk_rate=r, arbitration=arb,
+                         degraded_bank=1))
+    return out
+
+
 def specs_faults(quick: bool = False) -> List[Dict[str, object]]:
     """Chaos differential sweep: zero-fault bit-identity + seeded fault
     plans that must complete or raise typed errors (CI's fault-smoke gate)."""
@@ -659,6 +787,7 @@ BENCH_SPECS: Dict[str, Callable[[bool], List[Dict[str, object]]]] = {
     "cache": specs_cache,
     "hierarchy": specs_hierarchy,
     "hotpath": specs_hotpath,
+    "qos": specs_qos,
     "faults": specs_faults,
 }
 
@@ -717,7 +846,8 @@ def run_benchmark(name: str, quick: bool = False,
     if engine is not None:
         for spec in specs:
             system = str(spec["system"])
-            if system in ENGINE_SYSTEMS and engine_available(engine, system):
+            layer = SYSTEM_ENGINE_LAYER.get(system, system)
+            if system in ENGINE_SYSTEMS and engine_available(engine, layer):
                 spec["params"]["engine"] = engine  # type: ignore[index]
     doc: Dict[str, object] = {
         "bench": name, "schema": SCHEMA,

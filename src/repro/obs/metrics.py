@@ -127,11 +127,14 @@ class TenantMetrics:
 
     The serving layer accounts per tenant from day one (every request
     carries a tenant label), but tenant strings arrive from the network —
-    so the family is bounded: past ``max_tenants`` distinct labels, new
-    ones share the ``"<overflow>"`` registry instead of growing memory
-    without limit.  Snapshots nest each tenant's flat snapshot under its
-    label, keeping per-tenant names identical across tenants (``requests``,
-    ``latency_ms``, …) rather than baking labels into metric names.
+    so the family is bounded: the family never holds more than
+    ``max_tenants`` registries *in total*, one of which is reserved for
+    the ``"<overflow>"`` registry that late-arriving labels share instead
+    of growing memory without limit (so at most ``max_tenants - 1`` named
+    tenants get a registry of their own).  Snapshots nest each tenant's
+    flat snapshot under its label, keeping per-tenant names identical
+    across tenants (``requests``, ``latency_ms``, …) rather than baking
+    labels into metric names.
     """
 
     OVERFLOW = "<overflow>"
@@ -143,14 +146,21 @@ class TenantMetrics:
         self._registries: Dict[str, MetricsRegistry] = {}
 
     def registry(self, tenant: str) -> MetricsRegistry:
-        """Get-or-create the registry of ``tenant`` (bounded family)."""
+        """Get-or-create the registry of ``tenant`` (bounded family).
+
+        The overflow slot is reserved *inside* the bound: a new named
+        tenant is only admitted while a slot would still remain for
+        ``OVERFLOW``, so the family never exceeds ``max_tenants``
+        registries even after the overflow registry materializes.
+        """
         if not tenant:
             raise ValueError("tenant label must be non-empty")
         reg = self._registries.get(tenant)
         if reg is None:
-            if (len(self._registries) >= self.max_tenants
-                    and tenant != self.OVERFLOW):
-                return self.registry(self.OVERFLOW)
+            if tenant != self.OVERFLOW:
+                reserved = 0 if self.OVERFLOW in self._registries else 1
+                if len(self._registries) >= self.max_tenants - reserved:
+                    return self.registry(self.OVERFLOW)
             reg = MetricsRegistry()
             self._registries[tenant] = reg
         return reg

@@ -32,8 +32,10 @@ request's outcome — rejects a batch's futures.
 from __future__ import annotations
 
 import asyncio
+import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.sim.criticality import rank_of
 from repro.serve.shard import shape_of
 
 BatchKey = Tuple[str, Optional[Tuple[int, int]]]
@@ -53,13 +55,16 @@ class _Entry:
     """One queued request: its key, its payload, and the future its
     response resolves."""
 
-    __slots__ = ("key", "payload", "future")
+    __slots__ = ("key", "payload", "future", "rank", "seq")
 
     def __init__(self, key: BatchKey, payload: Dict[str, object],
-                 future: "asyncio.Future[Dict[str, object]]") -> None:
+                 future: "asyncio.Future[Dict[str, object]]",
+                 rank: int, seq: int) -> None:
         self.key = key
         self.payload = payload
         self.future = future
+        self.rank = rank
+        self.seq = seq
 
 
 class MicroBatcher:
@@ -83,29 +88,44 @@ class MicroBatcher:
         #: coalesce late arrivals into it).
         self._inflight: List[int] = [0] * pool.n_shards
         self._capacity: List[int] = [pool.procs_per_shard] * pool.n_shards
+        self._seq = itertools.count()
 
     # -- submission ----------------------------------------------------------
 
     async def submit(self, payload: Dict[str, object],
-                     shard: Optional[int] = None) -> Dict[str, object]:
-        """Queue one request; resolves with its per-request result dict."""
+                     shard: Optional[int] = None,
+                     criticality: Optional[str] = None) -> Dict[str, object]:
+        """Queue one request; resolves with its per-request result dict.
+
+        ``criticality`` (a :mod:`repro.sim.criticality` tier) only affects
+        which pending key flushes first while the shard's workers are all
+        busy; it is never part of the payload, so batches, dedup, and
+        cache entries are tier-blind."""
         if shard is None:
             shard = self.pool.shard_of(str(payload["system"]),
                                        dict(payload.get("params") or {}))
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Dict[str, object]]" = loop.create_future()
-        self._pending[shard].append(_Entry(batch_key(payload), payload, future))
+        self._pending[shard].append(_Entry(batch_key(payload), payload, future,
+                                           rank_of(criticality),
+                                           next(self._seq)))
         self._flush(shard, loop)
         return await future
 
     # -- flushing ------------------------------------------------------------
 
     def _flush(self, shard: int, loop: asyncio.AbstractEventLoop) -> None:
-        """Dispatch batches while the shard has capacity and pending work."""
+        """Dispatch batches while the shard has capacity and pending work.
+
+        The lead entry is the best (criticality rank, arrival seq) pending
+        request; its key flushes as one batch.  With no tags every rank is
+        equal, so the lead is the *oldest* entry — a hot key arriving
+        behind an older different-key request can never starve it, and the
+        untagged path batches exactly as before."""
         while (self._pending[shard]
                and self._inflight[shard] < self._capacity[shard]):
             pending = self._pending[shard]
-            lead = pending[0].key
+            lead = min(pending, key=lambda e: (e.rank, e.seq)).key
             take: List[_Entry] = []
             keep: List[_Entry] = []
             for entry in pending:

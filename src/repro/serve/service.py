@@ -47,6 +47,7 @@ import sys
 from typing import Dict, Optional, Sequence, TextIO
 
 from repro.obs.metrics import MetricsRegistry, TenantMetrics
+from repro.obs.sla import SlaTracker
 from repro.serve.batch import MicroBatcher
 from repro.serve.cache import ResultCache, cacheable, payload_key
 from repro.serve.pool import ShardedWorkerPool
@@ -74,6 +75,9 @@ class SimulationService:
         self._gate = asyncio.Semaphore(max_inflight)
         self.metrics = MetricsRegistry()
         self.tenants = TenantMetrics()
+        #: Per-criticality-tier wall-latency tails and deadline accounting
+        #: (``quantum=1000``: millisecond latencies kept to µs resolution).
+        self.sla = SlaTracker(unit="ms", quantum=1000)
         self.batcher = MicroBatcher(self.pool, max_batch=max_batch,
                                     metrics=self.metrics)
         self.cache = ResultCache(max_entries=cache_size)
@@ -138,7 +142,14 @@ class SimulationService:
         self._inflight += 1
         self.peak_inflight = max(self.peak_inflight, self._inflight)
         try:
-            result = await self.batcher.submit(payload, shard=shard)
+            # Untagged requests call submit() exactly as the pre-QoS layer
+            # did: the tag is an opt-in hint, not part of the dispatch
+            # contract.
+            if request.criticality is None:
+                result = await self.batcher.submit(payload, shard=shard)
+            else:
+                result = await self.batcher.submit(
+                    payload, shard=shard, criticality=request.criticality)
         except Exception as exc:  # pool infrastructure failure (rare)
             result = {"ok": False, "error": {
                 "type": type(exc).__name__, "message": str(exc),
@@ -181,6 +192,8 @@ class SimulationService:
         self.metrics.counter(f"serve.shard[{shard}]").incr(
             "cached" if cached else "dispatched")
         self.metrics.stats("serve.latency_ms").add(wall_ms)
+        self.sla.record(request.criticality, wall_ms,
+                        deadline=request.deadline_ms)
         tables = result.get("tables")
         if isinstance(tables, dict):
             shard_tables = self.metrics.counter(f"serve.tables[{shard}]")
@@ -226,6 +239,7 @@ class SimulationService:
         return {
             "service": self.metrics.snapshot(),
             "tenants": self.tenants.snapshot(),
+            "sla": self.sla.snapshot(),
             "inflight": {
                 "current": self._inflight,
                 "peak": self.peak_inflight,

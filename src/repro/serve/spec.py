@@ -28,6 +28,8 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.sim.criticality import TIERS
+
 #: Parameters never accepted over the wire: observers are process-local
 #: objects (probes can't ride a JSON request into a worker).
 _UNSERVABLE_PARAMS = frozenset({"probe"})
@@ -52,6 +54,13 @@ class ServeRequest:
     params: Dict[str, object] = field(default_factory=dict)
     #: Validated fault-plan description (worker builds the FaultPlan).
     inject: Optional[Dict[str, object]] = None
+    #: QoS tier (repro.sim.criticality) — a front-end scheduling hint
+    #: plus SLA-accounting label; deliberately NOT part of the worker
+    #: payload, so identical specs at different tiers still dedupe,
+    #: batch, and share cache entries.
+    criticality: Optional[str] = None
+    #: Per-request SLA deadline in wall milliseconds (accounting only).
+    deadline_ms: Optional[float] = None
 
     @property
     def spec(self) -> Dict[str, object]:
@@ -194,10 +203,26 @@ def validate_request(obj: object,
     inject = None
     if obj.get("inject") is not None:
         inject = _validate_inject(system, obj["inject"])
-    unknown = set(obj) - {"id", "tenant", "system", "params", "inject", "op"}
+    criticality = obj.get("criticality")
+    if criticality is not None and criticality not in TIERS:
+        raise RequestError(
+            f"unknown criticality {criticality!r} (valid: {' '.join(TIERS)})"
+        )
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if (isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0):
+            raise RequestError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
+        deadline_ms = float(deadline_ms)
+    unknown = set(obj) - {"id", "tenant", "system", "params", "inject",
+                          "criticality", "deadline_ms", "op"}
     if unknown:
         raise RequestError(
             f"unknown request field(s): {' '.join(sorted(unknown))}"
         )
     return ServeRequest(id=req_id, tenant=tenant, system=system,
-                        params=params, inject=inject)
+                        params=params, inject=inject,
+                        criticality=criticality, deadline_ms=deadline_ms)

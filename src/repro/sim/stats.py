@@ -10,6 +10,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
@@ -116,17 +117,24 @@ class Histogram:
         return sum(v * c for v, c in self._counts.items()) / n
 
     def percentile(self, q: float) -> int:
-        """Inclusive percentile: smallest value covering fraction ``q``."""
+        """Inclusive percentile: smallest value covering fraction ``q``.
+
+        Exact nearest-rank: the target rank is ``ceil(q * n)`` computed in
+        integer arithmetic (``q`` lifted to an exact :class:`Fraction`), so
+        the float product ``q * n`` can never round across an integer
+        boundary and select a rank off by one — the tail gates (p99.9)
+        depend on hitting the exact rank.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
         n = self.total()
         if n == 0:
             raise ValueError("empty histogram")
-        target = q * n
+        rank = max(1, math.ceil(Fraction(q) * n))
         cum = 0
         for value in sorted(self._counts):
             cum += self._counts[value]
-            if cum >= target:
+            if cum >= rank:
                 return value
         return max(self._counts)
 

@@ -10,6 +10,7 @@ from repro.obs import (
     MetricsRegistry,
     MultiProbe,
     RecordingProbe,
+    TenantMetrics,
     drain_artifacts,
     load_probe_events,
 )
@@ -81,6 +82,61 @@ class TestMetricsRegistry:
         reg.counter("cfm.bank.count")  # not a Utilization: excluded
         fr = reg.fractions("cfm.bank")
         assert fr == {"cfm.bank[0].util": 1.0, "cfm.bank[1].util": 0.0}
+
+
+class TestTenantMetrics:
+    def test_named_tenants_get_their_own_registry(self):
+        tm = TenantMetrics(max_tenants=4)
+        a = tm.registry("alice")
+        assert tm.registry("alice") is a
+        tm.registry("bob")
+        assert tm.tenants() == ["alice", "bob"]
+
+    def test_family_never_exceeds_max_tenants(self):
+        # The overflow slot is reserved INSIDE the bound.  With
+        # max_tenants distinct labels, the family must hold exactly
+        # max_tenants registries: max_tenants - 1 named ones plus the
+        # materialized overflow registry — never max_tenants + 1 (the
+        # regression: the bound check admitted max_tenants named tenants
+        # and then created "<overflow>" on top of them).
+        max_tenants = 5
+        tm = TenantMetrics(max_tenants=max_tenants)
+        regs = [tm.registry(f"t{i}") for i in range(max_tenants)]
+        assert len(tm) == max_tenants
+        assert TenantMetrics.OVERFLOW in tm
+        named = [t for t in tm.tenants() if t != TenantMetrics.OVERFLOW]
+        assert len(named) == max_tenants - 1
+        # The last arrival shares the overflow registry.
+        assert regs[-1] is tm.registry(TenantMetrics.OVERFLOW)
+        # Further strangers keep sharing it — the family stays put.
+        for i in range(10):
+            assert tm.registry(f"late{i}") is regs[-1]
+        assert len(tm) == max_tenants
+
+    def test_admitted_tenants_survive_overflow(self):
+        tm = TenantMetrics(max_tenants=3)
+        a = tm.registry("a")
+        b = tm.registry("b")
+        tm.registry("c")  # spills: only 2 named slots beside overflow
+        assert tm.registry("a") is a and tm.registry("b") is b
+
+    def test_max_tenants_one_sends_everyone_to_overflow(self):
+        tm = TenantMetrics(max_tenants=1)
+        reg = tm.registry("only")
+        assert tm.tenants() == [TenantMetrics.OVERFLOW]
+        assert tm.registry("other") is reg
+
+    def test_snapshot_nests_by_tenant(self):
+        tm = TenantMetrics(max_tenants=8)
+        tm.registry("a").counter("requests").incr("total")
+        snap = tm.snapshot()
+        assert snap["a"]["requests"]["counts"]["total"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_tenants"):
+            TenantMetrics(max_tenants=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            TenantMetrics().registry("")
 
 
 class TestProbes:

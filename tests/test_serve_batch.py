@@ -277,6 +277,130 @@ class TestMicroBatcher:
 
 
 # --------------------------------------------------------------------------
+# Flush-order fairness (deterministic fake pool: the test completes
+# batches by hand, so which key flushes next is fully observable)
+
+
+class _FakePool:
+    """Captures dispatched batches; the test completes them explicitly."""
+
+    n_shards = 1
+    procs_per_shard = 1  # capacity 1: everything after batch 1 must queue
+
+    def __init__(self):
+        self.batches = []
+
+    def shard_of(self, system, params):
+        return 0
+
+    def submit_batch(self, payloads, shard, callback, error_callback):
+        self.batches.append((payloads, callback))
+
+    def complete_next(self):
+        payloads, callback = self.batches[len(self.batches) - 1]
+        callback([{"ok": True, "report": dict(p["params"]), "wall_ms": 0.0}
+                  for p in payloads])
+
+
+def _shape_payload(n_procs, cycles):
+    return {"system": "cfm", "params": {"n_procs": n_procs, "bank_cycle": 1,
+                                        "cycles": cycles}}
+
+
+class TestFlushFairness:
+    def test_hot_key_cannot_starve_older_key(self):
+        """Satellite regression: a stream of same-shape arrivals landing
+        behind an older different-shape request must not be flushed ahead
+        of it — the lead pick is the OLDEST pending entry's key."""
+
+        async def scenario():
+            pool = _FakePool()
+            batcher = MicroBatcher(pool, max_batch=8)
+            first = asyncio.ensure_future(
+                batcher.submit(_shape_payload(4, 100)))
+            await asyncio.sleep(0)
+            assert len(pool.batches) == 1  # capacity 1: in flight
+            # The older, different-shape victim...
+            victim = asyncio.ensure_future(
+                batcher.submit(_shape_payload(8, 100)))
+            # ...then a hot same-shape stream arrives behind it.
+            hot = [asyncio.ensure_future(
+                batcher.submit(_shape_payload(4, 100 + i)))
+                for i in range(4)]
+            await asyncio.sleep(0)
+            assert batcher.pending() == 5
+            pool.complete_next()  # finish batch 1 → one flush decision
+            await asyncio.sleep(0)
+            # The victim's key flushed next, alone — not the hot key.
+            assert [p["params"]["n_procs"]
+                    for p in pool.batches[1][0]] == [8]
+            pool.complete_next()
+            await asyncio.sleep(0)
+            assert [p["params"]["n_procs"]
+                    for p in pool.batches[2][0]] == [4, 4, 4, 4]
+            pool.complete_next()
+            await asyncio.sleep(0)
+            await asyncio.gather(first, victim, *hot)
+
+        asyncio.run(scenario())
+
+    def test_latency_critical_key_flushes_first(self):
+        """Criticality only reorders the contended flush: a queued
+        latency-critical request pulls its key's batch ahead of an older
+        untagged key."""
+
+        async def scenario():
+            pool = _FakePool()
+            batcher = MicroBatcher(pool, max_batch=8)
+            first = asyncio.ensure_future(
+                batcher.submit(_shape_payload(4, 100)))
+            await asyncio.sleep(0)
+            older = asyncio.ensure_future(
+                batcher.submit(_shape_payload(8, 100)))
+            crit = asyncio.ensure_future(
+                batcher.submit(_shape_payload(16, 100),
+                               criticality="latency_critical"))
+            await asyncio.sleep(0)
+            pool.complete_next()
+            await asyncio.sleep(0)
+            # The critical request's key wins the contended flush...
+            assert [p["params"]["n_procs"]
+                    for p in pool.batches[1][0]] == [16]
+            pool.complete_next()
+            await asyncio.sleep(0)
+            # ...and the older key follows (reordered, never starved).
+            assert [p["params"]["n_procs"]
+                    for p in pool.batches[2][0]] == [8]
+            pool.complete_next()
+            await asyncio.sleep(0)
+            await asyncio.gather(first, older, crit)
+
+        asyncio.run(scenario())
+
+    def test_untagged_flush_order_is_arrival_order(self):
+        """With no tags every rank ties, so the (rank, seq) lead pick is
+        exactly the seed FIFO behavior — key after key in arrival order."""
+
+        async def scenario():
+            pool = _FakePool()
+            batcher = MicroBatcher(pool, max_batch=8)
+            tasks = [asyncio.ensure_future(batcher.submit(p)) for p in (
+                _shape_payload(4, 100), _shape_payload(8, 100),
+                _shape_payload(16, 100), _shape_payload(8, 110))]
+            await asyncio.sleep(0)
+            order = []
+            while batcher.pending() or batcher.inflight_batches():
+                order.append([p["params"]["n_procs"]
+                              for p in pool.batches[-1][0]])
+                pool.complete_next()
+                await asyncio.sleep(0)
+            await asyncio.gather(*tasks)
+            assert order == [[4], [8, 8], [16]]
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
 # Service integration: streaming + backpressure survive batching
 
 

@@ -101,6 +101,36 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().percentile(0.5)
 
+    def test_percentile_exact_nearest_rank_pins(self):
+        # Nearest-rank on 1..1000: rank = ceil(q * n) computed exactly.
+        h = Histogram()
+        for v in range(1, 1001):
+            h.add(v)
+        assert h.percentile(0.5) == 500
+        assert h.percentile(0.99) == 990
+        assert h.percentile(0.999) == 999
+
+    def test_percentile_float_rounding_regression(self):
+        # The binary float 0.001 is slightly ABOVE 1/1000, so the exact
+        # rank of q=0.001 over n=1000 is ceil(1.0000000000000000208) = 2.
+        # The old float path computed target = 0.001 * 1000 == 1.0 exactly
+        # (the product rounds back down) and returned rank 1 — one rank
+        # too low.  Pin the exact-arithmetic answer.
+        h = Histogram()
+        for v in range(1, 1001):
+            h.add(v)
+        assert h.percentile(0.001) == 2
+
+    def test_percentile_tail_lands_on_last_bucket_boundary(self):
+        # p99.9 of n=1000 single-count buckets is exactly rank 999: one
+        # sample above it.  A weighted tail bucket absorbs the rest.
+        h = Histogram()
+        h.add(1, 998)
+        h.add(5, 1)
+        h.add(9, 1)
+        assert h.percentile(0.999) == 5
+        assert h.percentile(1.0) == 9
+
 
 class TestUtilization:
     def test_fraction(self):
